@@ -1,0 +1,90 @@
+"""Ablation §VIII-A: what access-mode hints buy.
+
+Two measurements:
+
+* **op level** (simulated execution): accumulate-only phases under
+  ``ACC_ONLY`` take shared locks; with several origins targeting one
+  hot slab, the strict window permits the concurrent same-op
+  accumulates that ``DEFAULT`` must serialise through exclusive epochs.
+  We verify the semantics run (no conflicts raised) and compare modeled
+  per-op cost.
+* **application level** (analytic): re-evaluate the IB CCSD scaling
+  model with the exclusive-epoch contention factor removed — the §VIII-A
+  claim that access modes "expose significant opportunities for
+  performance optimization", quantified.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.armci import AccessMode, Armci
+from repro.bench import format_table, run_measurement
+from repro.mpi.runtime import current_proc
+from repro.nwchem.model import WorkloadModel, ccsd_time
+from repro.simtime import PLATFORMS, MPITimingPolicy
+from dataclasses import replace
+
+
+def _measure_acc_phase(comm, mode, out):
+    rt = Armci.init(comm)
+    ptrs = rt.malloc(4096)
+    if mode is not AccessMode.DEFAULT:
+        rt.set_access_mode(ptrs[0], mode)
+    rt.barrier()
+    clock = current_proc().clock
+    t0 = clock.now
+    for _ in range(50):
+        rt.acc(np.ones(64), ptrs[0])
+    out[rt.my_id] = clock.now - t0
+    rt.barrier()
+    if mode is not AccessMode.DEFAULT:
+        rt.set_access_mode(ptrs[0], AccessMode.DEFAULT)
+    rt.free(ptrs[rt.my_id])
+
+
+def test_acc_only_phase_runs_concurrently(emit, benchmark):
+    timing = MPITimingPolicy(PLATFORMS["ib"].mpi)
+    rows = []
+    for mode in (AccessMode.DEFAULT, AccessMode.ACC_ONLY):
+        out: dict = {}
+        run_measurement(4, _measure_acc_phase, mode, out, timing=timing)
+        rows.append([mode.value, float(np.mean(list(out.values()))) * 1e3])
+    emit(
+        "ablation_access_modes_ops",
+        format_table(
+            "§VIII-A ablation — 50 accumulates x 4 origins to one slab "
+            "(modeled ms per origin)",
+            ["access mode", "time (ms)"],
+            rows,
+        ),
+    )
+    benchmark.pedantic(
+        lambda: run_measurement(4, _measure_acc_phase, AccessMode.ACC_ONLY, {}, timing=timing),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_application_level_projection(emit, benchmark):
+    """IB CCSD with and without the exclusive-epoch contention factor."""
+    ib = PLATFORMS["ib"]
+    relaxed = replace(ib, mpi_epoch_contention=1.0)
+    rows = []
+    for cores in (192, 256, 320, 384):
+        t_nat = ccsd_time(ib, "native", cores) / 60
+        t_mpi = ccsd_time(ib, "mpi", cores) / 60
+        t_hint = ccsd_time(relaxed, "mpi", cores) / 60
+        rows.append([cores, t_nat, t_mpi, t_hint, t_mpi / t_hint])
+    emit(
+        "ablation_access_modes_app",
+        format_table(
+            "§VIII-A ablation — IB CCSD time (min): exclusive epochs vs "
+            "access-mode shared locks",
+            ["cores", "native", "ARMCI-MPI (default)", "ARMCI-MPI (+hints)", "speedup"],
+            rows,
+        ),
+    )
+    # the projected win must be substantial (that is §VIII-A's argument)
+    assert all(row[4] > 1.2 for row in rows)
+    benchmark(lambda: ccsd_time(relaxed, "mpi", 256))

@@ -1,0 +1,116 @@
+"""Ablation §III: active-target vs passive-target RMA for the GA workload.
+
+§III: "Because of the synchronization involved in active-mode
+communication, passive-mode RMA is more suitable for the asynchronous
+communication model used by GA."  This bench makes the rejected design
+concrete on two levels:
+
+* **op level** (simulated execution): a ring of puts under the two
+  modes.  Fence mode requires *every* rank to participate in every
+  epoch boundary, so its modeled per-op cost carries a log(p) barrier
+  even when only two ranks communicate.
+* **application level** (analytic): the NXTVAL-driven CCSD task pool is
+  dynamically scheduled — under active mode every task boundary would
+  need a window-wide fence.  Composing the model's barrier cost per
+  task shows the collapse the paper avoided by design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import mpi
+from repro.bench import format_table, run_measurement
+from repro.mpi.runtime import current_proc
+from repro.nwchem.model import WorkloadModel, ccsd_time, stack_for
+from repro.simtime import PLATFORMS, MPITimingPolicy
+
+
+def _measure_ring(comm, active, out):
+    local = np.zeros(512, dtype=np.uint8)
+    win = mpi.Win.create(comm, local)
+    comm.barrier()
+    clock = current_proc().clock
+    right = (comm.rank + 1) % comm.size
+    data = np.ones(512, dtype=np.uint8)
+    reps = 25
+    t0 = clock.now
+    if active:
+        win.fence_sync()
+        for _ in range(reps):
+            win.put(data, right, 0)
+            win.fence_sync()  # every transfer phase synchronises everyone
+        win.fence_sync(end=True)
+    else:
+        for _ in range(reps):
+            win.lock(right, mpi.LOCK_EXCLUSIVE)
+            win.put(data, right, 0)
+            win.unlock(right)
+    out[comm.rank] = (clock.now - t0) / reps
+    comm.barrier()
+    win.free()
+
+
+def test_op_level_active_vs_passive(emit, benchmark):
+    timing = MPITimingPolicy(PLATFORMS["ib"].mpi)
+    rows = []
+    for nproc in (2, 4, 8):
+        passive: dict = {}
+        run_measurement(nproc, _measure_ring, False, passive, timing=timing)
+        active: dict = {}
+        run_measurement(nproc, _measure_ring, True, active, timing=timing)
+        t_p = float(np.mean(list(passive.values()))) * 1e6
+        t_a = float(np.mean(list(active.values()))) * 1e6
+        rows.append([nproc, t_p, t_a, t_a / t_p])
+    emit(
+        "ablation_active_mode_ops",
+        format_table(
+            "§III ablation — 512 B ring put, modeled µs/op: passive "
+            "(lock/unlock) vs active (fence)",
+            ["ranks", "passive", "active (fence)", "ratio"],
+            rows,
+        ),
+    )
+    # the fence tax grows with rank count; passive does not
+    assert rows[-1][3] > rows[0][3] >= 1.0
+    benchmark.pedantic(
+        lambda: run_measurement(4, _measure_ring, True, {}, timing=timing),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_application_level_projection(emit, benchmark):
+    """CCSD with a window-wide fence per task instead of passive epochs."""
+    w = WorkloadModel()
+    rows = []
+    for key in ("ib", "xe6"):
+        p = PLATFORMS[key]
+        stack = stack_for(p, "mpi")
+        cores = {"ib": 256, "xe6": 2976}[key]
+        t_passive = ccsd_time(p, "mpi", cores)
+        # active mode: every task's transfers complete at a fence that
+        # costs a log(p) barrier ON EVERY RANK; tasks per rank = n/p but
+        # the fence count is the global task count (all ranks attend all)
+        fences = w.ccsd_tasks
+        t_fence = fences * p.mpi.collective_time("barrier", 8, cores) / 1.0
+        rows.append(
+            [p.name, cores, t_passive / 60, (t_passive + t_fence) / 60,
+             (t_passive + t_fence) / t_passive]
+        )
+    emit(
+        "ablation_active_mode_app",
+        format_table(
+            "§III ablation — modeled CCSD time (min) if every task "
+            "synchronised via MPI_Win_fence",
+            ["platform", "cores", "passive", "active", "slowdown"],
+            rows,
+        ),
+    )
+    # Even this LOWER BOUND (pure fence cost, ignoring that bulk-
+    # synchronous phases would also destroy the NXTVAL dynamic load
+    # balancing) is material, and it grows with scale — decisive at the
+    # core counts the paper runs on the XE6.
+    assert all(row[4] > 1.15 for row in rows)
+    assert rows[1][4] > 3.0  # XE6 @ 2976 cores
+    benchmark(lambda: ccsd_time(PLATFORMS["ib"], "mpi", 256))

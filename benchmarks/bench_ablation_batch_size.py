@@ -1,0 +1,78 @@
+"""Ablation §VI-A: the batched method's B parameter.
+
+The paper exposes B ("up to B operations per epoch, default 0 =
+unlimited") without sweeping it; this ablation measures strided-get
+bandwidth across B on the InfiniBand model, where the epoch
+queue-management defect makes the trade-off interesting: large epochs
+amortise lock/unlock but accumulate the per-queued-op penalty, so an
+intermediate B wins at high segment counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.armci import Armci, ArmciConfig
+from repro.bench import Series, format_series_table, gbps, run_measurement
+from repro.mpi.runtime import current_proc
+from repro.simtime import PLATFORMS, MPITimingPolicy
+
+
+def _measure(comm, batch_size, nsegs, seg_size, out):
+    cfg = ArmciConfig(
+        strided_method="iov", iov_method="batched", iov_batch_size=batch_size
+    )
+    rt = Armci.init(comm, cfg)
+    stride = seg_size * 2
+    ptrs = rt.malloc(stride * nsegs + seg_size)
+    local = np.zeros(stride * nsegs + seg_size, dtype=np.uint8)
+    rt.barrier()
+    if rt.my_id == 0:
+        clock = current_proc().clock
+        t0 = clock.now
+        rt.get_s(ptrs[1], [stride], local, [stride], [seg_size, nsegs])
+        out["t"] = clock.now - t0
+    rt.barrier()
+    rt.free(ptrs[rt.my_id])
+
+
+BATCHES = [1, 4, 16, 64, 256, 0]  # 0 = unlimited (paper default)
+
+
+@pytest.mark.parametrize("nsegs", [64, 1024])
+def test_batch_size_sweep(nsegs, emit, benchmark):
+    platform = PLATFORMS["ib"]
+    seg_size = 1024
+    s = Series(label=f"{nsegs} segs")
+    for b in BATCHES:
+        out: dict = {}
+        run_measurement(
+            2, _measure, b, nsegs, seg_size, out,
+            timing=MPITimingPolicy(platform.mpi),
+        )
+        s.add("unlimited" if b == 0 else b, gbps(nsegs * seg_size, out["t"]))
+    emit(
+        f"ablation_batch_size_{nsegs}",
+        format_series_table(
+            f"§VI-A ablation — batched-method B sweep, IB, 1 KiB segments, "
+            f"{nsegs} segments (GB/s)",
+            "B",
+            [s],
+        ),
+    )
+    if nsegs == 1024:
+        # with the MVAPICH queue penalty, some finite B must beat unlimited
+        finite = max(s.y[:-1])
+        assert finite > s.y[-1], (
+            "an intermediate batch size should beat B=unlimited at high "
+            "segment counts on the IB model"
+        )
+    benchmark.pedantic(
+        lambda: run_measurement(
+            2, _measure, 16, 64, seg_size, {},
+            timing=MPITimingPolicy(platform.mpi),
+        ),
+        rounds=2,
+        iterations=1,
+    )

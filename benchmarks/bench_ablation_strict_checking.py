@@ -1,0 +1,93 @@
+"""Ablation: what the strict MPI-2 conflict checking costs the substrate.
+
+Not a paper experiment, but a design-choice audit DESIGN.md calls for:
+the simulated window verifies every RMA operation against all open
+epochs (the MPI-2 "erroneous program" rules ARMCI-MPI is built to
+satisfy).  This bench measures the real Python cost of that machinery —
+strict vs permissive windows — for the two regimes that stress it:
+many small ops in one epoch, and large indexed datatypes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.bench import format_table
+from repro.mpi.runtime import Runtime
+
+
+def _run_many_ops(strict: bool, nops: int) -> None:
+    def main(comm):
+        local = np.zeros(nops * 16, dtype=np.uint8)
+        win = mpi.Win.create(comm, local, strict=strict)
+        comm.barrier()
+        if comm.rank == 0:
+            data = np.ones(8, dtype=np.uint8)
+            win.lock(1, mpi.LOCK_EXCLUSIVE)
+            for i in range(nops):
+                win.put(data, 1, i * 16)  # disjoint: passes the checker
+            win.unlock(1)
+        comm.barrier()
+        win.free()
+
+    Runtime(2, watchdog_s=10.0).spmd(main)
+
+
+def _run_datatype_op(strict: bool, nsegs: int) -> None:
+    def main(comm):
+        local = np.zeros(nsegs * 16, dtype=np.uint8)
+        win = mpi.Win.create(comm, local, strict=strict)
+        comm.barrier()
+        if comm.rank == 0:
+            t = mpi.indexed_block(8, [i * 16 for i in range(nsegs)], mpi.BYTE).commit()
+            data = np.ones(nsegs * 8, dtype=np.uint8)
+            win.lock(1, mpi.LOCK_EXCLUSIVE)
+            win.put(data, 1, 0, target_datatype=t)
+            win.unlock(1)
+        comm.barrier()
+        win.free()
+
+    Runtime(2, watchdog_s=10.0).spmd(main)
+
+
+@pytest.mark.parametrize("strict", [True, False], ids=["strict", "permissive"])
+def test_many_small_ops(strict, benchmark):
+    benchmark.pedantic(lambda: _run_many_ops(strict, 256), rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("strict", [True, False], ids=["strict", "permissive"])
+def test_one_big_datatype(strict, benchmark):
+    benchmark.pedantic(lambda: _run_datatype_op(strict, 4096), rounds=3, iterations=1)
+
+
+def test_overhead_report(emit, benchmark):
+    import time
+
+    rows = []
+    for label, fn, arg in (
+        ("256 small ops/epoch", _run_many_ops, 256),
+        ("1 op, 4096-segment datatype", _run_datatype_op, 4096),
+    ):
+        t0 = time.perf_counter()
+        fn(True, arg)
+        t_strict = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        fn(False, arg)
+        t_perm = time.perf_counter() - t0
+        rows.append([label, t_strict * 1e3, t_perm * 1e3, t_strict / t_perm])
+    emit(
+        "ablation_strict_checking",
+        format_table(
+            "Design audit — strict MPI-2 conflict checking cost "
+            "(Python wall ms)",
+            ["workload", "strict", "permissive", "ratio"],
+            rows,
+        ),
+    )
+    # bounded overhead: the coverage-set checker keeps the worst case
+    # (many small ops per epoch) around one order of magnitude, and large
+    # datatype ops essentially free — vs ~100x for a naive per-op scan
+    assert all(row[3] < 12.0 for row in rows)
+    benchmark.pedantic(lambda: _run_many_ops(True, 64), rounds=2, iterations=1)

@@ -1,0 +1,41 @@
+"""Figure 3: contiguous get/put/accumulate bandwidth, native vs ARMCI-MPI.
+
+Measured by executing the real ARMCI-MPI (and simulated-native) code on
+simulated ranks with each platform's timing policy installed; bandwidth
+is modeled bytes/simulated-second, exactly the series Fig. 3 plots for
+transfer sizes 2^0 .. 2^25 bytes on all four platforms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import fig3_series, format_series_table
+from repro.simtime import PLATFORMS
+
+
+@pytest.mark.parametrize("key", ["bgp", "ib", "xt5", "xe6"])
+def test_fig3(key, emit, benchmark):
+    platform = PLATFORMS[key]
+    series = fig3_series(platform, exponents=(0, 25), step=1)
+    emit(
+        f"fig3_{key}",
+        format_series_table(
+            f"Figure 3 — {platform.name}: contiguous bandwidth (GB/s)",
+            "bytes",
+            series,
+        ),
+    )
+    # sanity: six lines, none empty, all finite positive at the top end
+    assert len(series) == 6
+    for s in series:
+        assert len(s.y) == 26
+        assert s.y[-1] > 0
+
+    # pytest-benchmark: cost of one measured sweep point (2-rank runtime
+    # spin-up + a handful of simulated transfers)
+    benchmark.pedantic(
+        lambda: fig3_series(platform, exponents=(10, 12), step=2),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,42 @@
+"""Figure 4: strided bandwidth by ARMCI-MPI method vs native.
+
+For every platform, operation in {get, acc, put}, and contiguous
+segment size in {16 B, 1024 B}, sweep the number of segments 1..1024
+across the five lines of the paper's legend (Native, Direct,
+IOV-Direct, IOV-Batched, IOV-Conservative).  Each line is measured by
+running the corresponding ARMCI-MPI configuration end to end on
+simulated ranks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import FIG4_SEG_SIZES, fig4_series, format_series_table
+from repro.simtime import PLATFORMS
+
+
+@pytest.mark.parametrize("key", ["bgp", "ib", "xt5", "xe6"])
+@pytest.mark.parametrize("kind", ["get", "acc", "put"])
+@pytest.mark.parametrize("seg_size", FIG4_SEG_SIZES)
+def test_fig4(key, kind, seg_size, emit, benchmark):
+    platform = PLATFORMS[key]
+    series = fig4_series(platform, kind, seg_size, exponents=(0, 10))
+    emit(
+        f"fig4_{key}_{kind}_{seg_size}B",
+        format_series_table(
+            f"Figure 4 — {platform.name}: strided {kind}, "
+            f"SIZE={seg_size}B (GB/s)",
+            "nsegs",
+            series,
+        ),
+    )
+    assert len(series) == 5
+    for s in series:
+        assert len(s.y) == 11 and all(y > 0 for y in s.y)
+
+    benchmark.pedantic(
+        lambda: fig4_series(platform, kind, seg_size, exponents=(3, 5)),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,64 @@
+"""Figure 5: registration interoperability on the InfiniBand cluster.
+
+Bandwidth of contiguous gets through ARMCI and MPI when the local
+buffer was allocated/registered by the *other* runtime — the cost of
+two coexisting registration mechanisms (§VII-B).  Also exercises the
+registration-cache dynamics (repeat transfers amortise the pinning
+cost; cache eviction brings it back).
+"""
+
+from __future__ import annotations
+
+from repro.bench import Series, fig5_series, format_series_table, gbps, pow2_sizes
+from repro.simtime import PLATFORMS, RegistrationState
+
+
+def test_fig5(emit, benchmark):
+    platform = PLATFORMS["ib"]
+    series = fig5_series(platform, exponents=(2, 22))
+    emit(
+        "fig5_interop",
+        format_series_table(
+            "Figure 5 — registration interop, contiguous get (GB/s)",
+            "bytes",
+            series,
+        ),
+    )
+    by = {s.label: s for s in series}
+    # the four curves keep the paper's ordering at large sizes
+    assert by["ARMCI-IB, ARMCI Alloc"].y[-1] >= by["MPI, MPI Touch"].y[-1]
+    assert by["MPI, MPI Touch"].y[-1] > by["ARMCI-IB, MPI Touch"].y[-1]
+    assert by["MPI, ARMCI Alloc"].y[-1] < by["MPI, MPI Touch"].y[-1]
+
+    benchmark(lambda: fig5_series(platform))
+
+
+def test_fig5_registration_cache_dynamics(emit, benchmark):
+    """Extension: repeated transfers vs cache-thrash (not in the paper's
+    figure but implied by its on-demand-registration discussion)."""
+    model = PLATFORMS["ib"].registration
+    sizes = pow2_sizes(13, 22)
+
+    steady = Series(label="registered (steady)")
+    first = Series(label="first touch")
+    thrash = Series(label="cache thrash")
+    for n in sizes:
+        st = RegistrationState(model)
+        first.add(n, gbps(n, st.transfer_cost(1, n)))
+        steady.add(n, gbps(n, st.transfer_cost(1, n)))
+        tiny = RegistrationState(model, capacity_pages=max(n // 4096, 1))
+        tiny.transfer_cost(1, n)
+        tiny.transfer_cost(2, n)  # evicts 1
+        thrash.add(n, gbps(n, tiny.transfer_cost(1, n)))
+    emit(
+        "fig5_cache_dynamics",
+        format_series_table(
+            "Fig. 5 extension — registration cache dynamics (GB/s)",
+            "bytes",
+            [steady, first, thrash],
+        ),
+    )
+    assert all(s >= f for s, f in zip(steady.y, first.y))
+    assert all(t <= s for t, s in zip(thrash.y, steady.y))
+    st = RegistrationState(model)
+    benchmark(lambda: st.transfer_cost(1, 1 << 20))

@@ -1,0 +1,26 @@
+"""Table II: experimental platforms and system characteristics.
+
+Regenerates the paper's platform table from the encoded models and
+benchmarks the platform model primitives (the cost functions every
+other bench leans on).
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table
+from repro.simtime import PLATFORMS
+
+
+def test_table2(emit, benchmark):
+    headers = ["System", "Nodes", "Cores per Node", "Memory per Node",
+               "Interconnect", "MPI Version"]
+    rows = [p.table2_row() for p in PLATFORMS.values()]
+    emit(
+        "table2_platforms",
+        format_table("Table II: Experimental platforms", headers, rows),
+    )
+
+    # benchmark the primitive everything else calls
+    ib = PLATFORMS["ib"]
+    result = benchmark(lambda: ib.mpi.xfer_time("acc", 1 << 20, nsegments=64))
+    assert result > 0

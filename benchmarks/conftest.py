@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures: result printing and persistence.
+
+Every bench regenerates one table or figure of the paper and prints the
+series (run with ``pytest benchmarks/ --benchmark-only -s`` to see them
+inline); the text is also written to ``benchmarks/output/`` so results
+survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a result block and persist it to benchmarks/output/<name>.txt."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

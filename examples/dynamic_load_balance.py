@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Dynamic load balancing with NXTVAL (the GA application idiom).
+
+Six simulated ranks process a pool of tasks with wildly uneven costs.
+Static round-robin assignment straggles; the NXTVAL shared counter
+(atomic fetch-and-add, §V-D) lets fast ranks draw more tasks — the
+load-balancing story of every GA application, including NWChem.
+
+Run:  python examples/dynamic_load_balance.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import mpi
+from repro.armci import Armci
+from repro.ga import TaskPool
+
+NTASKS = 60
+
+
+def task_cost(t: int) -> int:
+    """Synthetic skewed costs: a few tasks are 20x the median."""
+    return 1 + (19 if t % 17 == 0 else 0) + (t % 3)
+
+
+def main(comm):
+    armci = Armci.init(comm)
+    me = armci.my_id
+
+    # --- dynamic: draw tasks from the shared counter ---------------------
+    pool = TaskPool(armci, NTASKS)
+    my_tasks, my_cost = [], 0
+    for t in pool.tasks():
+        # simulate the uneven work by "spending" synthetic cost units;
+        # the counter hands the next task to whoever is free first
+        my_tasks.append(t)
+        my_cost += task_cost(t)
+    counts = comm.allgather((me, len(my_tasks), my_cost))
+    if me == 0:
+        print("dynamic (NXTVAL) assignment:")
+        for rank, n, cost in counts:
+            print(f"  rank {rank}: {n:2d} tasks, cost {cost:3d}")
+        covered = sum(n for _, n, _ in counts)
+        assert covered == NTASKS, "every task exactly once"
+
+    # --- static comparison ----------------------------------------------
+    static_cost = sum(task_cost(t) for t in range(me, NTASKS, armci.nproc))
+    static = comm.allgather(static_cost)
+    if me == 0:
+        print(f"static round-robin makespan:  {max(static)} cost units")
+        # NOTE: in this *functional* demo the dynamic draw order depends
+        # on thread scheduling; the balancing effect shows in the modeled
+        # application study (Fig. 6), where NXTVAL cost is first-class.
+    pool.destroy()
+    armci.barrier()
+
+
+if __name__ == "__main__":
+    mpi.spmd_run(6, main)
+    print("dynamic_load_balance OK")

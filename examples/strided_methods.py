@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The §VI noncontiguous machinery, method by method.
+
+Transfers the same 2-D patch with every ARMCI-MPI strided/IOV method,
+shows the auto method's conflict-tree fallback in action, and prints
+the modeled bandwidth each method achieves on the InfiniBand platform —
+a miniature of Figure 4.
+
+Run:  python examples/strided_methods.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.armci import Armci, ArmciConfig
+from repro.bench import gbps, run_measurement
+from repro.mpi.runtime import current_proc
+from repro.simtime import PLATFORMS, MPITimingPolicy
+
+SEG, NSEGS, STRIDE = 1024, 256, 2048
+
+
+def measure(comm, config, out):
+    armci = Armci.init(comm, config)
+    ptrs = armci.malloc(STRIDE * NSEGS + SEG)
+    local = np.zeros(STRIDE * NSEGS + SEG, dtype=np.uint8)
+    armci.barrier()
+    if armci.my_id == 0:
+        clock = current_proc().clock
+        t0 = clock.now
+        armci.put_s(local, [STRIDE], ptrs[1], [STRIDE], [SEG, NSEGS])
+        out["time"] = clock.now - t0
+        out["iov_stats"] = dict(armci.stats.iov_ops)
+    armci.barrier()
+    armci.free(ptrs[armci.my_id])
+
+
+def demo_auto_fallback(comm, out):
+    armci = Armci.init(comm, ArmciConfig(iov_method="auto"))
+    ptrs = armci.malloc(4096)
+    if armci.my_id == 0:
+        buf = np.zeros(64, dtype=np.uint8)
+        # disjoint destinations -> the conflict tree clears the direct path
+        armci.putv(buf, [0, 32], [ptrs[1], ptrs[1] + 64], 32)
+        # overlapping destinations -> automatic conservative fallback
+        armci.putv(buf, [0, 32], [ptrs[1], ptrs[1] + 16], 32)
+        out["stats"] = dict(armci.stats.iov_ops)
+    armci.barrier()
+    armci.free(ptrs[armci.my_id])
+
+
+def main() -> None:
+    timing = MPITimingPolicy(PLATFORMS["ib"].mpi)
+    print(f"strided put: {NSEGS} segments x {SEG} B on the InfiniBand model\n")
+    configs = [
+        ("direct (subarray datatype)", ArmciConfig(strided_method="direct")),
+        ("iov-direct (indexed datatype)",
+         ArmciConfig(strided_method="iov", iov_method="direct")),
+        ("iov-batched (B=unlimited)",
+         ArmciConfig(strided_method="iov", iov_method="batched")),
+        ("iov-batched (B=32)",
+         ArmciConfig(strided_method="iov", iov_method="batched", iov_batch_size=32)),
+        ("iov-conservative (1 epoch/seg)",
+         ArmciConfig(strided_method="iov", iov_method="conservative")),
+    ]
+    for label, cfg in configs:
+        out: dict = {}
+        run_measurement(2, measure, cfg, out, timing=timing)
+        bw = gbps(SEG * NSEGS, out["time"])
+        print(f"  {label:34s} {bw:7.3f} GB/s")
+
+    print("\nauto method (§VI-B conflict tree):")
+    out: dict = {}
+    run_measurement(2, demo_auto_fallback, out, timing=timing)
+    for method, (ops, segs, nbytes) in sorted(out["stats"].items()):
+        print(f"  routed {ops} op(s) ({segs} segments) via {method}")
+
+
+if __name__ == "__main__":
+    main()
+    print("\nstrided_methods OK")

@@ -1,0 +1,17 @@
+"""Legacy setup shim so ``pip install -e .`` works without PEP-660 support
+(this environment has no ``wheel`` package and no network access)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "ARMCI-MPI reproduction: the Global Arrays PGAS model on "
+        "(simulated) MPI one-sided communication"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

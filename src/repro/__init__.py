@@ -1,0 +1,27 @@
+"""repro — reproduction of "Supporting the Global Arrays PGAS Model Using
+MPI One-Sided Communication" (Dinan, Balaji, Hammond, Krishnamoorthy,
+Tipparaju; IPDPS 2012).
+
+Layers (bottom to top), mirroring Figure 1(b) of the paper:
+
+``repro.mpi``
+    Simulated MPI-2 runtime (+ gated MPI-3 RMA): threads as ranks,
+    windows, passive-target locking, derived datatypes, collectives.
+``repro.simtime``
+    Analytic platform performance models (Table II systems).
+``repro.armci``
+    **ARMCI-MPI** — the paper's contribution: the ARMCI one-sided
+    runtime implemented purely on MPI RMA.
+``repro.armci_native``
+    Simulated "native" ARMCI baseline (data-server/CHT model).
+``repro.ga``
+    Global Arrays on top of ARMCI.
+``repro.nwchem``
+    NWChem CCSD(T) proxy application and scaling model.
+``repro.bench``
+    Harness that regenerates every figure/table of §VII.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["mpi", "simtime", "armci", "armci_native", "ga", "nwchem", "bench"]

@@ -1,0 +1,743 @@
+"""ARMCI-MPI public API (§V): the ARMCI runtime implemented on MPI RMA.
+
+This is the paper's contribution, assembled:
+
+* allocation / free with the GMR translation table and §V-B leader
+  election;
+* contiguous put / get / accumulate, each in its own exclusive epoch
+  (§V-C) unless an access-mode hint (§VIII-A) relaxes it;
+* strided and IOV noncontiguous operations with the conservative /
+  batched / direct / auto methods (§VI);
+* mutexes (Latham queueing algorithm, §V-D), mutex-based RMW, and the
+  MPI-3 fast path when the windows allow it;
+* direct local access (access_begin / access_end, §V-E);
+* global-buffer staging (§V-E.1);
+* location-consistent completion semantics with a no-op fence (§V-F).
+
+Usage (SPMD function run under :func:`repro.mpi.spmd_run`)::
+
+    from repro import mpi
+    from repro.armci import Armci
+
+    def main(comm):
+        armci = Armci.init(comm)
+        ptrs = armci.malloc(1024)
+        armci.put(np.arange(4.0), ptrs[1])     # one-sided to process 1
+        armci.barrier()
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..mpi import datatypes as dt
+from ..mpi.comm import Comm
+from ..mpi.errors import ArgumentError
+from ..mpi.window import Win
+from . import buffers, dla, iov, rmw, strided
+from .access_modes import AccessMode
+from .config import DEFAULT_CONFIG, ArmciConfig
+from .gmr import GlobalPtr, Gmr, GmrTable
+from .groups import ArmciGroup
+from .mutexes import MutexSet
+
+
+@dataclass
+class ArmciStats:
+    """Operation counters (thread-safe); used by tests and benches."""
+
+    puts: int = 0
+    gets: int = 0
+    accs: int = 0
+    bytes_put: int = 0
+    bytes_got: int = 0
+    bytes_acc: int = 0
+    staged_copies: int = 0
+    rmw_ops: int = 0
+    fences: int = 0
+    iov_ops: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def count(self, kind: str, nbytes: int) -> None:
+        with self._lock:
+            if kind == "put":
+                self.puts += 1
+                self.bytes_put += nbytes
+            elif kind == "get":
+                self.gets += 1
+                self.bytes_got += nbytes
+            else:
+                self.accs += 1
+                self.bytes_acc += nbytes
+
+    def count_iov(self, method: str, nsegments: int, seg_bytes: int) -> None:
+        with self._lock:
+            ops, segs, nbytes = self.iov_ops.get(method, (0, 0, 0))
+            self.iov_ops[method] = (
+                ops + 1,
+                segs + nsegments,
+                nbytes + nsegments * seg_bytes,
+            )
+
+
+class NbHandle:
+    """Handle for a nonblocking ARMCI operation.
+
+    Data transfer in this substrate completes eagerly, but ARMCI's
+    contract is that a nonblocking operation's *local* buffer is only
+    guaranteed usable after ``wait`` — so staged-get write-back is
+    deferred to :meth:`wait`, preserving the semantics a correct ARMCI
+    program must assume.
+    """
+
+    __slots__ = ("_finish", "_done")
+
+    def __init__(self, finish=None):
+        self._finish = finish
+        self._done = finish is None
+
+    def test(self) -> bool:
+        return self._done
+
+    def wait(self) -> None:
+        if not self._done:
+            self._finish()
+            self._done = True
+
+
+class Armci:
+    """One ARMCI-MPI runtime instance (shared object across rank threads)."""
+
+    def __init__(self, world: Comm, config: ArmciConfig, strict: bool, mpi3: bool):
+        self.world = world
+        self.config = config
+        self.strict = strict
+        self.mpi3 = mpi3
+        self.table = GmrTable()
+        self.world_group = ArmciGroup(world, world)
+        self.stats = ArmciStats()
+        self._dla = dla.DlaState()
+        self._gmr_mutexes: dict[int, MutexSet] = {}
+        self._finalized = False
+
+    # -- lifecycle -----------------------------------------------------------------
+    @classmethod
+    def init(
+        cls,
+        comm: Comm,
+        config: ArmciConfig = DEFAULT_CONFIG,
+        strict: bool = True,
+        mpi3: bool = False,
+    ) -> "Armci":
+        """Collective initialisation; returns one shared runtime object.
+
+        ``strict`` follows the simulated window's checking mode: ARMCI-MPI
+        is designed to be correct under the strictest MPI-2 semantics, so
+        leave it on except when modeling coherent-system shortcuts.
+        """
+        if config.coherent_shortcut and strict:
+            raise ArgumentError(
+                "coherent_shortcut requires strict=False windows "
+                "(it deliberately permits concurrent access, §V-E.1)"
+            )
+        world = comm.dup()
+        with world.runtime.cond:
+            return world._coll.run(
+                world.rank,
+                "armci_init",
+                None,
+                lambda _c: cls(world, config, strict, mpi3),
+            )
+
+    def finalize(self) -> None:
+        """Collective shutdown; frees all remaining allocations."""
+        self.barrier()
+        for gmr in list(self.table.gmrs):
+            my = gmr.group.rank
+            ptr = gmr.base_ptrs()[my]
+            self.free(None if ptr.is_null else ptr, group=gmr.group)
+        self._finalized = True
+
+    @property
+    def my_id(self) -> int:
+        """Absolute ARMCI id of the calling process."""
+        return self.world.rank
+
+    @property
+    def nproc(self) -> int:
+        return self.world.size
+
+    # -- memory management (§V-B) ---------------------------------------------------
+    def malloc(
+        self, nbytes: int, group: "ArmciGroup | None" = None
+    ) -> list[GlobalPtr]:
+        """Collective allocation; returns base pointers for every member.
+
+        Zero-size requests yield NULL pointers, as §V-B describes.
+        """
+        if nbytes < 0:
+            raise ArgumentError(f"negative allocation {nbytes}")
+        group = group or self.world_group
+        local = np.zeros(nbytes, dtype=np.uint8) if nbytes else None
+        win = Win.create(group.comm, local, strict=self.strict, mpi3=self.mpi3)
+        mutex = MutexSet.create(group.comm, 1)  # the §V-D RMW mutex
+        my_abs = group.absolute_id(group.rank)
+        contribution = (group.rank, my_abs, nbytes)
+
+        def build(contrib: dict) -> Gmr:
+            sizes = [0] * group.size
+            bases = [0] * group.size
+            for _, (grank, absid, n) in contrib.items():
+                sizes[grank] = n
+                bases[grank] = self.table.allocate_va(
+                    absid, n, self.config.alignment
+                )
+            gmr = Gmr(win, group, bases, sizes)
+            self.table.register(gmr)
+            self._gmr_mutexes[gmr.gmr_id] = mutex
+            return gmr
+
+        with self.world.runtime.cond:
+            gmr = group.comm._coll.run(group.rank, "armci_malloc", contribution, build)
+        return gmr.base_ptrs()
+
+    def free(self, ptr: "GlobalPtr | None", group: "ArmciGroup | None" = None) -> None:
+        """Collective free with §V-B leader election.
+
+        Members whose slice was zero-size pass ``None`` (NULL); a leader
+        holding a non-NULL pointer is elected by a max-reduction on
+        ranks, broadcasts its ``(leader id, address)`` pair, and every
+        member resolves the same GMR from the translation table.
+        """
+        group = group or self.world_group
+        has_ptr = ptr is not None and not ptr.is_null
+        vote = np.array([group.rank if has_ptr else -1], dtype=np.int64)
+        leader = int(group.comm.allreduce(vote, op="MPI_MAX")[0])
+        if leader < 0:
+            raise ArgumentError(
+                "ARMCI_Free: every member passed NULL; nothing identifies "
+                "the allocation"
+            )
+        pair = (ptr.rank, ptr.addr) if group.rank == leader else None
+        leader_abs, addr = group.comm.bcast_obj(pair, root=leader)
+        gmr = self.table.lookup(leader_abs, addr)
+        if gmr is None:
+            raise ArgumentError(
+                f"ARMCI_Free: address {addr:#x} on process {leader_abs} is "
+                "not an active allocation"
+            )
+        if has_ptr and self.table.lookup_ptr(ptr) is not gmr:
+            raise ArgumentError(
+                f"ARMCI_Free: {ptr} does not belong to the allocation being "
+                f"freed (GMR {gmr.gmr_id})"
+            )
+        gmr.win.free()
+        mutex = None
+
+        def drop(_c) -> None:
+            self.table.unregister(gmr)
+            gmr.freed = True
+            return self._gmr_mutexes.pop(gmr.gmr_id, None)
+
+        with self.world.runtime.cond:
+            mutex = group.comm._coll.run(group.rank, "armci_free", None, drop)
+        if mutex is not None:
+            mutex.destroy()
+
+    def _gmr_mutex(self, gmr: Gmr) -> MutexSet:
+        return self._gmr_mutexes[gmr.gmr_id]
+
+    # -- contiguous one-sided operations (§V-C, §V-F) ---------------------------------
+    def _target(self, ptr: GlobalPtr, kind: str) -> tuple[Gmr, int, int, str]:
+        gmr = self.table.require(ptr)
+        if not gmr.access_mode.allows(kind):
+            raise ArgumentError(
+                f"{kind} on GMR {gmr.gmr_id} violates access mode "
+                f"{gmr.access_mode.value} (§VIII-A)"
+            )
+        win_rank, disp = gmr.displacement(ptr)
+        return gmr, win_rank, disp, gmr.access_mode.lock_mode(kind)
+
+    def put(
+        self, src: "np.ndarray | GlobalPtr", dst: GlobalPtr, nbytes: "int | None" = None
+    ) -> None:
+        """Contiguous one-sided put; complete (locally and remotely) on return."""
+        if nbytes is None:
+            nbytes = _infer_nbytes(src)
+        gmr, win_rank, disp, lock_mode = self._target(dst, "put")
+        lb = buffers.resolve_local(self, src, nbytes, "out")
+        gmr.win.lock(win_rank, lock_mode)
+        try:
+            gmr.win.put(lb.data, win_rank, disp)
+        finally:
+            gmr.win.unlock(win_rank)
+        self.stats.count("put", nbytes)
+
+    def get(
+        self, src: GlobalPtr, dst: "np.ndarray | GlobalPtr", nbytes: "int | None" = None
+    ) -> None:
+        """Contiguous one-sided get; data is in ``dst`` on return."""
+        if nbytes is None:
+            nbytes = _infer_nbytes(dst)
+        gmr, win_rank, disp, lock_mode = self._target(src, "get")
+        lb = buffers.resolve_local(self, dst, nbytes, "in")
+        gmr.win.lock(win_rank, lock_mode)
+        try:
+            gmr.win.get(lb.data, win_rank, disp)
+        finally:
+            gmr.win.unlock(win_rank)
+        lb.finish()
+        self.stats.count("get", nbytes)
+
+    def acc(
+        self,
+        src: "np.ndarray | GlobalPtr",
+        dst: GlobalPtr,
+        scale: float = 1.0,
+        nbytes: "int | None" = None,
+        dtype: "np.dtype | str | None" = None,
+    ) -> None:
+        """Accumulate ``dst += scale * src`` element-wise (ARMCI ACC_DBL & co).
+
+        The origin scales its contribution and ARMCI-MPI issues an
+        ``MPI_SUM`` accumulate, the mapping §V-F relies on.  Atomic
+        element-wise with respect to other accumulates of the same type.
+        """
+        if dtype is None:
+            if isinstance(src, GlobalPtr):
+                raise ArgumentError("acc from a global pointer requires dtype=")
+            dtype = np.asarray(src).dtype
+        dtype = np.dtype(dtype)
+        if nbytes is None:
+            nbytes = _infer_nbytes(src)
+        if nbytes % dtype.itemsize:
+            raise ArgumentError(
+                f"acc of {nbytes} bytes is not a whole number of {dtype}"
+            )
+        gmr, win_rank, disp, lock_mode = self._target(dst, "acc")
+        lb = buffers.resolve_local(self, src, nbytes, "out")
+        contrib = lb.data.view(dtype)
+        if scale != 1.0:
+            contrib = contrib * dtype.type(scale)
+        gmr.win.lock(win_rank, lock_mode)
+        try:
+            gmr.win.accumulate(contrib, win_rank, disp, op="MPI_SUM")
+        finally:
+            gmr.win.unlock(win_rank)
+        self.stats.count("acc", nbytes)
+
+    # -- nonblocking variants ------------------------------------------------------
+    def nb_put(self, src, dst: GlobalPtr, nbytes: "int | None" = None) -> NbHandle:
+        self.put(src, dst, nbytes)
+        return NbHandle()
+
+    def nb_get(self, src: GlobalPtr, dst, nbytes: "int | None" = None) -> NbHandle:
+        """Nonblocking get: the destination buffer is valid after wait().
+
+        The transfer itself is performed here (it completes eagerly in
+        this substrate), but when the destination is global memory the
+        §V-E.1 write-back is deferred to wait(), so peeking early shows
+        stale data — same contract as real ARMCI.
+        """
+        if nbytes is None:
+            nbytes = _infer_nbytes(dst)
+        gmr, win_rank, disp, lock_mode = self._target(src, "get")
+        lb = buffers.resolve_local(self, dst, nbytes, "in")
+        gmr.win.lock(win_rank, lock_mode)
+        try:
+            gmr.win.get(lb.data, win_rank, disp)
+        finally:
+            gmr.win.unlock(win_rank)
+        self.stats.count("get", nbytes)
+        if lb.writeback is None:
+            return NbHandle()
+        return NbHandle(finish=lb.finish)
+
+    def nb_acc(
+        self, src, dst: GlobalPtr, scale: float = 1.0,
+        nbytes: "int | None" = None, dtype=None,
+    ) -> NbHandle:
+        self.acc(src, dst, scale, nbytes, dtype)
+        return NbHandle()
+
+    @staticmethod
+    def wait(handle: NbHandle) -> None:
+        handle.wait()
+
+    @staticmethod
+    def wait_all(handles: Sequence[NbHandle]) -> None:
+        for h in handles:
+            h.wait()
+
+    # -- completion / consistency (§V-F) ----------------------------------------------
+    def fence(self, proc: int) -> None:
+        """Remote completion for one target: a no-op under ARMCI-MPI.
+
+        Every operation is issued in its own epoch and has completed
+        remotely when it returned (§V-F), so Fence has nothing to wait
+        for — the paper's exact argument.
+        """
+        if not 0 <= proc < self.nproc:
+            raise ArgumentError(f"fence target {proc} not in [0, {self.nproc})")
+        self.stats.fences += 1
+
+    def fence_all(self) -> None:
+        """Remote completion for all targets: also a no-op (§V-F)."""
+        self.stats.fences += 1
+
+    def barrier(self) -> None:
+        """ARMCI_Barrier: fence to all targets + process barrier."""
+        self.fence_all()
+        self.world.barrier()
+
+    # -- strided operations (§VI-C) ------------------------------------------------
+    def put_s(
+        self,
+        src: np.ndarray,
+        src_strides: Sequence[int],
+        dst: GlobalPtr,
+        dst_strides: Sequence[int],
+        count: Sequence[int],
+    ) -> None:
+        """ARMCI_PutS: strided put (Table I notation; byte strides/counts)."""
+        self._strided_op("put", src, src_strides, dst, dst_strides, count)
+
+    def get_s(
+        self,
+        src: GlobalPtr,
+        src_strides: Sequence[int],
+        dst: np.ndarray,
+        dst_strides: Sequence[int],
+        count: Sequence[int],
+    ) -> None:
+        """ARMCI_GetS: strided get."""
+        # note: for get, the REMOTE side is src; local strides are dst's
+        self._strided_op("get", dst, dst_strides, src, src_strides, count)
+
+    def acc_s(
+        self,
+        src: np.ndarray,
+        src_strides: Sequence[int],
+        dst: GlobalPtr,
+        dst_strides: Sequence[int],
+        count: Sequence[int],
+        scale: float = 1.0,
+        dtype: "np.dtype | str" = "f8",
+    ) -> None:
+        """ARMCI_AccS: strided accumulate (dst += scale * src per element)."""
+        self._strided_op(
+            "acc", src, src_strides, dst, dst_strides, count,
+            scale=scale, acc_dtype=np.dtype(dtype),
+        )
+
+    def _strided_op(
+        self,
+        kind: str,
+        local: np.ndarray,
+        local_strides: Sequence[int],
+        remote: GlobalPtr,
+        remote_strides: Sequence[int],
+        count: Sequence[int],
+        scale: float = 1.0,
+        acc_dtype: "np.dtype | None" = None,
+    ) -> None:
+        spec = strided.StridedSpec.make(
+            list(count), list(local_strides), list(remote_strides)
+        )
+        if spec.total_bytes == 0:
+            return
+        local_view = _as_flat_bytes(local)
+        span = _strided_span(local_strides, count)
+        if local_view.nbytes < span:
+            raise ArgumentError(
+                f"local buffer of {local_view.nbytes}B cannot hold the "
+                f"{span}B strided footprint"
+            )
+        if self.config.strided_method == "iov":
+            loc_disps = strided.segment_displacements(list(local_strides), list(count))
+            rem_disps = strided.segment_displacements(list(remote_strides), list(count))
+            self._iov_op(
+                kind, local_view, loc_disps,
+                remote.rank, remote.addr + rem_disps,
+                spec.seg_bytes, scale=scale, acc_dtype=acc_dtype,
+            )
+            return
+        # direct method: one subarray/hindexed datatype per side (§VI-C)
+        gmr = self.table.require(remote)
+        if not gmr.access_mode.allows(kind):
+            raise ArgumentError(
+                f"{kind} on GMR {gmr.gmr_id} violates access mode "
+                f"{gmr.access_mode.value}"
+            )
+        win_rank, disp = gmr.displacement(remote)
+        origin_t = strided.strided_datatype(list(local_strides), list(count))
+        target_t = strided.strided_datatype(list(remote_strides), list(count))
+        lock_mode = gmr.access_mode.lock_mode(kind)
+        data, writeback = self._stage_strided_local(kind, local_view, origin_t, span)
+        if kind == "acc":
+            data, origin_used = self._scaled_origin(
+                data, origin_t, scale, acc_dtype, spec
+            )
+        else:
+            origin_used = origin_t
+        gmr.win.lock(win_rank, lock_mode)
+        try:
+            if kind == "put":
+                gmr.win.put(
+                    data, win_rank, disp,
+                    target_datatype=target_t, origin_datatype=origin_used,
+                )
+            elif kind == "get":
+                gmr.win.get(
+                    data, win_rank, disp,
+                    target_datatype=target_t, origin_datatype=origin_used,
+                )
+            else:
+                acc_t = dt.from_numpy_dtype(acc_dtype)
+                target_acc = _with_base(target_t, acc_t)
+                gmr.win.accumulate(
+                    data, win_rank, disp, op="MPI_SUM",
+                    target_datatype=target_acc, origin_datatype=origin_used,
+                )
+        finally:
+            gmr.win.unlock(win_rank)
+        if writeback is not None:
+            writeback()
+        self.stats.count(kind, spec.total_bytes)
+
+    def _stage_strided_local(self, kind, local_view, origin_t, span):
+        """§V-E.1 staging for strided local buffers that alias a window."""
+        region = local_view[:span]
+        gmr = self.table.find_local_buffer(self.my_id, region)
+        if gmr is None or self.config.coherent_shortcut:
+            return region, None
+        my_rank = gmr.group.rank
+        if kind in ("put", "acc"):
+            gmr.win.lock(my_rank, "exclusive")
+            temp = region.copy()
+            gmr.win.unlock(my_rank)
+            self.stats.staged_copies += 1
+            return temp, None
+        temp = np.zeros(span, dtype=np.uint8)
+
+        def writeback() -> None:
+            packed = origin_t.pack(temp)
+            gmr.win.lock(my_rank, "exclusive")
+            origin_t.unpack(region, packed)
+            gmr.win.unlock(my_rank)
+            self.stats.staged_copies += 1
+
+        return temp, writeback
+
+    @staticmethod
+    def _scaled_origin(data, origin_t, scale, acc_dtype, spec):
+        """Scale the origin contribution without touching the user buffer.
+
+        Packs the strided origin into a contiguous, typed, scaled copy;
+        the origin datatype then becomes trivially contiguous.
+        """
+        packed = origin_t.pack(data).view(acc_dtype)
+        if scale != 1.0:
+            packed = packed * acc_dtype.type(scale)
+        else:
+            packed = packed.copy()
+        return packed, None  # None origin datatype = contiguous
+
+    # -- IOV operations (§VI-A) ------------------------------------------------------
+    def putv(
+        self,
+        local: np.ndarray,
+        loc_offsets: Sequence[int],
+        dst: "Sequence[GlobalPtr] | tuple[int, np.ndarray]",
+        seg_bytes: int,
+        method: "str | None" = None,
+    ) -> None:
+        """ARMCI_PutV: scatter equal-size segments to one remote process."""
+        rank, addrs = _iov_remote(dst)
+        self._iov_op(
+            "put", _as_flat_bytes(local), np.asarray(loc_offsets, dtype=np.int64),
+            rank, addrs, seg_bytes, method=method,
+        )
+
+    def getv(
+        self,
+        src: "Sequence[GlobalPtr] | tuple[int, np.ndarray]",
+        local: np.ndarray,
+        loc_offsets: Sequence[int],
+        seg_bytes: int,
+        method: "str | None" = None,
+    ) -> None:
+        """ARMCI_GetV: gather equal-size segments from one remote process."""
+        rank, addrs = _iov_remote(src)
+        self._iov_op(
+            "get", _as_flat_bytes(local), np.asarray(loc_offsets, dtype=np.int64),
+            rank, addrs, seg_bytes, method=method,
+        )
+
+    def accv(
+        self,
+        local: np.ndarray,
+        loc_offsets: Sequence[int],
+        dst: "Sequence[GlobalPtr] | tuple[int, np.ndarray]",
+        seg_bytes: int,
+        scale: float = 1.0,
+        dtype: "np.dtype | str" = "f8",
+        method: "str | None" = None,
+    ) -> None:
+        """ARMCI_AccV: accumulate equal-size segments into one remote process."""
+        rank, addrs = _iov_remote(dst)
+        self._iov_op(
+            "acc", _as_flat_bytes(local), np.asarray(loc_offsets, dtype=np.int64),
+            rank, addrs, seg_bytes,
+            scale=scale, acc_dtype=np.dtype(dtype), method=method,
+        )
+
+    def _iov_op(
+        self,
+        kind: str,
+        local_view: np.ndarray,
+        loc_offsets: np.ndarray,
+        rank: int,
+        rem_addrs: np.ndarray,
+        seg_bytes: int,
+        scale: float = 1.0,
+        acc_dtype: "np.dtype | None" = None,
+        method: "str | None" = None,
+    ) -> None:
+        loc_offsets = np.asarray(loc_offsets, dtype=np.int64)
+        rem_addrs = np.asarray(rem_addrs, dtype=np.int64)
+        data = local_view
+        writeback = None
+        alias_gmr = self.table.find_local_buffer(self.my_id, local_view)
+        if alias_gmr is not None and not self.config.coherent_shortcut:
+            my_rank = alias_gmr.group.rank
+            if kind in ("put", "acc"):
+                alias_gmr.win.lock(my_rank, "exclusive")
+                data = local_view.copy()
+                alias_gmr.win.unlock(my_rank)
+                self.stats.staged_copies += 1
+            else:
+                data = np.zeros(local_view.nbytes, dtype=np.uint8)
+
+                def writeback() -> None:
+                    alias_gmr.win.lock(my_rank, "exclusive")
+                    for off in loc_offsets.tolist():
+                        local_view[off : off + seg_bytes] = data[off : off + seg_bytes]
+                    alias_gmr.win.unlock(my_rank)
+                    self.stats.staged_copies += 1
+
+        if kind == "acc" and scale != 1.0:
+            data = data.copy()
+            for off in loc_offsets.tolist():
+                seg = data[off : off + seg_bytes].view(acc_dtype)
+                seg *= acc_dtype.type(scale)
+        req = iov.IovRequest(
+            kind=kind, local=data, loc_offsets=loc_offsets,
+            rank=rank, rem_addrs=rem_addrs, seg_bytes=seg_bytes,
+            acc_dtype=acc_dtype,
+        )
+        iov.execute(self, req, method=method)
+        if writeback is not None:
+            writeback()
+        self.stats.count(kind, int(seg_bytes * len(loc_offsets)))
+
+    # -- synchronisation objects (§V-D) -------------------------------------------
+    def create_mutexes(self, count: int) -> MutexSet:
+        """Collective: create ``count`` mutexes hosted on every process."""
+        return MutexSet.create(self.world, count)
+
+    def rmw(self, op: str, ptr: GlobalPtr, value: int) -> int:
+        """ARMCI_Rmw: atomic fetch-and-add / swap; returns the old value."""
+        if self.mpi3:
+            return rmw.rmw_mpi3(self, op, ptr, value)
+        return rmw.rmw_mutex_based(self, op, ptr, value)
+
+    # -- direct local access (§V-E) ----------------------------------------------
+    def access_begin(
+        self, ptr: GlobalPtr, nbytes: int, dtype: "np.dtype | str" = np.uint8
+    ) -> np.ndarray:
+        """ARMCI_Access_begin: exclusive direct access to local global data."""
+        return dla.access_begin(self, ptr, nbytes, dtype)
+
+    def access_end(self, ptr: GlobalPtr) -> None:
+        """ARMCI_Access_end: release direct access."""
+        dla.access_end(self, ptr)
+
+    # -- access-mode hints (§VIII-A) ------------------------------------------------
+    def set_access_mode(self, ptr: GlobalPtr, mode: AccessMode) -> None:
+        """Collective (over the GMR's group) access-mode change.
+
+        Implies a barrier so no pre-change operation can race a
+        post-change one.
+        """
+        gmr = self.table.require(ptr)
+
+        def apply(_c) -> None:
+            gmr.access_mode = mode
+
+        with self.world.runtime.cond:
+            gmr.group.comm._coll.run(gmr.group.rank, "armci_mode", None, apply)
+        gmr.group.comm.barrier()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Armci nproc={self.nproc} gmrs={len(self.table)}>"
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _infer_nbytes(buf) -> int:
+    if isinstance(buf, GlobalPtr):
+        raise ArgumentError("nbytes is required when the local side is a GlobalPtr")
+    return int(np.asarray(buf).nbytes)
+
+
+def _as_flat_bytes(arr: np.ndarray) -> np.ndarray:
+    arr = np.asarray(arr)
+    if not arr.flags["C_CONTIGUOUS"]:
+        raise ArgumentError("ARMCI local buffers must be C-contiguous")
+    return arr.reshape(-1).view(np.uint8)
+
+
+def _strided_span(strides: Sequence[int], count: Sequence[int]) -> int:
+    """Bytes from the base pointer to one past the furthest strided byte."""
+    far = 0
+    for i, s in enumerate(strides):
+        far += s * max(count[i + 1] - 1, 0)
+    return far + count[0]
+
+
+def _iov_remote(dst) -> tuple[int, np.ndarray]:
+    """Normalise the remote side of an IOV call to (rank, address array)."""
+    if isinstance(dst, tuple) and len(dst) == 2 and not isinstance(dst[0], GlobalPtr):
+        rank, addrs = dst
+        return int(rank), np.asarray(addrs, dtype=np.int64)
+    ptrs = list(dst)
+    if not ptrs:
+        return 0, np.zeros(0, dtype=np.int64)
+    rank = ptrs[0].rank
+    for p in ptrs:
+        if p.rank != rank:
+            raise ArgumentError(
+                "IOV operations target a single process; got pointers to "
+                f"both {rank} and {p.rank}"
+            )
+    return rank, np.array([p.addr for p in ptrs], dtype=np.int64)
+
+
+def _with_base(t: dt.Datatype, elem: dt.Datatype) -> dt.Datatype:
+    """Rebuild a byte-based datatype's segment map as ``elem``-typed blocks."""
+    sm = t.segment_map()
+    if np.any(sm.offsets % elem.size) or np.any(sm.lengths % elem.size):
+        raise ArgumentError(
+            f"accumulate layout is not aligned to {elem.name} elements"
+        )
+    return dt.hindexed(
+        (sm.lengths // elem.size).tolist(), sm.offsets.tolist(), elem
+    ).commit()

@@ -1,0 +1,127 @@
+"""Global-buffer detection and staging (§V-E.1).
+
+ARMCI allows the *local* buffer of a communication call to itself live
+in globally accessible memory.  Under MPI-2 that creates three hazards
+(§V-E.1): locking the same window twice (forbidden), a local access
+conflicting with a concurrent remote access, and deadlock from locking
+two windows in inconsistent order across processes.  The paper concludes
+the only safe method is to **stage through a temporary buffer**:
+
+* put/accumulate — take an exclusive self-lock on the *source* window,
+  copy the data out, release, and only then lock the target and
+  communicate;
+* get — communicate into a temporary, then take the exclusive self-lock
+  on the destination window and copy in.
+
+On coherent systems where the MPI implementation tolerates concurrent
+access, staging can be disabled (``config.coherent_shortcut``); the
+windows must then be created non-strict, mirroring how real ARMCI-MPI
+relaxes when the platform allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..mpi.errors import ArgumentError
+from ..mpi.window import LOCK_EXCLUSIVE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .api import Armci
+    from .gmr import GlobalPtr, Gmr
+
+
+@dataclass
+class LocalBuffer:
+    """A resolved local-side buffer for one communication operation.
+
+    ``data`` is the flat uint8 view the transfer should use.  When the
+    user's buffer aliases window memory, ``data`` is a staging copy and
+    ``writeback`` (gets only) copies staged results back under the
+    exclusive self-lock.
+    """
+
+    data: np.ndarray
+    staged: bool
+    writeback: "Callable[[], None] | None" = None
+
+    def finish(self) -> None:
+        if self.writeback is not None:
+            self.writeback()
+
+
+def _as_byte_view(arr: np.ndarray) -> np.ndarray:
+    arr = np.asarray(arr)
+    if not arr.flags["C_CONTIGUOUS"]:
+        raise ArgumentError("ARMCI local buffers must be C-contiguous")
+    return arr.reshape(-1).view(np.uint8)
+
+
+def _local_view_of_ptr(armci: "Armci", ptr: "GlobalPtr", nbytes: int) -> tuple["Gmr", np.ndarray]:
+    gmr = armci.table.require(ptr)
+    win_rank, disp = gmr.displacement(ptr)
+    if win_rank != gmr.group.rank:
+        raise ArgumentError(
+            f"{ptr} is not local to the calling process (use put/get instead)"
+        )
+    slab = gmr.win.exposed_buffer(win_rank)
+    if disp + nbytes > slab.nbytes:
+        raise ArgumentError(f"{ptr}+{nbytes}B runs past the local allocation")
+    return gmr, slab[disp : disp + nbytes]
+
+
+def resolve_local(
+    armci: "Armci",
+    buf: "np.ndarray | GlobalPtr",
+    nbytes: int,
+    direction: str,
+) -> LocalBuffer:
+    """Produce the transfer-safe local buffer for a put/get/acc.
+
+    ``direction`` is ``"out"`` (put/acc source) or ``"in"`` (get
+    destination).  The §V-E.1 staging protocol is applied when the
+    buffer aliases any GMR's exposed memory and the coherent shortcut is
+    off.
+    """
+    from .gmr import GlobalPtr
+
+    if direction not in ("in", "out"):
+        raise ArgumentError(f"bad direction {direction!r}")
+
+    if isinstance(buf, GlobalPtr):
+        gmr, view = _local_view_of_ptr(armci, buf, nbytes)
+    else:
+        view = _as_byte_view(buf)
+        if view.nbytes < nbytes:
+            raise ArgumentError(
+                f"local buffer of {view.nbytes}B is smaller than the "
+                f"{nbytes}B transfer"
+            )
+        view = view[:nbytes]
+        gmr = armci.table.find_local_buffer(armci.my_id, view)
+
+    if gmr is None or armci.config.coherent_shortcut:
+        return LocalBuffer(data=view, staged=False)
+
+    # --- staging protocol (§V-E.1) ---
+    my_rank = gmr.group.rank
+    if direction == "out":
+        # exclusive self-lock, copy OUT, release before touching the target
+        gmr.win.lock(my_rank, LOCK_EXCLUSIVE)
+        temp = view.copy()
+        gmr.win.unlock(my_rank)
+        armci.stats.staged_copies += 1
+        return LocalBuffer(data=temp, staged=True)
+
+    temp = np.empty(nbytes, dtype=np.uint8)
+
+    def writeback() -> None:
+        gmr.win.lock(my_rank, LOCK_EXCLUSIVE)
+        view[...] = temp
+        gmr.win.unlock(my_rank)
+        armci.stats.staged_copies += 1
+
+    return LocalBuffer(data=temp, staged=True, writeback=writeback)

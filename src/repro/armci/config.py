@@ -1,0 +1,86 @@
+"""ARMCI-MPI runtime configuration (the knobs §VI and §VIII expose).
+
+Mirrors the environment variables of the real ARMCI-MPI release
+(``ARMCI_IOV_METHOD``, ``ARMCI_IOV_BATCHED_LIMIT``,
+``ARMCI_STRIDED_METHOD``, ``ARMCI_NO_MPI_LOCKS``-style coherence
+shortcut) as a plain dataclass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+#: IOV transfer methods of §VI-A.
+IOV_METHODS = ("auto", "conservative", "batched", "direct")
+#: Strided transfer methods of §VI-C ("iov" funnels through an IOV method).
+STRIDED_METHODS = ("direct", "iov")
+
+
+@dataclass(frozen=True)
+class ArmciConfig:
+    """Configuration of one ARMCI-MPI instance.
+
+    Attributes
+    ----------
+    iov_method:
+        How generalized I/O vector operations are transferred:
+        ``conservative`` (one RMA op per segment, each in its own
+        epoch), ``batched`` (up to :attr:`iov_batch_size` ops per
+        epoch), ``direct`` (one op with indexed datatypes), or ``auto``
+        (conflict-tree scan, §VI-B, falling back to conservative when
+        segments overlap or span GMRs).
+    iov_batch_size:
+        B of the batched method; 0 means unlimited (the paper's
+        default).
+    iov_checking:
+        Which overlap detector the auto method uses: ``"tree"``
+        (O(N log N), the paper's contribution) or ``"naive"``
+        (O(N²) baseline, kept for the ablation benchmark).
+    strided_method:
+        ``direct`` translates ARMCI strided notation into one MPI
+        subarray datatype (§VI-C); ``iov`` converts to IOV form via
+        Algorithm 1 and then applies :attr:`iov_method`.
+    coherent_shortcut:
+        On cache-coherent systems many MPI implementations tolerate
+        concurrent access to shared data; setting this disables the
+        global-buffer staging protocol of §V-E.1 (and requires a
+        non-strict window).  Default off: the paper's portable mode.
+    shared_lock_for_reads:
+        Internal default for GMRs in the default access mode: every op
+        uses an exclusive epoch (the conservative §V-C discipline).
+        Access-mode hints (§VIII-A) override per-GMR.
+    alignment:
+        Byte alignment of ARMCI_Malloc'd slabs in the simulated
+        per-process address space.
+    """
+
+    iov_method: str = "auto"
+    iov_batch_size: int = 0
+    iov_checking: str = "tree"
+    strided_method: str = "direct"
+    coherent_shortcut: bool = False
+    alignment: int = 64
+
+    def __post_init__(self) -> None:
+        if self.iov_method not in IOV_METHODS:
+            raise ValueError(
+                f"iov_method must be one of {IOV_METHODS}, got {self.iov_method!r}"
+            )
+        if self.strided_method not in STRIDED_METHODS:
+            raise ValueError(
+                f"strided_method must be one of {STRIDED_METHODS}, "
+                f"got {self.strided_method!r}"
+            )
+        if self.iov_checking not in ("tree", "naive"):
+            raise ValueError(f"iov_checking must be 'tree' or 'naive'")
+        if self.iov_batch_size < 0:
+            raise ValueError("iov_batch_size must be >= 0 (0 = unlimited)")
+        if self.alignment < 1 or self.alignment & (self.alignment - 1):
+            raise ValueError("alignment must be a positive power of two")
+
+    def with_(self, **kw) -> "ArmciConfig":
+        """Copy with overrides (benches sweep methods this way)."""
+        return replace(self, **kw)
+
+
+DEFAULT_CONFIG = ArmciConfig()

@@ -1,0 +1,102 @@
+"""Direct local access (DLA): ARMCI_Access_begin / ARMCI_Access_end (§V-E).
+
+Direct load/store to memory exposed in an MPI window conflicts with all
+other accesses to that window region, so it is only safe inside an
+exclusive self-lock epoch.  GA has always had ``GA_Access``/
+``GA_Release``; ARMCI historically had nothing, and the paper extends
+the ARMCI API with ``ARMCI_Access_begin``/``ARMCI_Access_end`` — the
+extension that also prepares GA/ARMCI for weakly consistent and
+noncoherent platforms (§VIII-A).
+
+Semantics enforced here:
+
+* ``access_begin`` takes the exclusive self-lock on the GMR's window
+  and returns a NumPy view of the caller's slab from the given pointer;
+* nested ``access_begin`` on the *same* GMR is erroneous (it would be a
+  double lock);
+* while a DLA epoch is open, every communication call by this process
+  through the same GMR is erroneous (one lock per window per process) —
+  the underlying window raises;
+* ``access_end`` releases the lock; using the view afterwards is a
+  semantic error the simulation cannot trap, but tests document it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..mpi.errors import RMASyncError
+from ..mpi.window import LOCK_EXCLUSIVE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .api import Armci
+    from .gmr import GlobalPtr
+
+
+class DlaState:
+    """Per-process bookkeeping of open DLA epochs (keyed by GMR id)."""
+
+    def __init__(self) -> None:
+        self._open: dict[tuple[int, int], int] = {}  # (world rank, gmr id) -> count
+
+    def begin(self, world_rank: int, gmr_id: int) -> None:
+        key = (world_rank, gmr_id)
+        if key in self._open:
+            raise RMASyncError(
+                f"nested ARMCI access_begin on GMR {gmr_id}: direct-access "
+                "epochs do not nest (one lock per window per process)"
+            )
+        self._open[key] = 1
+
+    def end(self, world_rank: int, gmr_id: int) -> None:
+        key = (world_rank, gmr_id)
+        if key not in self._open:
+            raise RMASyncError(
+                f"ARMCI access_end on GMR {gmr_id} without access_begin"
+            )
+        del self._open[key]
+
+    def is_open(self, world_rank: int, gmr_id: int) -> bool:
+        return (world_rank, gmr_id) in self._open
+
+
+def access_begin(
+    armci: "Armci", ptr: "GlobalPtr", nbytes: int, dtype: "np.dtype | str" = np.uint8
+) -> np.ndarray:
+    """Begin direct local access; returns a writable view of local data.
+
+    ``ptr`` must point into the calling process's own slice of a GMR.
+    """
+    from ..mpi.errors import ArgumentError
+
+    me = armci.my_id
+    if ptr.rank != me:
+        raise ArgumentError(
+            f"access_begin: pointer targets process {ptr.rank}, not the "
+            f"calling process {me} (DLA is local by definition)"
+        )
+    gmr = armci.table.require(ptr)
+    win_rank, disp = gmr.displacement(ptr)
+    dtype = np.dtype(dtype)
+    if nbytes % dtype.itemsize:
+        raise ArgumentError(
+            f"access_begin: {nbytes} bytes is not a whole number of {dtype}"
+        )
+    armci._dla.begin(me, gmr.gmr_id)
+    try:
+        gmr.win.lock(win_rank, LOCK_EXCLUSIVE)
+    except BaseException:
+        armci._dla.end(me, gmr.gmr_id)
+        raise
+    slab = gmr.win.local_view()  # checked: we hold the exclusive self-lock
+    return slab[disp : disp + nbytes].view(dtype)
+
+
+def access_end(armci: "Armci", ptr: "GlobalPtr") -> None:
+    """End the direct-access epoch opened by :func:`access_begin`."""
+    me = armci.my_id
+    gmr = armci.table.require(ptr)
+    armci._dla.end(me, gmr.gmr_id)
+    gmr.win.unlock(gmr.group.rank)

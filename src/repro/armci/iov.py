@@ -1,0 +1,280 @@
+"""Generalized I/O vector (IOV) operations — §VI-A, §VI-B.
+
+ARMCI's ``armci_giov_t`` describes N equal-length segments to move
+between the local process and one remote process.  ARMCI-MPI provides
+four transfer methods (selected by
+:class:`~repro.armci.config.ArmciConfig`):
+
+``conservative``
+    one RMA operation per segment, **each in its own epoch** — correct
+    even when segments overlap or belong to different GMRs (different
+    ARMCI_Malloc calls).
+``batched``
+    up to B operations per epoch (B=0 → one epoch for everything).
+    Requires all segments in one GMR with no overlap, since ops in one
+    epoch are concurrent under MPI-2.
+``direct``
+    two MPI indexed datatypes (origin and target layouts) and a single
+    RMA operation — MPI chooses pack/unpack vs scatter/gather.
+    Same preconditions as batched.
+``auto``
+    scan the descriptor (conflict tree of §VI-B, O(N·log N)) and use
+    ``direct`` when safe, falling back to ``conservative`` when
+    segments overlap or span GMRs — because letting MPI detect the
+    error is allowed to corrupt data first (§VI-B).
+
+The scan checks the side being *written* (remote for put/acc, local for
+get): MPI permits overlapping reads within an epoch, and overlapping
+same-op accumulates, but overlapping writes are erroneous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..mpi import datatypes as dt
+from ..mpi.errors import ArgumentError
+from .conflict_tree import ConflictTree, any_overlap_naive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .api import Armci
+    from .gmr import Gmr
+
+
+@dataclass(frozen=True)
+class IovRequest:
+    """A fully resolved IOV operation against one remote process."""
+
+    kind: str  # "put" | "get" | "acc"
+    local: np.ndarray  # flat uint8 view of the local buffer
+    loc_offsets: np.ndarray  # int64 byte offsets into `local`
+    rank: int  # absolute remote process id
+    rem_addrs: np.ndarray  # int64 virtual addresses on `rank`
+    seg_bytes: int
+    acc_dtype: "np.dtype | None" = None  # element type for accumulate
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("put", "get", "acc"):
+            raise ArgumentError(f"bad IOV kind {self.kind!r}")
+        if len(self.loc_offsets) != len(self.rem_addrs):
+            raise ArgumentError(
+                f"IOV: {len(self.loc_offsets)} local vs {len(self.rem_addrs)} "
+                "remote segments"
+            )
+        if self.seg_bytes < 0:
+            raise ArgumentError(f"negative segment size {self.seg_bytes}")
+        if self.kind == "acc":
+            if self.acc_dtype is None:
+                raise ArgumentError("accumulate IOV requires acc_dtype")
+            if self.seg_bytes % np.dtype(self.acc_dtype).itemsize:
+                raise ArgumentError(
+                    f"accumulate IOV: segment of {self.seg_bytes} bytes is "
+                    f"not a whole number of {self.acc_dtype} elements"
+                )
+
+    @property
+    def nsegments(self) -> int:
+        return len(self.loc_offsets)
+
+
+def execute(armci: "Armci", req: IovRequest, method: "str | None" = None) -> None:
+    """Run one IOV operation with the configured (or given) method."""
+    if req.nsegments == 0 or req.seg_bytes == 0:
+        return
+    method = method or armci.config.iov_method
+    if method == "auto":
+        method = _auto_select(armci, req)
+    if method == "conservative":
+        _conservative(armci, req)
+    elif method == "batched":
+        _batched(armci, req)
+    elif method == "direct":
+        _direct(armci, req)
+    else:  # pragma: no cover - config validates
+        raise ArgumentError(f"unknown IOV method {method!r}")
+    armci.stats.count_iov(method, req.nsegments, req.seg_bytes)
+
+
+# ---------------------------------------------------------------------------
+# GMR resolution
+# ---------------------------------------------------------------------------
+
+
+def _resolve_single_gmr(armci: "Armci", req: IovRequest) -> "Gmr | None":
+    """The one GMR containing every remote segment, or None if they span."""
+    from .gmr import GlobalPtr
+
+    first = armci.table.lookup(req.rank, int(req.rem_addrs[0]))
+    if first is None:
+        raise ArgumentError(
+            f"IOV segment address {int(req.rem_addrs[0]):#x} on process "
+            f"{req.rank} is not in any GMR"
+        )
+    win_rank = first.win_rank_of_absolute(req.rank)
+    base = first.bases[win_rank]
+    size = first.sizes[win_rank]
+    lo = int(req.rem_addrs.min())
+    hi = int(req.rem_addrs.max()) + req.seg_bytes
+    if lo >= base and hi <= base + size:
+        return first
+    return None
+
+
+def _resolve_per_segment(armci: "Armci", req: IovRequest):
+    """(gmr, win_rank, displacement) per segment (conservative path)."""
+    out = []
+    for addr in req.rem_addrs.tolist():
+        gmr = armci.table.lookup(req.rank, addr)
+        if gmr is None:
+            raise ArgumentError(
+                f"IOV segment address {addr:#x} on process {req.rank} "
+                "is not in any GMR"
+            )
+        win_rank = gmr.win_rank_of_absolute(req.rank)
+        out.append((gmr, win_rank, addr - gmr.bases[win_rank]))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# auto method: §VI-B descriptor checking
+# ---------------------------------------------------------------------------
+
+
+def _written_side_offsets(req: IovRequest) -> np.ndarray:
+    return req.loc_offsets if req.kind == "get" else req.rem_addrs
+
+
+def descriptor_is_safe(armci: "Armci", req: IovRequest) -> bool:
+    """True if the written-side segments are pairwise disjoint.
+
+    Same-op accumulates may overlap under MPI, but a *single* datatype
+    operation may not access one location twice, so the auto method is
+    conservative for accumulate too — matching the real ARMCI-MPI.
+    """
+    offs = _written_side_offsets(req)
+    n = req.seg_bytes
+    if armci.config.iov_checking == "naive":
+        ranges = [(int(o), int(o) + n - 1) for o in offs.tolist()]
+        return not any_overlap_naive(ranges)
+    tree = ConflictTree()
+    for o in offs.tolist():
+        if not tree.insert(int(o), int(o) + n - 1):
+            return False
+    return True
+
+
+def _auto_select(armci: "Armci", req: IovRequest) -> str:
+    if _resolve_single_gmr(armci, req) is None:
+        return "conservative"
+    if not descriptor_is_safe(armci, req):
+        return "conservative"
+    return "direct"
+
+
+# ---------------------------------------------------------------------------
+# transfer methods
+# ---------------------------------------------------------------------------
+
+
+def _one_segment(
+    armci: "Armci",
+    req: IovRequest,
+    win,
+    win_rank: int,
+    disp: int,
+    loc_off: int,
+) -> None:
+    """Issue one contiguous RMA op for segment ``i`` (epoch NOT managed)."""
+    n = req.seg_bytes
+    if req.kind == "put":
+        win.put(req.local[loc_off : loc_off + n], win_rank, disp)
+    elif req.kind == "get":
+        win.get(req.local[loc_off : loc_off + n], win_rank, disp)
+    else:
+        seg = req.local[loc_off : loc_off + n].view(req.acc_dtype)
+        win.accumulate(seg, win_rank, disp, op="MPI_SUM")
+
+
+def _conservative(armci: "Armci", req: IovRequest) -> None:
+    """One op per segment, one epoch per op; handles multi-GMR and overlap."""
+    resolved = _resolve_per_segment(armci, req)
+    for (gmr, win_rank, disp), loc_off in zip(resolved, req.loc_offsets.tolist()):
+        lock_mode = gmr.access_mode.lock_mode(req.kind)
+        gmr.win.lock(win_rank, lock_mode)
+        try:
+            _one_segment(armci, req, gmr.win, win_rank, disp, loc_off)
+        finally:
+            gmr.win.unlock(win_rank)
+
+
+def _batched(armci: "Armci", req: IovRequest) -> None:
+    """Up to B ops per epoch (B = config.iov_batch_size; 0 = unlimited)."""
+    gmr = _require_single_gmr(armci, req, "batched")
+    win_rank = gmr.win_rank_of_absolute(req.rank)
+    base = gmr.bases[win_rank]
+    disps = req.rem_addrs - base
+    B = armci.config.iov_batch_size or req.nsegments
+    lock_mode = gmr.access_mode.lock_mode(req.kind)
+    for start in range(0, req.nsegments, B):
+        gmr.win.lock(win_rank, lock_mode)
+        try:
+            for i in range(start, min(start + B, req.nsegments)):
+                _one_segment(
+                    armci, req, gmr.win, win_rank, int(disps[i]), int(req.loc_offsets[i])
+                )
+        finally:
+            gmr.win.unlock(win_rank)
+
+
+def _direct(armci: "Armci", req: IovRequest) -> None:
+    """One RMA op with indexed datatypes describing both layouts (§VI-A)."""
+    gmr = _require_single_gmr(armci, req, "direct")
+    win_rank = gmr.win_rank_of_absolute(req.rank)
+    base = gmr.bases[win_rank]
+    n = req.seg_bytes
+    elem = dt.BYTE if req.kind != "acc" else dt.from_numpy_dtype(req.acc_dtype)
+    if req.kind == "acc" and n % elem.size:
+        raise ArgumentError(
+            f"accumulate IOV: segment of {n} bytes is not a whole number of "
+            f"{elem.name} elements"
+        )
+    blocks = n // elem.size
+    target_t = dt.hindexed(
+        [blocks] * req.nsegments, (req.rem_addrs - base).tolist(), elem
+    ).commit()
+    origin_t = dt.hindexed(
+        [blocks] * req.nsegments, req.loc_offsets.tolist(), elem
+    ).commit()
+    lock_mode = gmr.access_mode.lock_mode(req.kind)
+    gmr.win.lock(win_rank, lock_mode)
+    try:
+        if req.kind == "put":
+            gmr.win.put(
+                req.local, win_rank, 0,
+                target_datatype=target_t, origin_datatype=origin_t,
+            )
+        elif req.kind == "get":
+            gmr.win.get(
+                req.local, win_rank, 0,
+                target_datatype=target_t, origin_datatype=origin_t,
+            )
+        else:
+            gmr.win.accumulate(
+                req.local, win_rank, 0, op="MPI_SUM",
+                target_datatype=target_t, origin_datatype=origin_t,
+            )
+    finally:
+        gmr.win.unlock(win_rank)
+
+
+def _require_single_gmr(armci: "Armci", req: IovRequest, method: str) -> "Gmr":
+    gmr = _resolve_single_gmr(armci, req)
+    if gmr is None:
+        raise ArgumentError(
+            f"IOV {method} method requires all segments in one GMR; "
+            "use method='conservative' or 'auto' (§VI-A)"
+        )
+    return gmr

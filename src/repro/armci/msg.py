@@ -1,0 +1,85 @@
+"""ARMCI's message layer: the ``armci_msg_*`` helpers GA builds on.
+
+Besides one-sided operations, ARMCI exports a small two-sided/collective
+message surface (§V-D mentions ``ARMCI_Send``/``ARMCI_Recv``/
+``ARMCI_Barrier``) that GA's internals use for bootstrap, global sums
+(``armci_msg_dgop``/``igop``), and broadcast (``armci_msg_brdcst``).
+They are thin wrappers over the runtime's communicator — which is the
+paper's interoperability point (§I impact 2): with ARMCI-MPI, these ride
+the *same* MPI runtime as the one-sided traffic instead of a second
+communication stack.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..mpi.errors import ArgumentError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .api import Armci
+
+#: reduction names accepted by armci_msg_gop (ARMCI's strings)
+_GOP_OPS = {
+    "+": "MPI_SUM",
+    "*": "MPI_PROD",
+    "max": "MPI_MAX",
+    "min": "MPI_MIN",
+    "absmax": "MPI_MAX",
+    "absmin": "MPI_MIN",
+}
+
+
+def msg_snd(armci: "Armci", tag: int, buf: np.ndarray, dest: int) -> None:
+    """ARMCI_Send: blocking two-sided send of a typed buffer."""
+    armci.world.send(np.ascontiguousarray(buf), dest=dest, tag=tag)
+
+
+def msg_rcv(armci: "Armci", tag: int, buf: np.ndarray, source: int) -> int:
+    """ARMCI_Recv: blocking receive into ``buf``; returns byte count."""
+    status = armci.world.recv(buf, source=source, tag=tag)
+    return status.count
+
+
+def msg_brdcst(armci: "Armci", buf: np.ndarray, root: int) -> None:
+    """armci_msg_brdcst: broadcast a typed buffer from ``root``."""
+    armci.world.bcast(buf, root=root)
+
+
+def msg_barrier(armci: "Armci") -> None:
+    """armci_msg_barrier: process barrier WITHOUT fence semantics.
+
+    (ARMCI_Barrier = fence_all + barrier lives on the main API; the msg
+    layer's barrier is the bare process barrier GA uses internally.)
+    """
+    armci.world.barrier()
+
+
+def _gop(armci: "Armci", values: np.ndarray, op: str) -> np.ndarray:
+    try:
+        mpi_op = _GOP_OPS[op]
+    except KeyError:
+        raise ArgumentError(
+            f"unknown gop op {op!r}; choose from {sorted(_GOP_OPS)}"
+        ) from None
+    data = np.ascontiguousarray(values)
+    if op in ("absmax", "absmin"):
+        data = np.abs(data)
+    return armci.world.allreduce(data, op=mpi_op)
+
+
+def msg_dgop(armci: "Armci", values: Sequence[float], op: str = "+") -> np.ndarray:
+    """armci_msg_dgop: double-precision global operation (allreduce)."""
+    return _gop(armci, np.asarray(values, dtype="f8"), op)
+
+
+def msg_igop(armci: "Armci", values: Sequence[int], op: str = "+") -> np.ndarray:
+    """armci_msg_igop: integer global operation (allreduce)."""
+    return _gop(armci, np.asarray(values, dtype="i8"), op)
+
+
+def msg_llgop(armci: "Armci", values: Sequence[int], op: str = "+") -> np.ndarray:
+    """armci_msg_lgop: 64-bit integer global operation."""
+    return _gop(armci, np.asarray(values, dtype="i8"), op)

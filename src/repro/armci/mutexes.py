@@ -1,0 +1,167 @@
+"""ARMCI mutexes via the Latham et al. RMA queueing algorithm (§V-D).
+
+Each process hosts ``count`` mutexes; mutex ``m`` on host ``h`` is backed
+by a byte vector ``B[0..nproc-1]`` in ``h``'s slice of an MPI window.
+
+* **lock**: within ONE exclusive epoch, set ``B[me] = 1`` and fetch all
+  other entries (the put and the get do not overlap, so this is a legal
+  epoch).  If every other entry is 0 the lock is acquired; otherwise the
+  process is now *enqueued* and blocks in an ``MPI_Recv`` from a
+  wildcard source — waiting locally, generating **no network traffic**.
+* **unlock**: within one exclusive epoch, set ``B[me] = 0`` and fetch the
+  rest; scan circularly starting at ``me + 1`` (fairness); if a waiter is
+  found, forward the mutex with a zero-byte notification message.
+
+The handoff message *is* the lock transfer: the dequeued process owns
+the mutex without touching the byte vector again.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpi import datatypes as dt
+from ..mpi.comm import Comm
+from ..mpi.errors import ArgumentError
+from ..mpi.p2p import ANY_SOURCE
+from ..mpi.window import LOCK_EXCLUSIVE, Win
+
+#: tag space for mutex handoff notifications (one tag per mutex index)
+_HANDOFF_TAG_BASE = 800_000
+
+
+class MutexSet:
+    """``count`` mutexes hosted on every process of a communicator."""
+
+    def __init__(self, comm: Comm, count: int, win: Win):
+        self.comm = comm
+        self.count = count
+        self._win = win
+        self._destroyed = False
+
+    @classmethod
+    def create(cls, comm: Comm, count: int) -> "MutexSet":
+        """Collective creation (ARMCI_Create_mutexes)."""
+        if count < 0:
+            raise ArgumentError(f"negative mutex count {count}")
+        # isolate handoff traffic from application messages
+        mcomm = comm.dup()
+        local = np.zeros(count * comm.size, dtype=np.uint8)
+        win = Win.create(mcomm, local)
+        return cls(mcomm, count, win)
+
+    def destroy(self) -> None:
+        """Collective destruction (ARMCI_Destroy_mutexes)."""
+        self.comm.barrier()
+        self._win.free()
+        self._destroyed = True
+
+    # -- the algorithm -----------------------------------------------------------
+    def _check(self, mutex: int, host: int) -> None:
+        if self._destroyed:
+            raise ArgumentError("mutex set already destroyed")
+        if not 0 <= mutex < self.count:
+            raise ArgumentError(f"mutex {mutex} not in [0, {self.count})")
+        if not 0 <= host < self.comm.size:
+            raise ArgumentError(f"mutex host {host} not in [0, {self.comm.size})")
+
+    def _others_datatype(self, me: int) -> "dt.Datatype | None":
+        """Indexed type covering B[0..nproc-1] except entry ``me``."""
+        n = self.comm.size
+        disps = [i for i in range(n) if i != me]
+        if not disps:
+            return None
+        return dt.indexed_block(1, disps, dt.BYTE).commit()
+
+    def lock(self, mutex: int, host: int) -> None:
+        """Acquire mutex ``mutex`` hosted on process ``host`` (blocking)."""
+        self._check(mutex, host)
+        me = self.comm.rank
+        n = self.comm.size
+        base = mutex * n
+        others_t = self._others_datatype(me)
+        waiting = np.zeros(max(n - 1, 1), dtype=np.uint8)
+        # one exclusive epoch: B[me] <- 1, fetch all other entries
+        self._win.lock(host, LOCK_EXCLUSIVE)
+        self._win.put(np.ones(1, dtype=np.uint8), host, base + me)
+        if others_t is not None:
+            self._win.get(
+                waiting[: n - 1], host, base,
+                target_datatype=others_t,
+            )
+        self._win.unlock(host)
+        if others_t is not None and waiting[: n - 1].any():
+            # enqueued: wait locally for the zero-byte handoff (§V-D)
+            _, status = self.comm.recv(
+                source=ANY_SOURCE, tag=_HANDOFF_TAG_BASE + host * self.count + mutex
+            )
+            assert status.count == 0
+
+    def trylock(self, mutex: int, host: int) -> bool:
+        """Nonblocking acquire; on failure the request is *withdrawn*.
+
+        Not part of the paper's ARMCI surface but trivially expressible
+        in the same algorithm: if others are waiting, clear our entry
+        again (one more exclusive epoch) instead of blocking.  Note the
+        withdrawal can race a handoff; the algorithm stays correct
+        because the unlocker scans the vector under the exclusive lock
+        after we cleared our bit — but a handoff already sent must be
+        consumed, so trylock drains a pending notification if the clear
+        lost the race.
+        """
+        self._check(mutex, host)
+        me = self.comm.rank
+        n = self.comm.size
+        base = mutex * n
+        others_t = self._others_datatype(me)
+        waiting = np.zeros(max(n - 1, 1), dtype=np.uint8)
+        self._win.lock(host, LOCK_EXCLUSIVE)
+        self._win.put(np.ones(1, dtype=np.uint8), host, base + me)
+        if others_t is not None:
+            self._win.get(waiting[: n - 1], host, base, target_datatype=others_t)
+        self._win.unlock(host)
+        if others_t is None or not waiting[: n - 1].any():
+            return True
+        # Withdraw: clear our bit under an exclusive epoch, THEN check for
+        # a handoff.  A handoff can only have been sent by an unlocker
+        # whose exclusive epoch observed our bit set — i.e. an epoch that
+        # serialised *before* our clear — so after the clear the message,
+        # if any, is already visible and the check is race-free.
+        tag = _HANDOFF_TAG_BASE + host * self.count + mutex
+        self._win.lock(host, LOCK_EXCLUSIVE)
+        self._win.put(np.zeros(1, dtype=np.uint8), host, base + me)
+        self._win.unlock(host)
+        if self.comm.iprobe(tag=tag) is not None:
+            self.comm.recv(source=ANY_SOURCE, tag=tag)
+            return True  # the handoff won the race: we own the mutex
+        return False
+
+    def unlock(self, mutex: int, host: int) -> None:
+        """Release the mutex, forwarding it to the next waiter if any."""
+        self._check(mutex, host)
+        me = self.comm.rank
+        n = self.comm.size
+        base = mutex * n
+        others_t = self._others_datatype(me)
+        waiting = np.zeros(max(n - 1, 1), dtype=np.uint8)
+        self._win.lock(host, LOCK_EXCLUSIVE)
+        self._win.put(np.zeros(1, dtype=np.uint8), host, base + me)
+        if others_t is not None:
+            self._win.get(waiting[: n - 1], host, base, target_datatype=others_t)
+        self._win.unlock(host)
+        if others_t is None:
+            return
+        # reconstruct the full vector (entry `me` removed by the datatype)
+        full = np.zeros(n, dtype=np.uint8)
+        idx = [i for i in range(n) if i != me]
+        full[idx] = waiting[: n - 1]
+        # fairness: scan circularly starting at me+1 (§V-D)
+        for step in range(1, n):
+            j = (me + step) % n
+            if full[j]:
+                self.comm.send(
+                    b"",
+                    dest=j,
+                    tag=_HANDOFF_TAG_BASE + host * self.count + mutex,
+                )
+                return

@@ -1,0 +1,109 @@
+"""ARMCI atomic read-modify-write via mutexes (§V-D).
+
+MPI-2 has no atomic RMW, and issuing a get and a put of the same
+location within one epoch is erroneous (the read and write conflict).
+The only portable route — the one the paper takes — is mutual exclusion:
+each GMR owns a mutex, and an RMW is
+
+    lock(GMR mutex) ; [epoch 1: get] ; compute ; [epoch 2: put] ; unlock
+
+two full epochs plus two mutex messages, which is why the paper calls
+this "a high-latency implementation" and why MPI-3's ``fetch_and_op``
+(gated behind ``mpi3=True`` in our substrate) matters.  The MPI-3 fast
+path is implemented in :meth:`~repro.armci.api.Armci.rmw` when the
+windows were created in MPI-3 mode.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..mpi.errors import ArgumentError
+from ..mpi.window import LOCK_EXCLUSIVE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .api import Armci
+    from .gmr import GlobalPtr, Gmr
+
+#: ARMCI RMW operation names
+FETCH_AND_ADD = "fetch_and_add"
+FETCH_AND_ADD_LONG = "fetch_and_add_long"
+SWAP = "swap"
+SWAP_LONG = "swap_long"
+
+_RMW_DTYPES = {
+    FETCH_AND_ADD: np.dtype("i4"),
+    FETCH_AND_ADD_LONG: np.dtype("i8"),
+    SWAP: np.dtype("i4"),
+    SWAP_LONG: np.dtype("i8"),
+}
+
+
+def rmw_dtype(op: str) -> np.dtype:
+    try:
+        return _RMW_DTYPES[op]
+    except KeyError:
+        raise ArgumentError(
+            f"unknown RMW op {op!r}; choose from {sorted(_RMW_DTYPES)}"
+        ) from None
+
+
+def rmw_mutex_based(armci: "Armci", op: str, ptr: "GlobalPtr", value: int) -> int:
+    """The §V-D two-epoch RMW under the GMR's mutex; returns the old value.
+
+    Atomic only with respect to other ARMCI RMW operations — exactly the
+    guarantee ARMCI documents (§V-D: "atomicity with respect to other
+    operations is not guaranteed").
+    """
+    dtype = rmw_dtype(op)
+    gmr = armci.table.require(ptr)
+    win_rank, disp = gmr.displacement(ptr)
+    if disp % dtype.itemsize:
+        raise ArgumentError(
+            f"RMW target {ptr} not aligned to {dtype} ({disp=} bytes)"
+        )
+    mutex = armci._gmr_mutex(gmr)
+    # the GMR's single mutex is hosted on group rank 0 of its group
+    host = 0
+    mutex.lock(0, host)
+    try:
+        old = np.zeros(1, dtype=dtype)
+        # epoch 1: read
+        gmr.win.lock(win_rank, LOCK_EXCLUSIVE)
+        gmr.win.get(old, win_rank, disp)
+        gmr.win.unlock(win_rank)
+        # compute
+        if op in (FETCH_AND_ADD, FETCH_AND_ADD_LONG):
+            new = old + dtype.type(value)
+        else:
+            new = np.array([value], dtype=dtype)
+        # epoch 2: write
+        gmr.win.lock(win_rank, LOCK_EXCLUSIVE)
+        gmr.win.put(new, win_rank, disp)
+        gmr.win.unlock(win_rank)
+    finally:
+        mutex.unlock(0, host)
+    armci.stats.rmw_ops += 1
+    return int(old[0])
+
+
+def rmw_mpi3(armci: "Armci", op: str, ptr: "GlobalPtr", value: int) -> int:
+    """MPI-3 fast path: one fetch_and_op / compare-free swap (§VIII-B)."""
+    from ..mpi import datatypes as dt
+
+    dtype = rmw_dtype(op)
+    gmr = armci.table.require(ptr)
+    win_rank, disp = gmr.displacement(ptr)
+    mpi_t = dt.from_numpy_dtype(dtype)
+    gmr.win.lock(win_rank, "shared")
+    try:
+        if op in (FETCH_AND_ADD, FETCH_AND_ADD_LONG):
+            old = gmr.win.fetch_and_op(value, win_rank, disp, mpi_t, op="MPI_SUM")
+        else:
+            old = gmr.win.fetch_and_op(value, win_rank, disp, mpi_t, op="MPI_REPLACE")
+    finally:
+        gmr.win.unlock(win_rank)
+    armci.stats.rmw_ops += 1
+    return int(old)

@@ -1,0 +1,157 @@
+"""Operation tracing for ARMCI-MPI (the ARMCI_PROFILE facility, rebuilt).
+
+Real ARMCI ships a profiling interposer that records every one-sided
+call with its target, size, and duration.  :class:`TracingArmci` is the
+equivalent here: a transparent wrapper around an :class:`~repro.armci.api.Armci`
+(or :class:`~repro.armci_native.NativeArmci`) instance that records a
+per-process timeline of operations with modeled durations, then renders
+summaries — per-op-kind histograms, per-target traffic matrices, and a
+chronological event dump.
+
+Useful both for users tuning GA applications ("which array is hot?")
+and for this repo's own benches (attributing modeled time to epochs vs
+wire transfer).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from ..mpi.runtime import current_proc
+
+#: every public ARMCI data-movement call the tracer intercepts
+_TRACED = (
+    "put", "get", "acc",
+    "put_s", "get_s", "acc_s",
+    "putv", "getv", "accv",
+    "nb_put", "nb_get", "nb_acc",
+    "rmw",
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded operation."""
+
+    rank: int  # issuing process
+    op: str
+    target: int  # remote process (-1 if unknown)
+    nbytes: int
+    start: float  # simulated time at issue
+    duration: float  # modeled duration
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+def _target_of(op: str, args: tuple, kwargs: dict) -> int:
+    """Best-effort remote-rank extraction from the call signature."""
+    from .gmr import GlobalPtr
+
+    candidates: list[Any] = list(args) + list(kwargs.values())
+    for a in candidates:
+        if isinstance(a, GlobalPtr):
+            return a.rank
+        if isinstance(a, (list, tuple)) and a and isinstance(a[0], GlobalPtr):
+            return a[0].rank
+    return -1
+
+
+def _bytes_of(op: str, args: tuple, kwargs: dict) -> int:
+    import numpy as np
+
+    nbytes = kwargs.get("nbytes")
+    if isinstance(nbytes, int):
+        return nbytes
+    for a in args:
+        if isinstance(a, np.ndarray):
+            return int(a.nbytes)
+    return 0
+
+
+class TracingArmci:
+    """Transparent tracing proxy over an ARMCI runtime instance.
+
+    All attributes delegate to the wrapped runtime; the traced calls
+    additionally append :class:`TraceEvent` records.  Thread-safe (one
+    timeline shared by all rank threads).
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+        self._events: list[TraceEvent] = []
+        self._lock = threading.Lock()
+
+    def __getattr__(self, name: str):
+        attr = getattr(self._inner, name)
+        if name not in _TRACED:
+            return attr
+
+        def traced(*args, **kwargs):
+            proc = current_proc()
+            t0 = proc.clock.now
+            result = attr(*args, **kwargs)
+            event = TraceEvent(
+                rank=proc.rank,
+                op=name,
+                target=_target_of(name, args, kwargs),
+                nbytes=_bytes_of(name, args, kwargs),
+                start=t0,
+                duration=proc.clock.now - t0,
+            )
+            with self._lock:
+                self._events.append(event)
+            return result
+
+        return traced
+
+    # -- inspection --------------------------------------------------------------
+    @property
+    def events(self) -> list[TraceEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def summary_by_op(self) -> dict[str, tuple[int, int, float]]:
+        """op -> (count, total bytes, total modeled seconds)."""
+        out: dict[str, tuple[int, int, float]] = {}
+        for ev in self.events:
+            c, b, t = out.get(ev.op, (0, 0, 0.0))
+            out[ev.op] = (c + 1, b + ev.nbytes, t + ev.duration)
+        return out
+
+    def traffic_matrix(self) -> dict[tuple[int, int], int]:
+        """(origin, target) -> bytes moved (targets resolved only)."""
+        out: dict[tuple[int, int], int] = {}
+        for ev in self.events:
+            if ev.target >= 0:
+                key = (ev.rank, ev.target)
+                out[key] = out.get(key, 0) + ev.nbytes
+        return out
+
+    def render(self, max_events: int = 0) -> str:
+        """Human-readable trace report."""
+        lines = ["ARMCI trace summary", "-------------------"]
+        for op, (count, nbytes, seconds) in sorted(self.summary_by_op().items()):
+            lines.append(
+                f"{op:8s} x{count:<6d} {nbytes:>12d} B  {seconds * 1e6:10.1f} µs"
+            )
+        matrix = self.traffic_matrix()
+        if matrix:
+            lines.append("traffic (origin -> target):")
+            for (src, dst), nbytes in sorted(matrix.items()):
+                lines.append(f"  {src} -> {dst}: {nbytes} B")
+        if max_events:
+            lines.append("timeline:")
+            for ev in self.events[:max_events]:
+                lines.append(
+                    f"  [{ev.rank}] t={ev.start * 1e6:9.2f}µs {ev.op:7s} "
+                    f"-> {ev.target} ({ev.nbytes} B, {ev.duration * 1e6:.2f}µs)"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,11 @@
+"""ARMCI over two-sided messaging: the data-server predecessor (§IX).
+
+A third, independent implementation of the ARMCI call surface, built the
+way the pre-RMA portable ARMCI was: per-node data-server threads
+servicing two-sided request/response traffic.  Exists to make §IX's
+comparison concrete — see :class:`DataServerArmci`.
+"""
+
+from .api import DataServerArmci
+
+__all__ = ["DataServerArmci"]

@@ -1,0 +1,11 @@
+"""Simulated vendor-native ARMCI: the baseline of every paper comparison.
+
+See :class:`NativeArmci`.  Charged through each platform's *native*
+path model; also serves as a differential-testing oracle against
+:class:`repro.armci.Armci`.
+"""
+
+from .api import NativeArmci, NativeRegion
+from .server import HostLockTable
+
+__all__ = ["HostLockTable", "NativeArmci", "NativeRegion"]

@@ -1,0 +1,312 @@
+"""Simulated "native" ARMCI — the baseline the paper compares against.
+
+A second, independent implementation of the ARMCI surface used by GA,
+*not* built on MPI RMA: remote accesses go straight to the target's
+memory under the runtime's giant lock (the shared-memory simulation of
+RDMA), serialised only where the native runtime would serialise
+(host lock words for mutex/RMW service).  Its performance is charged
+through the platform's **native** :class:`~repro.simtime.netmodel.PathModel`
+— no epoch lock/unlock costs, vendor-tuned strided engines — which is
+what makes the Fig. 3/4/6 native-vs-MPI comparisons meaningful.
+
+It doubles as a differential-testing oracle: tests run identical
+workloads through :class:`repro.armci.Armci` and :class:`NativeArmci`
+and require bit-identical results.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..armci.gmr import NULL_ADDR, GlobalPtr
+from ..armci.strided import StridedSpec, segment_displacements
+from ..mpi.comm import Comm
+from ..mpi.errors import ArgumentError
+from ..mpi.runtime import current_proc
+from ..simtime.netmodel import PathModel
+from .server import HostLockTable
+
+_VA_BASE = 0x1000
+
+
+class NativeRegion:
+    """One native allocation: slabs + base-address vector."""
+
+    _next_id = 0
+
+    def __init__(self, comm: Comm, slabs: list[np.ndarray], bases: list[int]):
+        self.comm = comm
+        self.slabs = slabs
+        self.bases = bases
+        self.region_id = NativeRegion._next_id
+        NativeRegion._next_id += 1
+
+    def locate(self, ptr: GlobalPtr) -> tuple[np.ndarray, int]:
+        base = self.bases[ptr.rank]
+        slab = self.slabs[ptr.rank]
+        if base == NULL_ADDR:
+            raise ArgumentError(f"{ptr}: zero-size native slice")
+        disp = ptr.addr - base
+        if not 0 <= disp <= slab.nbytes:
+            raise ArgumentError(f"{ptr} outside native region {self.region_id}")
+        return slab, disp
+
+    def contains(self, rank: int, addr: int) -> bool:
+        base = self.bases[rank]
+        return base != NULL_ADDR and base <= addr < base + self.slabs[rank].nbytes
+
+
+class NativeArmci:
+    """Native-ARMCI lookalike with the same call surface GA needs.
+
+    ``path`` is the platform's native cost model; ``None`` disables
+    modeled-time charging (functional tests).
+    """
+
+    def __init__(self, world: Comm, path: "PathModel | None"):
+        self.world = world
+        self.path = path
+        self.regions: list[NativeRegion] = []
+        self._va: dict[int, int] = {}
+        self.locks = HostLockTable(world.runtime, nlocks=128, nhosts=world.size)
+
+    @classmethod
+    def init(cls, comm: Comm, path: "PathModel | None" = None) -> "NativeArmci":
+        world = comm.dup()
+        with world.runtime.cond:
+            return world._coll.run(
+                world.rank, "native_armci_init", None, lambda _c: cls(world, path)
+            )
+
+    @property
+    def my_id(self) -> int:
+        return self.world.rank
+
+    @property
+    def nproc(self) -> int:
+        return self.world.size
+
+    # -- time charging ------------------------------------------------------------
+    def _charge(self, kind: str, nbytes: int, nsegments: int = 1) -> None:
+        if self.path is not None:
+            cost = self.path.xfer_time(kind, nbytes, nsegments)
+            current_proc().clock.advance(cost, kind=f"native:{kind}", nbytes=nbytes)
+
+    # -- memory -----------------------------------------------------------------------
+    def malloc(self, nbytes: int) -> list[GlobalPtr]:
+        """Collective allocation over the world group."""
+        if nbytes < 0:
+            raise ArgumentError(f"negative allocation {nbytes}")
+        slab = np.zeros(nbytes, dtype=np.uint8)
+        contrib = (self.world.rank, slab)
+
+        def build(contribs: dict) -> NativeRegion:
+            slabs = [None] * self.world.size
+            bases = [NULL_ADDR] * self.world.size
+            for _, (rank, s) in contribs.items():
+                slabs[rank] = s
+                if s.nbytes:
+                    cursor = self._va.get(rank, _VA_BASE)
+                    bases[rank] = (cursor + 63) & ~63
+                    self._va[rank] = bases[rank] + s.nbytes
+            region = NativeRegion(self.world, slabs, bases)
+            self.regions.append(region)
+            return region
+
+        with self.world.runtime.cond:
+            region = self.world._coll.run(
+                self.world.rank, "native_malloc", contrib, build
+            )
+        return [GlobalPtr(r, region.bases[r]) for r in range(self.world.size)]
+
+    def free(self, ptr: "GlobalPtr | None") -> None:
+        """Collective free (native ARMCI has no NULL-slice protocol need:
+        the region is identified via any member's pointer by reduction)."""
+        vote = np.array(
+            [self.world.rank if ptr is not None and not ptr.is_null else -1],
+            dtype=np.int64,
+        )
+        leader = int(self.world.allreduce(vote, op="MPI_MAX")[0])
+        if leader < 0:
+            raise ArgumentError("native free: all members passed NULL")
+        pair = (ptr.rank, ptr.addr) if self.world.rank == leader else None
+        rank, addr = self.world.bcast_obj(pair, root=leader)
+        region = self._find(rank, addr)
+
+        def drop(_c) -> None:
+            self.regions.remove(region)
+
+        with self.world.runtime.cond:
+            self.world._coll.run(self.world.rank, "native_free", None, drop)
+
+    def _find(self, rank: int, addr: int) -> NativeRegion:
+        for region in self.regions:
+            if region.contains(rank, addr):
+                return region
+        raise ArgumentError(
+            f"address {addr:#x} on process {rank} is not a native allocation"
+        )
+
+    def _locate(self, ptr: GlobalPtr) -> tuple[np.ndarray, int]:
+        return self._find(ptr.rank, ptr.addr).locate(ptr)
+
+    # -- contiguous ops ------------------------------------------------------------------
+    def put(self, src: np.ndarray, dst: GlobalPtr, nbytes: "int | None" = None) -> None:
+        data = _bytes(src)
+        n = data.nbytes if nbytes is None else nbytes
+        slab, disp = self._locate(dst)
+        with self.world.runtime.cond:
+            slab[disp : disp + n] = data[:n]
+            self.world.runtime.notify_progress()
+        self._charge("put", n)
+
+    def get(self, src: GlobalPtr, dst: np.ndarray, nbytes: "int | None" = None) -> None:
+        out = _bytes(dst)
+        n = out.nbytes if nbytes is None else nbytes
+        slab, disp = self._locate(src)
+        with self.world.runtime.cond:
+            out[:n] = slab[disp : disp + n]
+        self._charge("get", n)
+
+    def acc(
+        self,
+        src: np.ndarray,
+        dst: GlobalPtr,
+        scale: float = 1.0,
+        nbytes: "int | None" = None,
+        dtype: "np.dtype | str | None" = None,
+    ) -> None:
+        arr = np.asarray(src)
+        dtype = np.dtype(dtype) if dtype is not None else arr.dtype
+        data = _bytes(arr)
+        n = data.nbytes if nbytes is None else nbytes
+        slab, disp = self._locate(dst)
+        with self.world.runtime.cond:
+            target = slab[disp : disp + n].view(dtype)
+            contrib = data[:n].view(dtype)
+            target += dtype.type(scale) * contrib
+            self.world.runtime.notify_progress()
+        self._charge("acc", n)
+
+    # -- strided ops (vendor-tuned engine: one charged operation) -------------------------
+    def put_s(self, src, src_strides, dst: GlobalPtr, dst_strides, count) -> None:
+        self._strided("put", src, src_strides, dst, dst_strides, count)
+
+    def get_s(self, src: GlobalPtr, src_strides, dst, dst_strides, count) -> None:
+        self._strided("get", dst, dst_strides, src, src_strides, count)
+
+    def acc_s(
+        self, src, src_strides, dst: GlobalPtr, dst_strides, count,
+        scale: float = 1.0, dtype="f8",
+    ) -> None:
+        self._strided("acc", src, src_strides, dst, dst_strides, count,
+                      scale=scale, dtype=np.dtype(dtype))
+
+    def _strided(
+        self, kind, local, local_strides, remote: GlobalPtr, remote_strides, count,
+        scale: float = 1.0, dtype: "np.dtype | None" = None,
+    ) -> None:
+        spec = StridedSpec.make(list(count), list(local_strides), list(remote_strides))
+        if spec.total_bytes == 0:
+            return
+        lview = _bytes(local)
+        ldisp = segment_displacements(list(local_strides), list(count))
+        rdisp = segment_displacements(list(remote_strides), list(count))
+        slab, base = self._locate(remote)
+        n = spec.seg_bytes
+        with self.world.runtime.cond:
+            for ld, rd in zip(ldisp.tolist(), rdisp.tolist()):
+                if kind == "put":
+                    slab[base + rd : base + rd + n] = lview[ld : ld + n]
+                elif kind == "get":
+                    lview[ld : ld + n] = slab[base + rd : base + rd + n]
+                else:
+                    tgt = slab[base + rd : base + rd + n].view(dtype)
+                    tgt += dtype.type(scale) * lview[ld : ld + n].view(dtype)
+            self.world.runtime.notify_progress()
+        self._charge(kind, spec.total_bytes, spec.num_segments)
+
+    # -- IOV ---------------------------------------------------------------------------
+    def putv(self, local, loc_offsets: Sequence[int], dst, seg_bytes: int) -> None:
+        self._iov("put", local, loc_offsets, dst, seg_bytes)
+
+    def getv(self, src, local, loc_offsets: Sequence[int], seg_bytes: int) -> None:
+        self._iov("get", local, loc_offsets, src, seg_bytes)
+
+    def accv(
+        self, local, loc_offsets: Sequence[int], dst, seg_bytes: int,
+        scale: float = 1.0, dtype="f8",
+    ) -> None:
+        self._iov("acc", local, loc_offsets, dst, seg_bytes,
+                  scale=scale, dtype=np.dtype(dtype))
+
+    def _iov(self, kind, local, loc_offsets, remote, seg_bytes,
+             scale: float = 1.0, dtype: "np.dtype | None" = None) -> None:
+        lview = _bytes(local)
+        ptrs = list(remote)
+        if not ptrs:
+            return
+        n = seg_bytes
+        with self.world.runtime.cond:
+            for off, ptr in zip(loc_offsets, ptrs):
+                slab, disp = self._locate(ptr)
+                if kind == "put":
+                    slab[disp : disp + n] = lview[off : off + n]
+                elif kind == "get":
+                    lview[off : off + n] = slab[disp : disp + n]
+                else:
+                    tgt = slab[disp : disp + n].view(dtype)
+                    tgt += dtype.type(scale) * lview[off : off + n].view(dtype)
+            self.world.runtime.notify_progress()
+        self._charge(kind, n * len(ptrs), len(ptrs))
+
+    # -- synchronisation -----------------------------------------------------------------
+    def rmw(self, op: str, ptr: GlobalPtr, value: int) -> int:
+        """Native RMW: serviced atomically by the target's CHT."""
+        from ..armci.rmw import rmw_dtype
+
+        dtype = rmw_dtype(op)
+        slab, disp = self._locate(ptr)
+        with self.world.runtime.cond:
+            cell = slab[disp : disp + dtype.itemsize].view(dtype)
+            old = int(cell[0])
+            if op.startswith("fetch_and_add"):
+                cell[0] = old + value
+            else:
+                cell[0] = value
+            self.world.runtime.notify_progress()
+        self._charge("rmw", dtype.itemsize)
+        return old
+
+    def lock(self, lock_id: int, host: int) -> None:
+        self.locks.acquire(lock_id, host)
+        self._charge("rmw", 1)
+
+    def unlock(self, lock_id: int, host: int) -> None:
+        self.locks.release(lock_id, host)
+        self._charge("rmw", 1)
+
+    def fence(self, proc: int) -> None:
+        if not 0 <= proc < self.nproc:
+            raise ArgumentError(f"fence target {proc} out of range")
+        # native ARMCI may leave puts in flight; our simulation completes
+        # them eagerly, so fence only charges its (small) protocol cost
+        if self.path is not None:
+            current_proc().clock.advance(self.path.latency, kind="native:fence")
+
+    def fence_all(self) -> None:
+        if self.path is not None:
+            current_proc().clock.advance(self.path.latency, kind="native:fence")
+
+    def barrier(self) -> None:
+        self.fence_all()
+        self.world.barrier()
+
+
+def _bytes(arr) -> np.ndarray:
+    arr = np.asarray(arr)
+    if not arr.flags["C_CONTIGUOUS"]:
+        raise ArgumentError("native ARMCI buffers must be C-contiguous")
+    return arr.reshape(-1).view(np.uint8)

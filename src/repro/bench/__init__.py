@@ -1,0 +1,39 @@
+"""Benchmark harness: regenerates every table and figure of §VII."""
+
+from .figures import (
+    FIG3_EXPONENTS,
+    FIG4_EXPONENTS,
+    FIG4_METHODS,
+    FIG4_SEG_SIZES,
+    FIG6_CORES,
+    fig3_series,
+    fig4_series,
+    fig5_series,
+    fig6_platform_series,
+)
+from .harness import (
+    Series,
+    format_series_table,
+    format_table,
+    gbps,
+    pow2_sizes,
+    run_measurement,
+)
+
+__all__ = [
+    "FIG3_EXPONENTS",
+    "FIG4_EXPONENTS",
+    "FIG4_METHODS",
+    "FIG4_SEG_SIZES",
+    "FIG6_CORES",
+    "Series",
+    "fig3_series",
+    "fig4_series",
+    "fig5_series",
+    "fig6_platform_series",
+    "format_series_table",
+    "format_table",
+    "gbps",
+    "pow2_sizes",
+    "run_measurement",
+]

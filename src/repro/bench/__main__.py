@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.bench <figure> [options]``."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,210 @@
+"""Series generators for every figure of §VII (and the ablations).
+
+Figures 3 and 4 are *measured*: the real ARMCI-MPI implementation (and
+the simulated native ARMCI) execute the paper's microbenchmarks on
+simulated ranks with the platform's timing policy installed; bandwidth
+comes from the initiating rank's simulated clock.  Figures 5 and 6 are
+composed analytically (registration model / NWChem scaling model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..armci import Armci, ArmciConfig
+from ..armci_native import NativeArmci
+from ..mpi.runtime import current_proc
+from ..nwchem.model import WorkloadModel, fig6_series
+from ..simtime.netmodel import MPITimingPolicy
+from ..simtime.platforms import Platform
+from .harness import Series, gbps, pow2_sizes, run_measurement
+
+#: figure-3 transfer sizes: 2^0 .. 2^25 bytes (sampled every 2 octaves
+#: by default to keep runtime reasonable; the paper plots every size)
+FIG3_EXPONENTS = (0, 25)
+#: figure-4 segment counts: 2^0 .. 2^10
+FIG4_EXPONENTS = (0, 10)
+#: figure-4 segment sizes (bytes)
+FIG4_SEG_SIZES = (16, 1024)
+#: figure-4 ARMCI-MPI strided methods (paper legend order)
+FIG4_METHODS = ("direct", "iov-direct", "iov-batched", "iov-consrv")
+#: figure-6 core counts per platform (from the paper's x axes)
+FIG6_CORES = {
+    "bgp": [1024, 2048, 3072, 4096],
+    "ib": [192, 224, 256, 288, 320, 352, 384],
+    "xt5": [2048, 4096, 6144, 8192, 10240, 12288],
+    "xe6": [744, 1488, 2232, 2976, 3720, 4464, 5208, 5952],
+}
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: contiguous bandwidth, native vs ARMCI-MPI
+# ---------------------------------------------------------------------------
+
+
+def _measure_contig(comm, platform: Platform, flavor: str, sizes, out):
+    reps = 3
+    if flavor == "mpi":
+        rt = Armci.init(comm)
+    else:
+        rt = NativeArmci.init(comm, path=platform.native)
+    ptrs = rt.malloc(max(sizes))
+    me = rt.my_id
+    results = {}
+    for kind in ("get", "put", "acc"):
+        for n in sizes:
+            buf = np.zeros(n // 8 or 1, dtype="f8")[: max(n // 8, 1)]
+            raw = np.zeros(max(n, 8), dtype=np.uint8)[:n] if n % 8 else None
+            rt.barrier()
+            if me == 0:
+                clock = current_proc().clock
+                t0 = clock.now
+                for _ in range(reps):
+                    if kind == "get":
+                        if n % 8 == 0 and n:
+                            rt.get(ptrs[1], buf, nbytes=n)
+                        else:
+                            rt.get(ptrs[1], raw, nbytes=n)
+                    elif kind == "put":
+                        if n % 8 == 0 and n:
+                            rt.put(buf, ptrs[1], nbytes=n)
+                        else:
+                            rt.put(raw, ptrs[1], nbytes=n)
+                    else:
+                        m = max(n // 8, 1)
+                        rt.acc(np.zeros(m), ptrs[1], nbytes=m * 8)
+                results[(kind, n)] = (clock.now - t0) / reps
+            rt.barrier()
+    if me == 0:
+        out.update(results)
+    rt.barrier()
+    rt.free(ptrs[me])
+
+
+def fig3_series(
+    platform: Platform, exponents: tuple[int, int] = FIG3_EXPONENTS, step: int = 1
+) -> list[Series]:
+    """Six lines per platform: {get,put,acc} x {native, MPI}."""
+    sizes = pow2_sizes(*exponents, step=step)
+    series: list[Series] = []
+    for flavor, tag in (("native", "Nat."), ("mpi", "MPI")):
+        out: dict = {}
+        timing = MPITimingPolicy(platform.mpi) if flavor == "mpi" else None
+        run_measurement(2, _measure_contig, platform, flavor, sizes, out, timing=timing)
+        for kind in ("get", "put", "acc"):
+            s = Series(label=f"{kind.capitalize()} ({tag})")
+            for n in sizes:
+                s.add(n, gbps(n, out[(kind, n)]))
+            series.append(s)
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: strided bandwidth by method
+# ---------------------------------------------------------------------------
+
+
+def _measure_strided(comm, platform, method, kind, seg_size, counts, out):
+    """One (method, kind, segment size) line over segment counts."""
+    reps = 2
+    if method == "native":
+        rt = NativeArmci.init(comm, path=platform.native)
+    else:
+        cfg = {
+            "direct": ArmciConfig(strided_method="direct"),
+            "iov-direct": ArmciConfig(strided_method="iov", iov_method="direct"),
+            "iov-batched": ArmciConfig(strided_method="iov", iov_method="batched"),
+            "iov-consrv": ArmciConfig(strided_method="iov", iov_method="conservative"),
+        }[method]
+        rt = Armci.init(comm, cfg)
+    me = rt.my_id
+    stride = seg_size * 2  # 50% density, as strided tests go
+    maxn = max(counts)
+    rt_ptrs = rt.malloc(stride * maxn + seg_size)
+    local = np.zeros(stride * maxn + seg_size, dtype=np.uint8)
+    results = {}
+    for n in counts:
+        rt.barrier()
+        if me == 0:
+            clock = current_proc().clock
+            t0 = clock.now
+            for _ in range(reps):
+                if kind == "put":
+                    rt.put_s(local, [stride], rt_ptrs[1], [stride], [seg_size, n])
+                elif kind == "get":
+                    rt.get_s(rt_ptrs[1], [stride], local, [stride], [seg_size, n])
+                else:
+                    rt.acc_s(
+                        local, [stride], rt_ptrs[1], [stride], [seg_size, n],
+                        scale=1.0, dtype="f8",
+                    )
+            results[n] = (clock.now - t0) / reps
+        rt.barrier()
+    if me == 0:
+        out.update(results)
+    rt.barrier()
+    rt.free(rt_ptrs[me])
+
+
+def fig4_series(
+    platform: Platform,
+    kind: str,
+    seg_size: int,
+    exponents: tuple[int, int] = FIG4_EXPONENTS,
+) -> list[Series]:
+    """Five lines: native + the four ARMCI-MPI strided methods."""
+    counts = pow2_sizes(*exponents)
+    series = []
+    for method in ("native",) + FIG4_METHODS:
+        out: dict = {}
+        timing = None if method == "native" else MPITimingPolicy(platform.mpi)
+        run_measurement(
+            2, _measure_strided, platform, method, kind, seg_size, counts, out,
+            timing=timing,
+        )
+        s = Series(label="Native" if method == "native" else method)
+        for n in counts:
+            s.add(n, gbps(n * seg_size, out[n]))
+        series.append(s)
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: registration interoperability (analytic; IB platform)
+# ---------------------------------------------------------------------------
+
+
+def fig5_series(platform: Platform, exponents: tuple[int, int] = (2, 22)) -> list[Series]:
+    sizes = pow2_sizes(*exponents)
+    reg = platform.registration
+    lines = [
+        ("ARMCI-IB, ARMCI Alloc", reg.armci_get_armci_buffer),
+        ("MPI, MPI Touch", reg.mpi_get_touched),
+        ("ARMCI-IB, MPI Touch", reg.armci_get_mpi_buffer),
+        ("MPI, ARMCI Alloc", reg.mpi_get_untouched),
+    ]
+    out = []
+    for label, fn in lines:
+        s = Series(label=label)
+        for n in sizes:
+            s.add(n, gbps(n, fn(n)))
+        out.append(s)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: NWChem CCSD / (T) scaling (analytic composition)
+# ---------------------------------------------------------------------------
+
+
+def fig6_platform_series(
+    platform: Platform, kind: str = "ccsd", workload: "WorkloadModel | None" = None
+) -> list[Series]:
+    cores = FIG6_CORES[platform.key]
+    data = fig6_series(platform, cores, kind=kind, workload=workload)
+    native = Series(label=f"ARMCI-Native {kind.upper()}")
+    mpi = Series(label=f"ARMCI-MPI {kind.upper()}")
+    for c, tn, tm in zip(data["cores"], data["native_min"], data["mpi_min"]):
+        native.add(c, tn)
+        mpi.add(c, tm)
+    return [mpi, native]

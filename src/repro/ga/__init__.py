@@ -1,0 +1,82 @@
+"""Global Arrays: the PGAS array model on top of ARMCI (§II-B).
+
+Runs unchanged over ARMCI-MPI (:class:`repro.armci.Armci`) or the
+simulated native ARMCI (:class:`repro.armci_native.NativeArmci`) —
+mirroring Figure 1's two software stacks.
+"""
+
+from .array import GlobalArray
+from .collectives import (
+    add,
+    copy,
+    copy_patch,
+    dgemm,
+    dot,
+    fill,
+    fill_patch,
+    norm2,
+    scale,
+    scale_patch,
+    sum_all,
+    transpose,
+    zero,
+)
+from .elements import gather, read_inc, scatter, scatter_acc
+from .elementwise import (
+    abs_value,
+    add_constant,
+    elem_divide,
+    elem_maximum,
+    elem_minimum,
+    elem_multiply,
+    recip,
+    select_elem,
+)
+from .ghosts import GhostArray, jacobi_sweep
+from .periodic import periodic_acc, periodic_get, periodic_put
+from .counters import SharedCounter, TaskPool
+from .distribution import BlockDistribution, OwnedPiece, Patch, block_bounds, grid_dims
+from .irregular import IrregularDistribution, create_irregular
+
+__all__ = [
+    "BlockDistribution",
+    "GhostArray",
+    "GlobalArray",
+    "IrregularDistribution",
+    "OwnedPiece",
+    "Patch",
+    "SharedCounter",
+    "TaskPool",
+    "abs_value",
+    "add",
+    "add_constant",
+    "block_bounds",
+    "copy",
+    "copy_patch",
+    "create_irregular",
+    "dgemm",
+    "dot",
+    "elem_divide",
+    "elem_maximum",
+    "elem_minimum",
+    "elem_multiply",
+    "fill",
+    "fill_patch",
+    "gather",
+    "grid_dims",
+    "jacobi_sweep",
+    "norm2",
+    "periodic_acc",
+    "periodic_get",
+    "periodic_put",
+    "read_inc",
+    "recip",
+    "scale",
+    "scale_patch",
+    "scatter",
+    "scatter_acc",
+    "select_elem",
+    "sum_all",
+    "transpose",
+    "zero",
+]

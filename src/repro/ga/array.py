@@ -1,0 +1,254 @@
+"""Global Arrays: distributed shared multidimensional arrays (§II-B).
+
+A :class:`GlobalArray` aggregates the memory of all processes into one
+n-D array accessed by *index ranges*:
+
+* ``put(lo, hi, data)`` / ``get(lo, hi)`` / ``acc(lo, hi, data, alpha)``
+  are one-sided and may touch several owners; each owner's share becomes
+  one strided ARMCI operation (Fig. 2);
+* ``access()`` / ``release()`` give direct load/store access to the
+  local block through the ARMCI DLA extension (§V-E);
+* locality introspection (``distribution``) lets owner-computes code
+  avoid communication, GA's core performance idiom.
+
+The class is generic over the runtime: anything exposing the ARMCI call
+surface works — :class:`repro.armci.Armci` (the paper's ARMCI-MPI) or
+:class:`repro.armci_native.NativeArmci` (the baseline), which is how
+the NWChem proxy runs the same science on both stacks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..armci.gmr import GlobalPtr
+from ..mpi.errors import ArgumentError
+from .distribution import BlockDistribution, Patch
+
+
+class GlobalArray:
+    """A distributed shared n-D array in the Global Arrays model."""
+
+    def __init__(self, runtime, shape, dtype, ptrs, dist, name):
+        self.runtime = runtime
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+        self.ptrs: list[GlobalPtr] = ptrs
+        self.dist: BlockDistribution = dist
+        self.name = name
+        self._access_view: "np.ndarray | None" = None
+
+    # -- creation ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        runtime,
+        shape: Sequence[int],
+        dtype: "np.dtype | str" = "f8",
+        chunk: "Sequence[int] | None" = None,
+        name: str = "ga",
+    ) -> "GlobalArray":
+        """Collective creation (GA_Create).
+
+        ``chunk`` gives per-dimension minimum block sizes, as in GA.
+        """
+        shape = tuple(int(s) for s in shape)
+        dtype = np.dtype(dtype)
+        dist = BlockDistribution(shape, runtime.nproc, chunk)
+        block = dist.block(runtime.my_id)
+        nbytes = block.size * dtype.itemsize
+        ptrs = runtime.malloc(nbytes)
+        return cls(runtime, shape, dtype, ptrs, dist, name)
+
+    def destroy(self) -> None:
+        """Collective destruction (GA_Destroy)."""
+        if self._access_view is not None:
+            raise ArgumentError(f"{self.name}: destroy() during access()")
+        me = self.runtime.my_id
+        ptr = self.ptrs[me]
+        self.runtime.barrier()
+        self.runtime.free(None if ptr.is_null else ptr)
+
+    def duplicate(self, name: "str | None" = None) -> "GlobalArray":
+        """Collective: new GA with the same shape/distribution (GA_Duplicate)."""
+        return GlobalArray.create(
+            self.runtime, self.shape, self.dtype,
+            name=name or f"{self.name}_copy",
+        )
+
+    # -- introspection -----------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def distribution(self, rank: "int | None" = None) -> Patch:
+        """The block ``[lo, hi)`` owned by ``rank`` (GA_Distribution)."""
+        return self.dist.block(self.runtime.my_id if rank is None else rank)
+
+    def owner(self, index: Sequence[int]) -> int:
+        return self.dist.owner(index)
+
+    # -- patch addressing --------------------------------------------------------------
+    def _patch(self, lo, hi) -> Patch:
+        patch = Patch(tuple(int(x) for x in lo), tuple(int(x) for x in hi))
+        if len(patch.lo) != self.ndim:
+            raise ArgumentError(
+                f"{self.name}: patch rank {len(patch.lo)} != array rank {self.ndim}"
+            )
+        return patch
+
+    def _owner_strided_args(self, piece) -> tuple[GlobalPtr, list[int]]:
+        """Remote base pointer and stride vector for one owner's share."""
+        block = self.dist.block(piece.rank)
+        bshape = block.shape
+        item = self.dtype.itemsize
+        # C-order byte strides of the owner's local block
+        strides = [item] * len(bshape)
+        for d in range(len(bshape) - 2, -1, -1):
+            strides[d] = strides[d + 1] * max(bshape[d + 1], 1)
+        offset = sum(
+            l * s for l, s in zip(piece.local_patch.lo, strides)
+        )
+        ptr = self.ptrs[piece.rank] + offset
+        # ARMCI stride vector: [innermost..outermost][:-1] reversed, minus
+        # the contiguous dimension
+        armci_strides = list(reversed(strides[:-1])) if len(bshape) > 1 else []
+        return ptr, armci_strides
+
+    @staticmethod
+    def _count_vector(shape: Sequence[int], item: int) -> list[int]:
+        """ARMCI count vector for a patch shape (count[0] in bytes)."""
+        return [shape[-1] * item] + list(reversed(shape[:-1]))
+
+    def _local_strides(self, request_shape: Sequence[int], item: int) -> list[int]:
+        strides = [item] * len(request_shape)
+        for d in range(len(request_shape) - 2, -1, -1):
+            strides[d] = strides[d + 1] * max(request_shape[d + 1], 1)
+        return list(reversed(strides[:-1])) if len(request_shape) > 1 else []
+
+    # -- one-sided data access (GA_Put / GA_Get / GA_Acc) ------------------------------
+    def put(self, lo: Sequence[int], hi: Sequence[int], data: np.ndarray) -> None:
+        """One-sided put of ``data`` into the global patch ``[lo, hi)``."""
+        patch = self._patch(lo, hi)
+        data = self._check_data(patch, data)
+        item = self.dtype.itemsize
+        buf = np.ascontiguousarray(data)
+        for piece in self.dist.locate(patch):
+            sub = np.ascontiguousarray(_subpatch(buf, piece.request_patch))
+            ptr, rem_strides = self._owner_strided_args(piece)
+            pshape = piece.global_patch.shape
+            self.runtime.put_s(
+                sub,
+                self._local_strides(pshape, item),
+                ptr,
+                rem_strides[: len(pshape) - 1],
+                self._count_vector(pshape, item),
+            )
+
+    def get(
+        self, lo: Sequence[int], hi: Sequence[int], out: "np.ndarray | None" = None
+    ) -> np.ndarray:
+        """One-sided get of the global patch ``[lo, hi)``."""
+        patch = self._patch(lo, hi)
+        if out is None:
+            out = np.empty(patch.shape, dtype=self.dtype)
+        else:
+            out = self._check_data(patch, out, writable=True)
+        item = self.dtype.itemsize
+        for piece in self.dist.locate(patch):
+            pshape = piece.global_patch.shape
+            sub = np.empty(pshape, dtype=self.dtype)
+            ptr, rem_strides = self._owner_strided_args(piece)
+            self.runtime.get_s(
+                ptr,
+                rem_strides[: len(pshape) - 1],
+                sub,
+                self._local_strides(pshape, item),
+                self._count_vector(pshape, item),
+            )
+            _subpatch_assign(out, piece.request_patch, sub)
+        return out
+
+    def acc(
+        self,
+        lo: Sequence[int],
+        hi: Sequence[int],
+        data: np.ndarray,
+        alpha: float = 1.0,
+    ) -> None:
+        """One-sided accumulate: ``GA[lo:hi) += alpha * data`` (GA_Acc)."""
+        patch = self._patch(lo, hi)
+        data = self._check_data(patch, data)
+        item = self.dtype.itemsize
+        buf = np.ascontiguousarray(data)
+        for piece in self.dist.locate(patch):
+            sub = np.ascontiguousarray(_subpatch(buf, piece.request_patch))
+            ptr, rem_strides = self._owner_strided_args(piece)
+            pshape = piece.global_patch.shape
+            self.runtime.acc_s(
+                sub,
+                self._local_strides(pshape, item),
+                ptr,
+                rem_strides[: len(pshape) - 1],
+                self._count_vector(pshape, item),
+                scale=alpha,
+                dtype=self.dtype,
+            )
+
+    def _check_data(self, patch: Patch, data: np.ndarray, writable=False) -> np.ndarray:
+        data = np.asarray(data)
+        if data.dtype != self.dtype:
+            raise ArgumentError(
+                f"{self.name}: data dtype {data.dtype} != array dtype {self.dtype}"
+            )
+        if tuple(data.shape) != patch.shape:
+            raise ArgumentError(
+                f"{self.name}: data shape {data.shape} != patch shape {patch.shape}"
+            )
+        return data
+
+    # -- direct local access (GA_Access / GA_Release, §V-E) ------------------------------
+    def access(self) -> np.ndarray:
+        """Exclusive direct access to the local block (GA_Access)."""
+        if self._access_view is not None:
+            raise ArgumentError(f"{self.name}: access() is already open")
+        block = self.distribution()
+        ptr = self.ptrs[self.runtime.my_id]
+        nbytes = block.size * self.dtype.itemsize
+        if hasattr(self.runtime, "access_begin"):
+            flat = self.runtime.access_begin(ptr, nbytes, self.dtype)
+        else:  # native runtime: coherent direct access
+            slab, disp = self.runtime._locate(ptr)
+            flat = slab[disp : disp + nbytes].view(self.dtype)
+        view = flat.reshape(block.shape)
+        self._access_view = view
+        return view
+
+    def release(self) -> None:
+        """End direct access (GA_Release)."""
+        if self._access_view is None:
+            raise ArgumentError(f"{self.name}: release() without access()")
+        self._access_view = None
+        if hasattr(self.runtime, "access_end"):
+            self.runtime.access_end(self.ptrs[self.runtime.my_id])
+
+    # -- convenience --------------------------------------------------------------------
+    def sync(self) -> None:
+        """GA_Sync: fence + barrier."""
+        self.runtime.barrier()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<GlobalArray {self.name!r} shape={self.shape} dtype={self.dtype} "
+            f"grid={self.dist.dims}>"
+        )
+
+
+def _subpatch(arr: np.ndarray, patch: Patch) -> np.ndarray:
+    return arr[tuple(slice(l, h) for l, h in zip(patch.lo, patch.hi))]
+
+
+def _subpatch_assign(arr: np.ndarray, patch: Patch, value: np.ndarray) -> None:
+    arr[tuple(slice(l, h) for l, h in zip(patch.lo, patch.hi))] = value

@@ -1,0 +1,235 @@
+"""Collective whole-array operations (GA's parallel math layer, §II-B).
+
+Owner-computes implementations of the GA routines the NWChem proxy and
+examples need: fill/scale/copy/add (element-wise), dot products, norms,
+and a distributed matrix multiply.  Each routine is collective over the
+array's group and ends with a sync, matching GA semantics (the caller
+may observe the full result afterwards from any process).
+
+``dgemm`` uses the owner-computes panel algorithm (each process builds
+its own block of C by fetching A row-panels and B column-panels) — not
+the fastest possible SUMMA, but it generates exactly the get/compute/
+accumulate traffic pattern GA applications exhibit, which is what the
+performance model consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpi.errors import ArgumentError
+from .array import GlobalArray
+
+
+def _check_same(a: GlobalArray, b: GlobalArray) -> None:
+    if a.shape != b.shape or a.dtype != b.dtype:
+        raise ArgumentError(
+            f"arrays are not conformant: {a.shape}/{a.dtype} vs {b.shape}/{b.dtype}"
+        )
+
+
+def fill(ga: GlobalArray, value) -> None:
+    """GA_Fill: set every element to ``value``."""
+    block = ga.distribution()
+    if not block.empty:
+        view = ga.access()
+        view[...] = value
+        ga.release()
+    ga.sync()
+
+
+def zero(ga: GlobalArray) -> None:
+    """GA_Zero."""
+    fill(ga, 0)
+
+
+def scale(ga: GlobalArray, alpha) -> None:
+    """GA_Scale: ``ga *= alpha``."""
+    block = ga.distribution()
+    if not block.empty:
+        view = ga.access()
+        view *= alpha
+        ga.release()
+    ga.sync()
+
+
+def copy(src: GlobalArray, dst: GlobalArray) -> None:
+    """GA_Copy (same shape; distributions may differ)."""
+    _check_same(src, dst)
+    dst.sync()
+    block = dst.distribution()
+    if not block.empty:
+        data = src.get(block.lo, block.hi)
+        view = dst.access()
+        view[...] = data
+        dst.release()
+    dst.sync()
+
+
+def add(
+    alpha, a: GlobalArray, beta, b: GlobalArray, c: GlobalArray
+) -> None:
+    """GA_Add: ``c = alpha*a + beta*b`` element-wise."""
+    _check_same(a, c)
+    _check_same(b, c)
+    c.sync()
+    block = c.distribution()
+    if not block.empty:
+        da = a.get(block.lo, block.hi)
+        db = b.get(block.lo, block.hi)
+        view = c.access()
+        view[...] = alpha * da + beta * db
+        c.release()
+    c.sync()
+
+
+def dot(a: GlobalArray, b: GlobalArray) -> float:
+    """GA_Dot: global inner product (all ranks receive the result)."""
+    _check_same(a, b)
+    a.sync()
+    block = a.distribution()
+    local = 0.0
+    if not block.empty:
+        va = a.access()
+        partial_a = va.copy()
+        a.release()
+        db = b.get(block.lo, block.hi)
+        local = float(np.vdot(partial_a, db).real)
+    total = a.runtime.world.allreduce(np.array([local]))
+    return float(total[0])
+
+
+def norm2(ga: GlobalArray) -> float:
+    """Frobenius norm."""
+    return float(np.sqrt(max(dot(ga, ga), 0.0)))
+
+
+def sum_all(ga: GlobalArray) -> float:
+    """Global element sum."""
+    ga.sync()
+    block = ga.distribution()
+    local = 0.0
+    if not block.empty:
+        view = ga.access()
+        local = float(view.sum())
+        ga.release()
+    total = ga.runtime.world.allreduce(np.array([local]))
+    return float(total[0])
+
+
+def dgemm(
+    alpha: float,
+    a: GlobalArray,
+    b: GlobalArray,
+    beta: float,
+    c: GlobalArray,
+    k_tile: int = 0,
+) -> None:
+    """GA_Dgemm: ``C = alpha * A @ B + beta * C`` (2-D, owner-computes).
+
+    Every process fetches the A row-panel and B column-panel matching
+    its C block in ``k_tile``-wide chunks, multiplies locally, and
+    stores through direct access — the canonical GA compute pattern.
+    """
+    if a.ndim != 2 or b.ndim != 2 or c.ndim != 2:
+        raise ArgumentError("dgemm requires 2-D arrays")
+    m, k = a.shape
+    k2, n = b.shape
+    if k2 != k or c.shape != (m, n):
+        raise ArgumentError(
+            f"dgemm shape mismatch: A{a.shape} B{b.shape} C{c.shape}"
+        )
+    c.sync()
+    block = c.distribution()
+    if not block.empty:
+        (ilo, jlo), (ihi, jhi) = block.lo, block.hi
+        tile = k_tile if k_tile > 0 else k
+        acc = np.zeros(block.shape, dtype=c.dtype)
+        for k0 in range(0, k, tile):
+            k1 = min(k0 + tile, k)
+            pa = a.get((ilo, k0), (ihi, k1))
+            pb = b.get((k0, jlo), (k1, jhi))
+            acc += pa @ pb
+        view = c.access()
+        view[...] = alpha * acc + beta * view
+        c.release()
+    c.sync()
+
+
+def fill_patch(ga: GlobalArray, lo, hi, value) -> None:
+    """GA_Fill_patch: set ``ga[lo:hi) = value`` (collective, owner-computes)."""
+    from .distribution import Patch
+
+    patch = Patch(tuple(lo), tuple(hi))
+    ga.sync()
+    block = ga.distribution()
+    piece = patch.intersect(block)
+    if not piece.empty:
+        view = ga.access()
+        local = piece.shifted_into(block.lo)
+        view[tuple(slice(l, h) for l, h in zip(local.lo, local.hi))] = value
+        ga.release()
+    ga.sync()
+
+
+def scale_patch(ga: GlobalArray, lo, hi, alpha) -> None:
+    """GA_Scale_patch: ``ga[lo:hi) *= alpha`` (collective, owner-computes)."""
+    from .distribution import Patch
+
+    patch = Patch(tuple(lo), tuple(hi))
+    ga.sync()
+    block = ga.distribution()
+    piece = patch.intersect(block)
+    if not piece.empty:
+        view = ga.access()
+        local = piece.shifted_into(block.lo)
+        view[tuple(slice(l, h) for l, h in zip(local.lo, local.hi))] *= alpha
+        ga.release()
+    ga.sync()
+
+
+def copy_patch(
+    src: GlobalArray, src_lo, src_hi, dst: GlobalArray, dst_lo, dst_hi
+) -> None:
+    """GA_Copy_patch: copy one index-range patch into another (same shape,
+    arrays/patches may be distributed differently)."""
+    from .distribution import Patch
+
+    sp = Patch(tuple(src_lo), tuple(src_hi))
+    dp = Patch(tuple(dst_lo), tuple(dst_hi))
+    if sp.shape != dp.shape:
+        raise ArgumentError(
+            f"copy_patch: source {sp.shape} != destination {dp.shape}"
+        )
+    dst.sync()
+    # owner-computes on the destination: each rank fetches the matching
+    # source region for the part of the patch it owns
+    block = dst.distribution()
+    piece = dp.intersect(block)
+    if not piece.empty:
+        rel = piece.shifted_into(dp.lo)
+        src_sub_lo = tuple(a + b for a, b in zip(sp.lo, rel.lo))
+        src_sub_hi = tuple(a + b for a, b in zip(sp.lo, rel.hi))
+        data = src.get(src_sub_lo, src_sub_hi)
+        view = dst.access()
+        local = piece.shifted_into(block.lo)
+        view[tuple(slice(l, h) for l, h in zip(local.lo, local.hi))] = data
+        dst.release()
+    dst.sync()
+
+
+def transpose(a: GlobalArray, b: GlobalArray) -> None:
+    """GA_Transpose: ``b = a.T`` (2-D)."""
+    if a.ndim != 2 or b.ndim != 2:
+        raise ArgumentError("transpose requires 2-D arrays")
+    if (a.shape[1], a.shape[0]) != b.shape:
+        raise ArgumentError(f"transpose shapes: A{a.shape} -> B{b.shape}")
+    b.sync()
+    block = b.distribution()
+    if not block.empty:
+        (ilo, jlo), (ihi, jhi) = block.lo, block.hi
+        patch = a.get((jlo, ilo), (jhi, ihi))
+        view = b.access()
+        view[...] = patch.T
+        b.release()
+    b.sync()

@@ -1,0 +1,93 @@
+"""Shared counters: GA's NXTVAL dynamic load balancing primitive.
+
+NWChem's task pools are driven by a shared counter: every process draws
+the next task index with an atomic fetch-and-add on a globally
+accessible integer (historically ``NXTVAL``, served by ARMCI's RMW or a
+helper process).  Under ARMCI-MPI the fetch-and-add is the §V-D
+mutex-based RMW (two epochs + mutex messages) — the paper names the
+resulting latency as one of MPI-2's costs, and MPI-3's ``fetch_and_op``
+as the remedy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..armci.rmw import FETCH_AND_ADD_LONG
+from ..mpi.errors import ArgumentError
+
+
+class SharedCounter:
+    """A distributed atomic counter (NXTVAL).
+
+    Hosted on ``host``'s slice of a dedicated ARMCI allocation.
+    ``next()`` atomically returns-and-increments; ``reset()`` is
+    collective.
+    """
+
+    def __init__(self, runtime, host: int = 0):
+        if not 0 <= host < runtime.nproc:
+            raise ArgumentError(f"counter host {host} out of range")
+        self.runtime = runtime
+        self.host = host
+        # every process allocates 8 bytes; only the host's slice is used,
+        # mirroring how GA lays out its NXTVAL counter
+        self.ptrs = runtime.malloc(8)
+        self._destroyed = False
+
+    def next(self, stride: int = 1) -> int:
+        """Atomically fetch the counter and add ``stride``."""
+        if self._destroyed:
+            raise ArgumentError("counter already destroyed")
+        return self.runtime.rmw(FETCH_AND_ADD_LONG, self.ptrs[self.host], stride)
+
+    def read(self) -> int:
+        """Non-atomic read (diagnostics only)."""
+        out = np.zeros(1, dtype="i8")
+        self.runtime.get(self.ptrs[self.host], out, nbytes=8)
+        return int(out[0])
+
+    def reset(self, value: int = 0) -> None:
+        """Collective reset; includes barriers on both sides."""
+        self.runtime.barrier()
+        if self.runtime.my_id == self.host:
+            self.runtime.put(np.array([value], dtype="i8"), self.ptrs[self.host])
+        self.runtime.barrier()
+
+    def destroy(self) -> None:
+        """Collective destruction."""
+        self.runtime.barrier()
+        me = self.runtime.my_id
+        self.runtime.free(self.ptrs[me])
+        self._destroyed = True
+
+
+class TaskPool:
+    """NXTVAL-driven dynamic task distribution (the NWChem TCE pattern).
+
+    ``tasks()`` yields a disjoint, exhaustive subset of ``range(ntasks)``
+    to each calling process, assigned greedily by counter draws —
+    processes that finish fast draw more tasks, which is GA
+    applications' load-balancing story.
+    """
+
+    def __init__(self, runtime, ntasks: int, counter: "SharedCounter | None" = None):
+        if ntasks < 0:
+            raise ArgumentError(f"negative task count {ntasks}")
+        self.ntasks = ntasks
+        self.counter = counter or SharedCounter(runtime)
+        self._owns_counter = counter is None
+
+    def tasks(self):
+        while True:
+            t = self.counter.next()
+            if t >= self.ntasks:
+                return
+            yield t
+
+    def reset(self) -> None:
+        self.counter.reset()
+
+    def destroy(self) -> None:
+        if self._owns_counter:
+            self.counter.destroy()

@@ -1,0 +1,244 @@
+"""Block data distribution for Global Arrays (Fig. 2's decomposition).
+
+GA distributes an n-D array over a process grid in contiguous blocks.
+A ``GA_Put``/``GA_Get`` on an index-range patch is decomposed into one
+access per owning process — each generally a *noncontiguous* (strided)
+ARMCI operation, which is exactly the translation Figure 2 of the paper
+illustrates (one GA_Put on a 2-D array distributed over 4 processes →
+four ``ARMCI_PutS`` calls).
+
+The process-grid factorisation mirrors GA's heuristic: factor P into
+grid dimensions so blocks stay as square as possible, respecting
+minimum-chunk hints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..mpi.errors import ArgumentError
+
+
+def _prime_factors(n: int) -> list[int]:
+    out, d = [], 2
+    while d * d <= n:
+        while n % d == 0:
+            out.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        out.append(n)
+    return sorted(out, reverse=True)
+
+
+def grid_dims(nproc: int, shape: Sequence[int], chunk: "Sequence[int] | None" = None) -> list[int]:
+    """Factor ``nproc`` into a process grid matched to ``shape``.
+
+    Greedy assignment of prime factors (largest first) to the dimension
+    whose per-process extent is currently largest — GA's "keep blocks
+    square" heuristic.  A ``chunk`` hint gives per-dimension minimum
+    block sizes; dimensions whose blocks would drop below the minimum
+    stop receiving factors.
+    """
+    if nproc < 1:
+        raise ArgumentError(f"nproc must be positive, got {nproc}")
+    ndim = len(shape)
+    if ndim == 0:
+        raise ArgumentError("zero-dimensional arrays are not distributable")
+    if any(s < 1 for s in shape):
+        raise ArgumentError(f"bad shape {shape}")
+    chunk = list(chunk) if chunk is not None else [1] * ndim
+    dims = [1] * ndim
+    for f in _prime_factors(nproc):
+        # current block extent per dimension
+        best, best_extent = None, -1.0
+        for d in range(ndim):
+            extent = shape[d] / dims[d]
+            if extent / f >= max(chunk[d], 1) and extent > best_extent:
+                best, best_extent = d, extent
+        if best is None:
+            break  # no dimension can be split further; leave procs idle
+    # (idle processes own empty blocks)
+        else:
+            dims[best] *= f
+    return dims
+
+
+def block_bounds(extent: int, nblocks: int, b: int) -> tuple[int, int]:
+    """[lo, hi) of block ``b`` when ``extent`` is split into ``nblocks``."""
+    base, rem = divmod(extent, nblocks)
+    lo = b * base + min(b, rem)
+    hi = lo + base + (1 if b < rem else 0)
+    return lo, hi
+
+
+@dataclass(frozen=True)
+class Patch:
+    """An n-D index patch ``[lo, hi)`` (half-open on every dimension)."""
+
+    lo: tuple[int, ...]
+    hi: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise ArgumentError(f"patch rank mismatch: {self.lo} vs {self.hi}")
+        for l, h in zip(self.lo, self.hi):
+            if l > h:
+                raise ArgumentError(f"inverted patch {self.lo}..{self.hi}")
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(h - l for l, h in zip(self.lo, self.hi))
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def empty(self) -> bool:
+        return any(h <= l for l, h in zip(self.lo, self.hi))
+
+    def intersect(self, other: "Patch") -> "Patch":
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        hi = tuple(max(l, h) for l, h in zip(lo, hi))
+        return Patch(lo, hi)
+
+    def shifted_into(self, origin: Sequence[int]) -> "Patch":
+        """This patch re-expressed relative to ``origin``."""
+        return Patch(
+            tuple(l - o for l, o in zip(self.lo, origin)),
+            tuple(h - o for h, o in zip(self.hi, origin)),
+        )
+
+
+@dataclass(frozen=True)
+class OwnedPiece:
+    """One owner's share of a requested patch (the Fig. 2 decomposition)."""
+
+    rank: int  # owning process (group rank)
+    global_patch: Patch  # piece in global coordinates
+    local_patch: Patch  # same piece in the owner's block coordinates
+    request_patch: Patch  # same piece relative to the requested patch
+
+
+class BlockDistribution:
+    """Blocked distribution of ``shape`` over ``nproc`` processes."""
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        nproc: int,
+        chunk: "Sequence[int] | None" = None,
+    ):
+        self.shape = tuple(int(s) for s in shape)
+        self.nproc = nproc
+        self.dims = grid_dims(nproc, self.shape, chunk)
+        self.grid_size = 1
+        for d in self.dims:
+            self.grid_size *= d
+
+    # -- rank <-> grid coordinates -------------------------------------------------
+    def grid_coords(self, rank: int) -> "tuple[int, ...] | None":
+        """Grid coordinate of ``rank``; None for idle (surplus) processes."""
+        if rank >= self.grid_size:
+            return None
+        coords = []
+        for d in reversed(self.dims):
+            coords.append(rank % d)
+            rank //= d
+        return tuple(reversed(coords))
+
+    def rank_of_coords(self, coords: Sequence[int]) -> int:
+        rank = 0
+        for c, d in zip(coords, self.dims):
+            if not 0 <= c < d:
+                raise ArgumentError(f"grid coordinate {coords} outside {self.dims}")
+            rank = rank * d + c
+        return rank
+
+    # -- ownership ---------------------------------------------------------------------
+    def block(self, rank: int) -> Patch:
+        """The block ``[lo, hi)`` owned by ``rank`` (empty for idle ranks)."""
+        coords = self.grid_coords(rank)
+        if coords is None:
+            zeros = tuple(0 for _ in self.shape)
+            return Patch(zeros, zeros)
+        lo, hi = [], []
+        for extent, nb, c in zip(self.shape, self.dims, coords):
+            l, h = block_bounds(extent, nb, c)
+            lo.append(l)
+            hi.append(h)
+        return Patch(tuple(lo), tuple(hi))
+
+    def owner(self, index: Sequence[int]) -> int:
+        """The rank owning element ``index``."""
+        coords = []
+        for x, extent, nb in zip(index, self.shape, self.dims):
+            if not 0 <= x < extent:
+                raise ArgumentError(f"index {tuple(index)} outside shape {self.shape}")
+            base, rem = divmod(extent, nb)
+            # first `rem` blocks have size base+1
+            boundary = rem * (base + 1)
+            if x < boundary:
+                coords.append(x // (base + 1))
+            else:
+                coords.append(rem + (x - boundary) // base if base else nb - 1)
+        return self.rank_of_coords(coords)
+
+    def locate(self, patch: Patch) -> Iterator[OwnedPiece]:
+        """All owners intersecting ``patch`` — NGA_Locate_region.
+
+        Yields one :class:`OwnedPiece` per owning process, the unit that
+        becomes one ARMCI strided operation (Fig. 2).
+        """
+        if len(patch.lo) != len(self.shape):
+            raise ArgumentError(
+                f"patch rank {len(patch.lo)} != array rank {len(self.shape)}"
+            )
+        for l, h, extent in zip(patch.lo, patch.hi, self.shape):
+            if l < 0 or h > extent:
+                raise ArgumentError(f"patch {patch} outside array shape {self.shape}")
+        if patch.empty:
+            return
+        # grid-coordinate range intersecting the patch per dimension
+        coord_ranges = []
+        for d, (extent, nb) in enumerate(zip(self.shape, self.dims)):
+            c_lo = self._coord_of(d, patch.lo[d])
+            c_hi = self._coord_of(d, patch.hi[d] - 1)
+            coord_ranges.append(range(c_lo, c_hi + 1))
+        # iterate the (small) sub-grid
+        def rec(d: int, coords: list[int]):
+            if d == len(coord_ranges):
+                rank = self.rank_of_coords(coords)
+                block = self.block(rank)
+                piece = patch.intersect(block)
+                if not piece.empty:
+                    yield OwnedPiece(
+                        rank=rank,
+                        global_patch=piece,
+                        local_patch=piece.shifted_into(block.lo),
+                        request_patch=piece.shifted_into(patch.lo),
+                    )
+                return
+            for c in coord_ranges[d]:
+                coords.append(c)
+                yield from rec(d + 1, coords)
+                coords.pop()
+
+        yield from rec(0, [])
+
+    def _coord_of(self, dim: int, x: int) -> int:
+        extent, nb = self.shape[dim], self.dims[dim]
+        base, rem = divmod(extent, nb)
+        boundary = rem * (base + 1)
+        if x < boundary:
+            return x // (base + 1)
+        return rem + ((x - boundary) // base if base else 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BlockDistribution(shape={self.shape}, grid={self.dims})"

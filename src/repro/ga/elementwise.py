@@ -1,0 +1,123 @@
+"""Element-wise whole-array operations (GA_Elem_* / GA_Abs_value family).
+
+Owner-computes one-liners over direct local access, collective over the
+array's group: each process transforms its own block under the DLA
+exclusive epoch, then syncs.  No communication beyond the sync — the GA
+idiom for embarrassingly parallel element math.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..mpi.errors import ArgumentError
+from .array import GlobalArray
+from .collectives import _check_same
+
+
+def _unary(ga: GlobalArray, fn: Callable[[np.ndarray], np.ndarray]) -> None:
+    ga.sync()
+    if not ga.distribution().empty:
+        view = ga.access()
+        view[...] = fn(view)
+        ga.release()
+    ga.sync()
+
+
+def _binary(
+    a: GlobalArray, b: GlobalArray, c: GlobalArray,
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+) -> None:
+    _check_same(a, c)
+    _check_same(b, c)
+    c.sync()
+    block = c.distribution()
+    if not block.empty:
+        da = a.get(block.lo, block.hi)
+        db = b.get(block.lo, block.hi)
+        view = c.access()
+        view[...] = fn(da, db)
+        c.release()
+    c.sync()
+
+
+def abs_value(ga: GlobalArray) -> None:
+    """GA_Abs_value: ``ga = |ga|`` element-wise."""
+    _unary(ga, np.abs)
+
+
+def add_constant(ga: GlobalArray, alpha) -> None:
+    """GA_Add_constant: ``ga += alpha``."""
+    _unary(ga, lambda v: v + alpha)
+
+
+def recip(ga: GlobalArray) -> None:
+    """GA_Recip: element-wise reciprocal (zero elements are erroneous)."""
+
+    def fn(v: np.ndarray) -> np.ndarray:
+        if np.any(v == 0):
+            raise ArgumentError(f"{ga.name}: reciprocal of a zero element")
+        return 1.0 / v
+
+    _unary(ga, fn)
+
+
+def elem_multiply(a: GlobalArray, b: GlobalArray, c: GlobalArray) -> None:
+    """GA_Elem_multiply: ``c = a * b`` element-wise (Hadamard)."""
+    _binary(a, b, c, np.multiply)
+
+
+def elem_divide(a: GlobalArray, b: GlobalArray, c: GlobalArray) -> None:
+    """GA_Elem_divide: ``c = a / b`` element-wise (zero divisors erroneous)."""
+
+    def fn(da: np.ndarray, db: np.ndarray) -> np.ndarray:
+        if np.any(db == 0):
+            raise ArgumentError(f"{c.name}: division by a zero element")
+        return da / db
+
+    _binary(a, b, c, fn)
+
+
+def elem_maximum(a: GlobalArray, b: GlobalArray, c: GlobalArray) -> None:
+    """GA_Elem_maximum: ``c = max(a, b)`` element-wise."""
+    _binary(a, b, c, np.maximum)
+
+
+def elem_minimum(a: GlobalArray, b: GlobalArray, c: GlobalArray) -> None:
+    """GA_Elem_minimum: ``c = min(a, b)`` element-wise."""
+    _binary(a, b, c, np.minimum)
+
+
+def select_elem(ga: GlobalArray, kind: str = "max") -> tuple[float, tuple[int, ...]]:
+    """GA_Select_elem: global (value, index) of the max or min element.
+
+    Every rank receives the same result; ties resolve to the lowest
+    global index (deterministic across decompositions).
+    """
+    if kind not in ("max", "min"):
+        raise ArgumentError(f"select_elem kind must be 'max' or 'min', got {kind!r}")
+    ga.sync()
+    block = ga.distribution()
+    if not block.empty:
+        view = ga.access()
+        flat = np.argmax(view) if kind == "max" else np.argmin(view)
+        local_idx = np.unravel_index(int(flat), view.shape)
+        value = float(view[local_idx])
+        gidx = tuple(l + o for l, o in zip(block.lo, local_idx))
+        ga.release()
+    else:
+        value = -np.inf if kind == "max" else np.inf
+        gidx = tuple(-1 for _ in ga.shape)
+    # reduce (value, flattened index) pairs; prefer extremal value, then
+    # the smallest flat index for determinism
+    flatten = 0
+    for g, e in zip(gidx, ga.shape):
+        flatten = flatten * e + max(g, 0)
+    candidates = ga.runtime.world.allgather((value, flatten, gidx))
+    if kind == "max":
+        best = max(candidates, key=lambda t: (t[0], -t[1]))
+    else:
+        best = min(candidates, key=lambda t: (t[0], t[1]))
+    return best[0], tuple(best[2])

@@ -1,0 +1,114 @@
+"""Simulated MPI-2 (with gated MPI-3 RMA extensions).
+
+A functional, strict-semantics MPI substrate: ranks are threads, windows
+are NumPy buffers, and every rule the MPI-2 standard declares *erroneous*
+(conflicting RMA accesses, double window locks, ops outside epochs) is
+detected and raised.  See DESIGN.md for why this substitution preserves
+the behaviour the paper's design responds to.
+
+Public surface::
+
+    from repro import mpi
+
+    def main(comm):
+        win, mem = mpi.Win.allocate(comm, 1024)
+        win.lock(0, mpi.LOCK_EXCLUSIVE)
+        ...
+        win.unlock(0)
+
+    mpi.spmd_run(4, main)
+"""
+
+from . import datatypes, ops
+from .comm import Comm, Intercomm
+from .datatypes import (
+    BYTE,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    Datatype,
+    SegmentMap,
+    contiguous,
+    hindexed,
+    indexed,
+    indexed_block,
+    struct_type,
+    subarray,
+    vector,
+)
+from .errors import (
+    ArgumentError,
+    DatatypeError,
+    MPIError,
+    ProgressDeadlockError,
+    RMAConflictError,
+    RMARangeError,
+    RMASyncError,
+    WinError,
+)
+from .group import UNDEFINED, Group
+from .ops import BAND, BOR, BXOR, LAND, LOR, MAX, MIN, NO_OP, PROD, REPLACE, SUM, Op
+from .p2p import ANY_SOURCE, ANY_TAG, Request, Status
+from .progress import MPI_ASYNC, MPI_POLLING, NATIVE_CHT, ProgressConfig
+from .runtime import Proc, RankFailedError, Runtime, current_proc, spmd_run
+from .window import LOCK_EXCLUSIVE, LOCK_SHARED, Win
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "ArgumentError",
+    "BAND",
+    "BOR",
+    "BXOR",
+    "BYTE",
+    "Comm",
+    "Datatype",
+    "DatatypeError",
+    "DOUBLE",
+    "FLOAT",
+    "Group",
+    "INT",
+    "Intercomm",
+    "LAND",
+    "LOCK_EXCLUSIVE",
+    "LOCK_SHARED",
+    "LONG",
+    "LOR",
+    "MAX",
+    "MIN",
+    "MPI_ASYNC",
+    "MPI_POLLING",
+    "MPIError",
+    "NATIVE_CHT",
+    "NO_OP",
+    "Op",
+    "PROD",
+    "Proc",
+    "ProgressConfig",
+    "ProgressDeadlockError",
+    "RankFailedError",
+    "REPLACE",
+    "Request",
+    "RMAConflictError",
+    "RMARangeError",
+    "RMASyncError",
+    "Runtime",
+    "SegmentMap",
+    "Status",
+    "SUM",
+    "UNDEFINED",
+    "Win",
+    "WinError",
+    "contiguous",
+    "current_proc",
+    "datatypes",
+    "hindexed",
+    "indexed",
+    "indexed_block",
+    "ops",
+    "spmd_run",
+    "struct_type",
+    "subarray",
+    "vector",
+]

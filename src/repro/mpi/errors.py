@@ -1,0 +1,131 @@
+"""MPI error classes for the simulated MPI-2 runtime.
+
+The real MPI standard defines integer error *classes* attached to an
+``MPI_ERR_*`` namespace; an implementation may abort or raise depending on
+the error handler installed on the communicator.  Our simulated runtime
+always behaves like ``MPI_ERRORS_RETURN`` lifted into Python exceptions:
+every erroneous program (as defined by the MPI-2 standard) raises a typed
+exception instead of silently corrupting memory.
+
+The most important of these for the paper is :class:`RMAConflictError` —
+MPI-2 declares conflicting accesses within an epoch (or through a shared
+lock) *erroneous*, and the entire design of ARMCI-MPI (one exclusive epoch
+per operation, staged global buffers, conflict-tree IOV checking) exists to
+never trigger this error.  The simulated window raises it eagerly so tests
+can prove that the ARMCI-MPI layer is conflict-free by construction.
+"""
+
+from __future__ import annotations
+
+
+class MPIError(Exception):
+    """Base class for every error raised by the simulated MPI runtime."""
+
+    #: symbolic error class, mirroring MPI_ERR_* names
+    error_class: str = "MPI_ERR_OTHER"
+
+    def __init__(self, message: str = ""):
+        super().__init__(f"[{self.error_class}] {message}" if message else self.error_class)
+        self.message = message
+
+
+class ArgumentError(MPIError):
+    """Invalid argument passed to an MPI call (MPI_ERR_ARG)."""
+
+    error_class = "MPI_ERR_ARG"
+
+
+class RankError(MPIError):
+    """Rank out of range for the communicator or group (MPI_ERR_RANK)."""
+
+    error_class = "MPI_ERR_RANK"
+
+
+class CountError(MPIError):
+    """Negative or inconsistent count argument (MPI_ERR_COUNT)."""
+
+    error_class = "MPI_ERR_COUNT"
+
+
+class DatatypeError(MPIError):
+    """Invalid or uncommitted datatype (MPI_ERR_TYPE)."""
+
+    error_class = "MPI_ERR_TYPE"
+
+
+class TruncationError(MPIError):
+    """Receive buffer too small for the matched message (MPI_ERR_TRUNCATE)."""
+
+    error_class = "MPI_ERR_TRUNCATE"
+
+
+class CommError(MPIError):
+    """Invalid communicator (MPI_ERR_COMM)."""
+
+    error_class = "MPI_ERR_COMM"
+
+
+class GroupError(MPIError):
+    """Invalid group argument (MPI_ERR_GROUP)."""
+
+    error_class = "MPI_ERR_GROUP"
+
+
+class TagError(MPIError):
+    """Tag out of the valid range (MPI_ERR_TAG)."""
+
+    error_class = "MPI_ERR_TAG"
+
+
+class WinError(MPIError):
+    """Invalid window handle or window operation (MPI_ERR_WIN)."""
+
+    error_class = "MPI_ERR_WIN"
+
+
+class RMASyncError(MPIError):
+    """RMA synchronization misuse (MPI_ERR_RMA_SYNC).
+
+    Raised for: RMA ops outside an access epoch, unlock without a matching
+    lock, locking the same window twice from one process (forbidden by
+    MPI-2 and the reason ARMCI-MPI stages global-buffer transfers), and
+    freeing a window with epochs still open.
+    """
+
+    error_class = "MPI_ERR_RMA_SYNC"
+
+
+class RMAConflictError(MPIError):
+    """Conflicting RMA accesses detected (MPI_ERR_RMA_CONFLICT).
+
+    MPI-2 defines overlapping operations within one epoch — or a local
+    load/store racing a remote access — as erroneous.  Real
+    implementations may corrupt data; the simulated window detects the
+    overlap and raises instead.
+    """
+
+    error_class = "MPI_ERR_RMA_CONFLICT"
+
+
+class RMARangeError(MPIError):
+    """RMA access outside the bounds of the target window (MPI_ERR_RMA_RANGE)."""
+
+    error_class = "MPI_ERR_RMA_RANGE"
+
+
+class ProgressDeadlockError(MPIError):
+    """The runtime watchdog concluded that all ranks are blocked.
+
+    This has no MPI_ERR_* equivalent (a real MPI program simply hangs);
+    the simulated runtime detects the global-wait condition so tests can
+    assert that e.g. circular window locking deadlocks, as §V-E.1 of the
+    paper warns.
+    """
+
+    error_class = "MPI_ERR_PENDING"
+
+
+class InternalError(MPIError):
+    """Invariant violation inside the simulated runtime itself."""
+
+    error_class = "MPI_ERR_INTERN"

@@ -1,0 +1,98 @@
+"""MPI group algebra.
+
+A group is an ordered set of *world ranks*.  ARMCI's group support
+(§IV, §V-A) leans on exactly this machinery: ARMCI communication targets
+absolute (world) ranks, so the GMR layer must translate between a
+window's group ranks and absolute ids — which is ``translate_ranks``
+against the world group.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .errors import GroupError, RankError
+
+#: sentinel returned by rank queries when the process is not a member
+UNDEFINED = -1
+
+
+class Group:
+    """An immutable ordered set of world ranks."""
+
+    __slots__ = ("_members", "_index")
+
+    def __init__(self, members: Iterable[int]):
+        members = list(members)
+        if len(set(members)) != len(members):
+            raise GroupError(f"duplicate ranks in group: {members}")
+        if any(m < 0 for m in members):
+            raise GroupError(f"negative world rank in group: {members}")
+        self._members = tuple(members)
+        self._index = {w: i for i, w in enumerate(self._members)}
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._members)
+
+    def world_rank(self, group_rank: int) -> int:
+        """World rank of the member at position ``group_rank``."""
+        if not 0 <= group_rank < self.size:
+            raise RankError(f"group rank {group_rank} not in [0, {self.size})")
+        return self._members[group_rank]
+
+    def rank_of_world(self, world_rank: int) -> int:
+        """Group rank of ``world_rank``, or :data:`UNDEFINED` if absent."""
+        return self._index.get(world_rank, UNDEFINED)
+
+    def contains_world(self, world_rank: int) -> bool:
+        return world_rank in self._index
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        return self._members
+
+    # -- algebra ---------------------------------------------------------------
+    def incl(self, ranks: Sequence[int]) -> "Group":
+        """Subgroup of the members at the given positions (MPI_Group_incl)."""
+        return Group(self.world_rank(r) for r in ranks)
+
+    def excl(self, ranks: Sequence[int]) -> "Group":
+        """Members minus the given positions (MPI_Group_excl)."""
+        drop = set(ranks)
+        for r in drop:
+            if not 0 <= r < self.size:
+                raise RankError(f"excl rank {r} not in [0, {self.size})")
+        return Group(w for i, w in enumerate(self._members) if i not in drop)
+
+    def union(self, other: "Group") -> "Group":
+        """Members of self, then members of other not in self (MPI order)."""
+        extra = [w for w in other._members if w not in self._index]
+        return Group(self._members + tuple(extra))
+
+    def intersection(self, other: "Group") -> "Group":
+        return Group(w for w in self._members if other.contains_world(w))
+
+    def difference(self, other: "Group") -> "Group":
+        return Group(w for w in self._members if not other.contains_world(w))
+
+    def translate_ranks(self, ranks: Sequence[int], other: "Group") -> list[int]:
+        """Positions in ``other`` of our members at ``ranks`` (MPI_Group_translate_ranks)."""
+        return [other.rank_of_world(self.world_rank(r)) for r in ranks]
+
+    # -- dunder ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Group) and self._members == other._members
+
+    def __hash__(self) -> int:
+        return hash(self._members)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self):
+        return iter(self._members)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Group{self._members}"

@@ -1,0 +1,62 @@
+"""Asynchronous-progress accounting (the CHT question, §IV-A / §V-F).
+
+Native ARMCI implementations usually run a *communication helper thread*
+(CHT) on every node so one-sided operations progress even while the
+target rank is busy in a BLAS call.  The MPI standard likewise requires
+asynchronous progress for RMA, though implementations sometimes gate it
+behind a runtime option because it costs a core or interrupt overhead.
+
+In this simulated substrate, asynchronous progress is *structural*: RMA
+operations execute entirely on the origin thread under the giant lock and
+never require the target thread to run.  This module therefore does not
+implement a helper thread; it provides the accounting object that the
+performance model uses to charge the *cost* of progress options
+(dedicated-core loss for a CHT, interrupt overhead for MPI async
+progress), so application-level models (Fig. 6) can include it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProgressConfig:
+    """How a runtime achieves asynchronous progress, and what it costs.
+
+    Attributes
+    ----------
+    mode:
+        ``"cht"`` — a dedicated communication helper thread per node
+        (native ARMCI); ``"interrupt"`` — interrupt-driven progress (some
+        MPI RMA implementations); ``"polling"`` — progress only inside
+        MPI calls (asynchronous progress effectively off).
+    core_fraction_lost:
+        Fraction of one node's compute capacity consumed by the progress
+        mechanism (a CHT burns a hardware thread; interrupts steal cycles).
+    target_delay_factor:
+        Multiplier on remote-operation latency when the target is busy in
+        a non-communication call.  ``1.0`` = fully asynchronous; larger
+        values model polling-only progress where a put must wait for the
+        target's next MPI call.
+    """
+
+    mode: str = "cht"
+    core_fraction_lost: float = 0.0
+    target_delay_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("cht", "interrupt", "polling"):
+            raise ValueError(f"unknown progress mode {self.mode!r}")
+        if not 0.0 <= self.core_fraction_lost < 1.0:
+            raise ValueError("core_fraction_lost must be in [0, 1)")
+        if self.target_delay_factor < 1.0:
+            raise ValueError("target_delay_factor must be >= 1")
+
+
+#: native ARMCI: helper thread consumes a share of a core, fully async
+NATIVE_CHT = ProgressConfig(mode="cht", core_fraction_lost=1.0 / 16, target_delay_factor=1.0)
+#: MPI with async progress enabled (interrupt-driven)
+MPI_ASYNC = ProgressConfig(mode="interrupt", core_fraction_lost=0.02, target_delay_factor=1.0)
+#: MPI with polling-only progress: remote ops stall on busy targets
+MPI_POLLING = ProgressConfig(mode="polling", core_fraction_lost=0.0, target_delay_factor=4.0)

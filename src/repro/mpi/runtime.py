@@ -1,0 +1,220 @@
+"""SPMD execution runtime: MPI ranks as Python threads.
+
+The simulated MPI runs each rank as an OS thread executing the same
+callable, mirroring ``mpiexec -n N python script.py``.  All MPI state
+transitions happen under one runtime-wide condition variable (a "giant
+lock"), which makes every simulated MPI operation linearisable and lets a
+watchdog detect global deadlock — the failure mode §V-E.1 of the paper is
+designed to avoid (circular window-lock dependencies between two
+processes' communication operations).
+
+Design notes
+------------
+* Blocking MPI semantics are implemented with ``Runtime.wait_for(pred)``:
+  the calling rank sleeps on the shared condition until the predicate
+  holds.  Any state change calls ``notify_progress()``.
+* The watchdog is not timer-based guesswork: a rank that times out while
+  **all** live ranks are blocked and the global progress counter has not
+  moved declares deadlock, raising :class:`ProgressDeadlockError`
+  everywhere.  Tests use this to prove that a naive "lock both windows"
+  implementation of ARMCI's global-buffer communication deadlocks, while
+  the staged implementation does not.
+* If one rank raises, the failure is propagated: all other ranks are
+  woken and raise :class:`RankFailedError`, and ``Runtime.spmd`` re-raises
+  the original exception.  This keeps test failures crisp instead of
+  hanging the suite.
+* Each rank owns a :class:`~repro.simtime.clock.SimClock`; communication
+  layers charge modeled costs to it.  Wall-clock time of the Python
+  simulation is never used as a performance result.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence
+
+from ..simtime.clock import SimClock
+from .errors import InternalError, ProgressDeadlockError
+
+
+class RankFailedError(ProgressDeadlockError):
+    """Raised in surviving ranks after another rank failed."""
+
+
+class Proc:
+    """Per-rank context: identity, simulated clock, and scheduler state."""
+
+    __slots__ = ("rank", "runtime", "clock", "blocked", "finished", "exception")
+
+    def __init__(self, rank: int, runtime: "Runtime"):
+        self.rank = rank
+        self.runtime = runtime
+        self.clock = SimClock()
+        self.blocked = False
+        self.finished = False
+        self.exception: BaseException | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Proc rank={self.rank}>"
+
+
+_tls = threading.local()
+
+
+def current_proc() -> Proc:
+    """The :class:`Proc` of the calling thread (must be inside ``spmd``)."""
+    proc = getattr(_tls, "proc", None)
+    if proc is None:
+        raise InternalError("not inside an SPMD region")
+    return proc
+
+
+class Runtime:
+    """Owns the rank threads and all shared simulated-MPI state.
+
+    Parameters
+    ----------
+    nproc:
+        Number of ranks.
+    watchdog_s:
+        Seconds a blocked rank waits before checking the all-blocked
+        deadlock condition.  Small values make deadlock tests fast; the
+        check never fires spuriously because it also requires the global
+        progress counter to be unchanged.
+    """
+
+    def __init__(self, nproc: int, watchdog_s: float = 2.0):
+        if nproc < 1:
+            raise InternalError(f"nproc must be >= 1, got {nproc}")
+        self.nproc = nproc
+        self.watchdog_s = watchdog_s
+        self.cond = threading.Condition()
+        self.procs = [Proc(r, self) for r in range(nproc)]
+        self.progress_counter = 0
+        #: optional simtime timing policy consulted by communication layers
+        self.timing = None
+        self.failed: BaseException | None = None
+        self._deadlocked = False
+        self._next_context_id = 0
+        #: registry used by collective-matching and window creation;
+        #: maps arbitrary keys to in-flight collective state.
+        self.shared: dict[Any, Any] = {}
+
+    # -- scheduling -----------------------------------------------------------
+    def notify_progress(self) -> None:
+        """Record a state change and wake all sleeping ranks.
+
+        Must be called with :attr:`cond` held.
+        """
+        self.progress_counter += 1
+        self.cond.notify_all()
+
+    def wait_for(self, pred: Callable[[], bool]) -> None:
+        """Block the calling rank until ``pred()`` is true.
+
+        Must be called with :attr:`cond` held.  Raises
+        :class:`ProgressDeadlockError` if the runtime concludes that no
+        rank can make progress, and :class:`RankFailedError` if another
+        rank failed while we waited.
+        """
+        proc = current_proc()
+        while True:
+            if self.failed is not None:
+                raise RankFailedError(f"rank failed elsewhere: {self.failed!r}")
+            if self._deadlocked:
+                raise ProgressDeadlockError("deadlock detected among all ranks")
+            if pred():
+                return
+            proc.blocked = True
+            seen = self.progress_counter
+            try:
+                timed_out = not self.cond.wait(timeout=self.watchdog_s)
+            finally:
+                proc.blocked = False
+            if timed_out and self.progress_counter == seen and self._all_stuck():
+                self._deadlocked = True
+                self.cond.notify_all()
+                raise ProgressDeadlockError(
+                    "all ranks blocked with no progress "
+                    f"for {self.watchdog_s}s (watchdog)"
+                )
+
+    def _all_stuck(self) -> bool:
+        return all(p.blocked or p.finished for p in self.procs if p is not current_proc())
+
+    def alloc_context_id(self) -> int:
+        """Unique id for a new communicator (must hold :attr:`cond`)."""
+        self._next_context_id += 1
+        return self._next_context_id
+
+    # -- execution ------------------------------------------------------------
+    def spmd(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        join_timeout: float = 120.0,
+    ) -> list[Any]:
+        """Run ``fn(comm, *args)`` on every rank; return per-rank results.
+
+        ``fn`` receives the world communicator as its first argument.
+        The first exception raised by any rank is re-raised here after
+        all threads have been joined.
+        """
+        from .comm import Comm  # deferred: comm.py imports runtime
+
+        world = Comm._world(self)
+        results: list[Any] = [None] * self.nproc
+
+        def body(proc: Proc) -> None:
+            _tls.proc = proc
+            try:
+                results[proc.rank] = fn(world, *args)
+            except BaseException as exc:  # noqa: BLE001 - propagated to caller
+                with self.cond:
+                    proc.exception = exc
+                    if self.failed is None and not isinstance(exc, RankFailedError):
+                        self.failed = exc
+                    self.notify_progress()
+            finally:
+                with self.cond:
+                    proc.finished = True
+                    self.notify_progress()
+                _tls.proc = None
+
+        threads = [
+            threading.Thread(target=body, args=(p,), name=f"rank-{p.rank}", daemon=True)
+            for p in self.procs
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=join_timeout)
+        if any(t.is_alive() for t in threads):
+            with self.cond:
+                if self.failed is None:
+                    self.failed = ProgressDeadlockError(
+                        "rank threads did not finish within join_timeout"
+                    )
+                self._deadlocked = True
+                self.notify_progress()
+            for t in threads:
+                t.join(timeout=5.0)
+        if self.failed is not None:
+            raise self.failed
+        for p in self.procs:
+            if p.exception is not None:
+                raise p.exception
+        return results
+
+    # -- simulated time --------------------------------------------------------
+    def clocks(self) -> Sequence[float]:
+        """Current simulated time on every rank."""
+        return [p.clock.now for p in self.procs]
+
+    def max_clock(self) -> float:
+        return max(p.clock.now for p in self.procs)
+
+
+def spmd_run(nproc: int, fn: Callable[..., Any], *args: Any, **kw: Any) -> list[Any]:
+    """One-shot convenience: build a :class:`Runtime` and run ``fn`` on it."""
+    return Runtime(nproc, **kw).spmd(fn, *args)

@@ -1,0 +1,904 @@
+"""MPI RMA windows with passive-target synchronization (MPI-2 + gated MPI-3).
+
+This module is the substrate whose *semantics* shaped the whole ARMCI-MPI
+design (§III, §V):
+
+* **Passive target epochs.**  All one-sided ops must happen between
+  ``lock(target)`` and ``unlock(target)``; ops outside an epoch raise
+  :class:`RMASyncError`.
+* **Shared vs exclusive locks** with FIFO-fair queuing; a process may
+  hold at most **one** lock per window at a time (the MPI-2 restriction
+  that forbids ARMCI-MPI from locking a local and a remote window region
+  of the same window simultaneously and forces buffer staging, §V-E.1).
+* **Conflicting accesses are erroneous.**  Overlapping put/get/acc within
+  one epoch, or between concurrently open epochs of different origins
+  (possible only under shared locks), raise :class:`RMAConflictError` —
+  except accumulate-vs-accumulate with the same op, which MPI permits.
+  Real MPI may silently corrupt data in these cases; we detect eagerly so
+  tests can prove ARMCI-MPI never triggers them.
+* **Get results are delivered at unlock.**  Within an epoch all ops are
+  logically concurrent; a get's data lands in the user buffer only when
+  the epoch closes, so code that peeks earlier observes stale bytes —
+  deliberately, to flush out completion-semantics bugs.
+* **Local load/store** of exposed memory requires an exclusive self-lock
+  when strict checking is on (the public/private window-copy rule of
+  §III that motivated the ARMCI DLA extension).
+
+MPI-3 extensions (``flush``, ``lock_all`` epochless mode, request-based
+``rput``/``rget``, ``fetch_and_op``, ``compare_and_swap``) are implemented
+but **gated** behind ``mpi3=True``: §VIII-B of the paper motivates exactly
+these features, and the ablation benchmark quantifies their benefit.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from . import datatypes as dt
+from . import ops as mpi_ops
+from .comm import Comm
+from .errors import (
+    ArgumentError,
+    RMAConflictError,
+    RMARangeError,
+    RMASyncError,
+    WinError,
+)
+from .runtime import current_proc
+
+LOCK_SHARED = "shared"
+LOCK_EXCLUSIVE = "exclusive"
+
+
+def _segments_overlap(
+    a_off: np.ndarray, a_len: np.ndarray, b_off: np.ndarray, b_len: np.ndarray
+) -> bool:
+    """True if any interval of A intersects any interval of B.
+
+    B must be sorted by offset (A need not be).  Intervals within B may
+    themselves overlap, so a running-maximum of interval ends is used:
+    interval ``a`` intersects some ``b`` iff among all b starting before
+    ``a``'s end, the furthest-reaching end exceeds ``a``'s start.
+    Vectorised searchsorted — no O(N·M) scan.
+    """
+    if len(a_off) == 0 or len(b_off) == 0:
+        return False
+    b_end_cummax = np.maximum.accumulate(b_off + b_len)
+    a_end = a_off + a_len
+    # number of b intervals starting strictly before each a's end
+    idx = np.searchsorted(b_off, a_end, side="left")
+    has_candidate = idx > 0
+    reach = b_end_cummax[np.maximum(idx - 1, 0)]
+    return bool(np.any(has_candidate & (reach > a_off)))
+
+
+class _IntervalSet:
+    """Byte-coverage set with amortised-cheap overlap queries.
+
+    Stores the union of all added intervals as a compacted sorted
+    disjoint array plus a small pending list; queries check both.  With
+    compaction every 32 additions, recording N operations in one epoch
+    costs O(N log N) total instead of the O(N^2) a naive
+    check-against-every-previous-op scan would (the regime the batched
+    IOV method hits with thousands of segments per epoch).
+    """
+
+    __slots__ = ("_cov_off", "_cov_len", "_pending", "count")
+
+    _COMPACT_AT = 8
+
+    def __init__(self) -> None:
+        self._cov_off = np.empty(0, dtype=np.int64)
+        self._cov_len = np.empty(0, dtype=np.int64)
+        self._pending: list[tuple[np.ndarray, np.ndarray]] = []
+        self.count = 0
+
+    def add(self, offsets: np.ndarray, lengths: np.ndarray) -> None:
+        if len(offsets) == 0:
+            return
+        self._pending.append((offsets, lengths))
+        self.count += 1
+        if len(self._pending) >= self._COMPACT_AT:
+            self._compact()
+
+    def _compact(self) -> None:
+        offs = np.concatenate([self._cov_off] + [p[0] for p in self._pending])
+        lens = np.concatenate([self._cov_len] + [p[1] for p in self._pending])
+        order = np.argsort(offs, kind="stable")
+        offs, lens = offs[order], lens[order]
+        # merge into disjoint coverage
+        merged = dt.SegmentMap(offs, lens).coalesced()
+        # coalesced() only merges exactly-adjacent runs; also merge overlaps
+        o, l = merged.offsets, merged.lengths
+        if len(o) > 1:
+            ends = np.maximum.accumulate(o + l)
+            new_run = np.empty(len(o), dtype=bool)
+            new_run[0] = True
+            new_run[1:] = o[1:] > ends[:-1]
+            starts = np.flatnonzero(new_run)
+            run_ends = np.append(starts[1:], len(o))
+            o2 = o[starts]
+            l2 = np.array(
+                [ends[e - 1] - o[s] for s, e in zip(starts, run_ends)],
+                dtype=np.int64,
+            )
+            o, l = o2, l2
+        self._cov_off, self._cov_len = o, l
+        self._pending.clear()
+
+    def overlaps(self, offsets: np.ndarray, lengths: np.ndarray) -> bool:
+        if self.count == 0 or len(offsets) == 0:
+            return False
+        if _segments_overlap(offsets, lengths, self._cov_off, self._cov_len):
+            return True
+        for p_off, p_len in self._pending:
+            if len(p_off) > 1:
+                order = np.argsort(p_off, kind="stable")
+                p_off, p_len = p_off[order], p_len[order]
+            if _segments_overlap(offsets, lengths, p_off, p_len):
+                return True
+        return False
+
+
+class _Epoch:
+    """An open access epoch of one origin on one target."""
+
+    __slots__ = (
+        "origin",
+        "target",
+        "mode",
+        "puts",
+        "gets",
+        "accs",
+        "pending_gets",
+        "op_count",
+        "bytes_moved",
+    )
+
+    def __init__(self, origin: int, target: int, mode: str):
+        self.origin = origin
+        self.target = target
+        self.mode = mode
+        #: per-class byte coverage used for conflict detection
+        self.puts = _IntervalSet()
+        self.gets = _IntervalSet()
+        self.accs: dict[str, _IntervalSet] = {}
+        #: (staged_bytes, user_byte_view, origin_segmap)
+        self.pending_gets: list[tuple[np.ndarray, np.ndarray, dt.SegmentMap]] = []
+        self.op_count = 0
+        self.bytes_moved = 0
+
+    def clear_accesses(self) -> None:
+        self.puts = _IntervalSet()
+        self.gets = _IntervalSet()
+        self.accs = {}
+
+    def conflict_class(self, kind: str, opname: "str | None", offs, lens) -> "str | None":
+        """Name of the first access class conflicting with the new op."""
+        if kind != "get" and self.gets.overlaps(offs, lens):
+            return "get"
+        if self.puts.overlaps(offs, lens):
+            return "put"
+        for name, cover in self.accs.items():
+            if kind == "acc" and name == opname:
+                continue  # same-op accumulates may overlap (MPI-2 §11.7.1)
+            if cover.overlaps(offs, lens):
+                return f"acc({name})"
+        return None
+
+    def record(self, kind: str, opname: "str | None", offs, lens) -> None:
+        if kind == "put":
+            self.puts.add(offs, lens)
+        elif kind == "get":
+            self.gets.add(offs, lens)
+        else:
+            self.accs.setdefault(opname or "", _IntervalSet()).add(offs, lens)
+
+
+class _LockState:
+    """Lock state of one target rank of one window."""
+
+    __slots__ = ("mode", "holders", "queue")
+
+    def __init__(self):
+        self.mode: str | None = None
+        self.holders: set[int] = set()
+        self.queue: list[tuple[int, str]] = []
+
+
+class Win:
+    """An RMA window: one memory region per rank of a communicator."""
+
+    def __init__(
+        self,
+        comm: Comm,
+        buffers: list[np.ndarray],
+        disp_units: list[int],
+        strict: bool = True,
+        mpi3: bool = False,
+    ):
+        self.comm = comm
+        self.runtime = comm.runtime
+        #: per-window-rank byte views of the exposed memory
+        self._buffers = buffers
+        self._disp_units = disp_units
+        self.strict = strict
+        self.mpi3 = mpi3
+        self._locks = [_LockState() for _ in range(comm.size)]
+        #: (origin_world, target_rank) -> open epoch
+        self._epochs: dict[tuple[int, int], _Epoch] = {}
+        #: origin_world -> target currently locked (enforces one lock/window rule)
+        self._held: dict[int, int] = {}
+        #: origins in a lock_all epoch (MPI-3)
+        self._lock_all: set[int] = set()
+        #: active-target state: ranks currently inside a fence epoch
+        self._fence_members: set[int] = set()
+        self._freed = False
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        comm: Comm,
+        local: "np.ndarray | None",
+        disp_unit: int = 1,
+        strict: bool = True,
+        mpi3: bool = False,
+    ) -> "Win":
+        """Collective window creation (MPI_Win_create).
+
+        ``local`` is this rank's exposed array (any dtype; it is viewed as
+        bytes) or ``None``/size-0 for no local exposure.
+        """
+        if local is None:
+            view = np.empty(0, dtype=np.uint8)
+        else:
+            if not isinstance(local, np.ndarray):
+                raise ArgumentError("Win.create: local buffer must be a numpy array")
+            view = local.reshape(-1).view(np.uint8)
+        contribs = comm.allgather((view, disp_unit))
+
+        def build() -> "Win":
+            buffers = [c[0] for c in contribs]
+            units = [c[1] for c in contribs]
+            return cls(comm, buffers, units, strict=strict, mpi3=mpi3)
+
+        # second rendezvous so every rank shares ONE Win object
+        with comm.runtime.cond:
+            win = comm._coll.run(comm.rank, "win_create", None, lambda _c: build())
+        return win
+
+    @classmethod
+    def allocate(
+        cls, comm: Comm, nbytes: int, strict: bool = True, mpi3: bool = False
+    ) -> tuple["Win", np.ndarray]:
+        """Collective allocate-and-create (MPI_Win_allocate)."""
+        if nbytes < 0:
+            raise ArgumentError(f"Win.allocate: negative size {nbytes}")
+        local = np.zeros(nbytes, dtype=np.uint8)
+        win = cls.create(comm, local, strict=strict, mpi3=mpi3)
+        return win, local
+
+    def free(self) -> None:
+        """Collective window free; erroneous with epochs still open."""
+        with self.runtime.cond:
+            rank = self.comm.rank
+
+            def finish(_c):
+                if self._epochs or self._held or self._fence_members:
+                    raise RMASyncError("Win.free with access epochs still open")
+                self._freed = True
+                return None
+
+            self.comm._coll.run(rank, "win_free", None, finish)
+
+    # -- introspection -----------------------------------------------------------
+    def size_of(self, target_rank: int) -> int:
+        """Exposed bytes at ``target_rank``."""
+        self._check_target(target_rank)
+        return self._buffers[target_rank].nbytes
+
+    @property
+    def group(self):
+        return self.comm.group
+
+    # -- passive-target synchronisation ---------------------------------------------
+    def lock(self, target_rank: int, mode: str = LOCK_EXCLUSIVE) -> None:
+        """Begin a passive-target access epoch (MPI_Win_lock)."""
+        if mode not in (LOCK_SHARED, LOCK_EXCLUSIVE):
+            raise ArgumentError(f"unknown lock mode {mode!r}")
+        self._check_target(target_rank)
+        rt = self.runtime
+        origin = current_proc().rank
+        if self.comm.group.rank_of_world(origin) < 0:
+            raise WinError(
+                f"world rank {origin} is not in this window's group and "
+                "cannot open an access epoch on it"
+            )
+        with rt.cond:
+            self._check_alive()
+            if origin in self._held:
+                raise RMASyncError(
+                    f"origin {origin} already holds a lock on target "
+                    f"{self._held[origin]} of this window (MPI-2 allows one "
+                    "lock per window per process)"
+                )
+            if origin in self._lock_all:
+                raise RMASyncError("lock() inside a lock_all epoch")
+            if origin in self._fence_members:
+                raise RMASyncError(
+                    "lock() inside an active-target fence epoch"
+                )
+            ls = self._locks[target_rank]
+            ls.queue.append((origin, mode))
+
+            def grantable() -> bool:
+                if not ls.queue or ls.queue[0][0] != origin:
+                    return False
+                if ls.mode is None:
+                    return True
+                return ls.mode == LOCK_SHARED and mode == LOCK_SHARED
+
+            rt.wait_for(grantable)
+            ls.queue.pop(0)
+            ls.mode = mode
+            ls.holders.add(origin)
+            self._held[origin] = target_rank
+            self._epochs[(origin, target_rank)] = _Epoch(origin, target_rank, mode)
+            rt.notify_progress()
+        self._charge_sync("lock")
+
+    def unlock(self, target_rank: int) -> None:
+        """End the access epoch; completes all ops locally and remotely."""
+        self._check_target(target_rank)
+        rt = self.runtime
+        origin = current_proc().rank
+        with rt.cond:
+            self._check_alive()
+            epoch = self._epochs.pop((origin, target_rank), None)
+            if epoch is None or self._held.get(origin) != target_rank:
+                raise RMASyncError(
+                    f"unlock({target_rank}) without a matching lock by origin {origin}"
+                )
+            self._deliver_gets(epoch)
+            del self._held[origin]
+            ls = self._locks[target_rank]
+            ls.holders.discard(origin)
+            if not ls.holders:
+                ls.mode = None
+            rt.notify_progress()
+        self._charge_sync("unlock")
+
+    # -- active-target synchronisation (MPI_Win_fence) --------------------------------
+    def fence_sync(self, end: bool = False) -> None:
+        """Active-target fence (MPI_Win_fence): collective epoch delimiter.
+
+        Each fence completes all operations of the previous fence epoch
+        (delivering gets) and — unless ``end=True``, the analogue of
+        ``MPI_MODE_NOSUCCEED`` — opens the next one, during which every
+        member may issue RMA operations without locks.  This is the
+        synchronising mode §III describes and rejects for GA, because
+        every data-transfer phase then requires participation of all
+        processes.  Provided so the active-vs-passive trade-off can be
+        exercised and measured; ARMCI-MPI itself never calls it.
+
+        Named ``fence_sync`` to avoid colliding with ARMCI's (unrelated)
+        completion fence.
+        """
+        rt = self.runtime
+        origin = current_proc().rank
+        with rt.cond:
+            self._check_alive()
+            if origin in self._held or origin in self._lock_all:
+                raise RMASyncError(
+                    "MPI_Win_fence while holding a passive-target lock: "
+                    "active and passive epochs may not overlap"
+                )
+
+        def close(_contrib) -> None:
+            # complete the previous fence epoch: deliver gets, drop accesses
+            for (o, _t), epoch in list(self._epochs.items()):
+                if epoch.mode == "fence":
+                    self._deliver_gets(epoch)
+                    del self._epochs[(o, _t)]
+            self._fence_members.clear()
+            if not end:
+                self._fence_members.update(
+                    self.comm.group.world_rank(r) for r in range(self.comm.size)
+                )
+
+        with rt.cond:
+            self.comm._coll.run(self.comm.rank, "win_fence", None, close)
+        self._charge_sync("fence")
+
+    def _fence_epoch(self, origin: int, target_rank: int) -> "_Epoch | None":
+        if origin not in self._fence_members:
+            return None
+        key = (origin, target_rank)
+        epoch = self._epochs.get(key)
+        if epoch is None:
+            epoch = _Epoch(origin, target_rank, "fence")
+            self._epochs[key] = epoch
+        return epoch
+
+    # -- MPI-3 extensions (gated) ---------------------------------------------------
+    def _require_mpi3(self, what: str) -> None:
+        if not self.mpi3:
+            raise WinError(
+                f"{what} requires MPI-3 RMA (create the window with mpi3=True); "
+                "MPI-2 mode reproduces the constraints the paper works around"
+            )
+
+    def lock_all(self) -> None:
+        """Open a shared epoch on every target at once (MPI-3)."""
+        self._require_mpi3("lock_all")
+        rt = self.runtime
+        origin = current_proc().rank
+        with rt.cond:
+            if origin in self._held or origin in self._lock_all:
+                raise RMASyncError("lock_all while already in an epoch")
+            # acquire shared on all targets via the same FIFO discipline
+            for t in range(self.comm.size):
+                ls = self._locks[t]
+                ls.queue.append((origin, LOCK_SHARED))
+
+                def grantable(ls=ls) -> bool:
+                    if not ls.queue or ls.queue[0][0] != origin:
+                        return False
+                    return ls.mode in (None, LOCK_SHARED)
+
+                rt.wait_for(grantable)
+                ls.queue.pop(0)
+                ls.mode = LOCK_SHARED
+                ls.holders.add(origin)
+                self._epochs[(origin, t)] = _Epoch(origin, t, LOCK_SHARED)
+            self._lock_all.add(origin)
+            rt.notify_progress()
+        self._charge_sync("lock_all")
+
+    def unlock_all(self) -> None:
+        self._require_mpi3("unlock_all")
+        rt = self.runtime
+        origin = current_proc().rank
+        with rt.cond:
+            if origin not in self._lock_all:
+                raise RMASyncError("unlock_all without lock_all")
+            for t in range(self.comm.size):
+                epoch = self._epochs.pop((origin, t))
+                self._deliver_gets(epoch)
+                ls = self._locks[t]
+                ls.holders.discard(origin)
+                if not ls.holders:
+                    ls.mode = None
+            self._lock_all.discard(origin)
+            rt.notify_progress()
+        self._charge_sync("unlock_all")
+
+    def flush(self, target_rank: int) -> None:
+        """Complete outstanding ops at the target without closing the epoch."""
+        self._require_mpi3("flush")
+        origin = current_proc().rank
+        with self.runtime.cond:
+            epoch = self._epochs.get((origin, target_rank))
+            if epoch is None:
+                raise RMASyncError(f"flush({target_rank}) outside an epoch")
+            self._deliver_gets(epoch)
+            # flushed ops no longer conflict with later ops of this epoch
+            epoch.clear_accesses()
+            self.runtime.notify_progress()
+        self._charge_sync("flush")
+
+    def flush_all(self) -> None:
+        self._require_mpi3("flush_all")
+        origin = current_proc().rank
+        with self.runtime.cond:
+            for (o, _t), epoch in self._epochs.items():
+                if o == origin:
+                    self._deliver_gets(epoch)
+                    epoch.clear_accesses()
+            self.runtime.notify_progress()
+        self._charge_sync("flush")
+
+    def fetch_and_op(
+        self,
+        value: "int | float",
+        target_rank: int,
+        target_offset: int,
+        datatype: dt.Datatype = dt.LONG,
+        op="MPI_SUM",
+    ) -> "int | float":
+        """Atomic read-modify-write on one element (MPI-3 MPI_Fetch_and_op)."""
+        self._require_mpi3("fetch_and_op")
+        op = mpi_ops.lookup(op)
+        origin = current_proc().rank
+        with self.runtime.cond:
+            self._require_epoch(origin, target_rank)
+            buf = self._typed_view(target_rank, target_offset, datatype, 1)
+            old = buf[0].item()
+            if op is not mpi_ops.NO_OP:
+                src = np.array([value], dtype=datatype.base)
+                op.apply(buf, src)
+            self.runtime.notify_progress()
+        self._charge_op("rmw", datatype.size, 1)
+        return old
+
+    def compare_and_swap(
+        self,
+        compare: "int | float",
+        value: "int | float",
+        target_rank: int,
+        target_offset: int,
+        datatype: dt.Datatype = dt.LONG,
+    ) -> "int | float":
+        """Atomic CAS on one element (MPI-3 MPI_Compare_and_swap)."""
+        self._require_mpi3("compare_and_swap")
+        origin = current_proc().rank
+        with self.runtime.cond:
+            self._require_epoch(origin, target_rank)
+            buf = self._typed_view(target_rank, target_offset, datatype, 1)
+            old = buf[0].item()
+            if old == compare:
+                buf[0] = value
+            self.runtime.notify_progress()
+        self._charge_op("rmw", datatype.size, 1)
+        return old
+
+    # -- one-sided data movement ------------------------------------------------------
+    def put(
+        self,
+        origin: np.ndarray,
+        target_rank: int,
+        target_offset: int = 0,
+        target_datatype: "dt.Datatype | None" = None,
+        target_count: int = 1,
+        origin_datatype: "dt.Datatype | None" = None,
+        origin_count: int = 1,
+    ) -> None:
+        """One-sided put (MPI_Put); completes at unlock."""
+        data = self._gather_origin(origin, origin_datatype, origin_count)
+        segmap = self._target_segmap(
+            origin, target_rank, target_offset, target_datatype, target_count, len(data)
+        )
+        with self.runtime.cond:
+            o = current_proc().rank
+            epoch = self._require_epoch(o, target_rank)
+            self._record_access(epoch, "put", None, segmap)
+            self._scatter_target(target_rank, segmap, data)
+            op_index = epoch.op_count
+            epoch.op_count += 1
+            epoch.bytes_moved += len(data)
+            self.runtime.notify_progress()
+        self._charge_op("put", len(data), segmap.nsegments, op_index)
+
+    def get(
+        self,
+        origin: np.ndarray,
+        target_rank: int,
+        target_offset: int = 0,
+        target_datatype: "dt.Datatype | None" = None,
+        target_count: int = 1,
+        origin_datatype: "dt.Datatype | None" = None,
+        origin_count: int = 1,
+    ) -> None:
+        """One-sided get (MPI_Get); data lands in ``origin`` at unlock/flush."""
+        origin_view = _byte_view(origin)
+        if origin_datatype is None:
+            origin_segmap = dt.SegmentMap(
+                np.array([0], dtype=np.int64), np.array([origin_view.nbytes], dtype=np.int64)
+            )
+        else:
+            origin_segmap = origin_datatype.segment_map(origin_count)
+            if origin_segmap.nsegments:
+                lo = int(origin_segmap.offsets.min())
+                hi = int((origin_segmap.offsets + origin_segmap.lengths).max())
+                if lo < 0 or hi > origin_view.nbytes:
+                    raise ArgumentError(
+                        f"get: origin datatype accesses [{lo},{hi}) outside "
+                        f"the {origin_view.nbytes}-byte origin buffer"
+                    )
+        segmap = self._target_segmap(
+            origin,
+            target_rank,
+            target_offset,
+            target_datatype,
+            target_count,
+            origin_segmap.total_bytes,
+        )
+        with self.runtime.cond:
+            o = current_proc().rank
+            epoch = self._require_epoch(o, target_rank)
+            self._record_access(epoch, "get", None, segmap)
+            staged = self._gather_target(target_rank, segmap)
+            epoch.pending_gets.append((staged, origin_view, origin_segmap))
+            op_index = epoch.op_count
+            epoch.op_count += 1
+            epoch.bytes_moved += len(staged)
+            self.runtime.notify_progress()
+        self._charge_op("get", origin_segmap.total_bytes, segmap.nsegments, op_index)
+
+    def accumulate(
+        self,
+        origin: np.ndarray,
+        target_rank: int,
+        target_offset: int = 0,
+        op="MPI_SUM",
+        target_datatype: "dt.Datatype | None" = None,
+        target_count: int = 1,
+        origin_datatype: "dt.Datatype | None" = None,
+        origin_count: int = 1,
+    ) -> None:
+        """One-sided accumulate (MPI_Accumulate) with a predefined op.
+
+        Element type is taken from the datatype's predefined leaf type
+        (or the origin array's dtype when no datatype is given).
+        """
+        op = mpi_ops.lookup(op)
+        data = self._gather_origin(origin, origin_datatype, origin_count)
+        segmap = self._target_segmap(
+            origin, target_rank, target_offset, target_datatype, target_count, len(data)
+        )
+        base = (
+            target_datatype.base
+            if target_datatype is not None
+            else np.asarray(origin).dtype
+        )
+        if base == np.dtype("V") or base.itemsize == 0:
+            raise ArgumentError("accumulate: cannot infer element type")
+        with self.runtime.cond:
+            o = current_proc().rank
+            epoch = self._require_epoch(o, target_rank)
+            self._record_access(epoch, "acc", op.name, segmap)
+            self._accumulate_target(target_rank, segmap, data, base, op)
+            op_index = epoch.op_count
+            epoch.op_count += 1
+            epoch.bytes_moved += len(data)
+            self.runtime.notify_progress()
+        self._charge_op("acc", len(data), segmap.nsegments, op_index)
+
+    def rput(self, *args: Any, **kw: Any):
+        """Request-based put (MPI-3); completion of the request = local done."""
+        self._require_mpi3("rput")
+        self.put(*args, **kw)
+        return _DoneRequest()
+
+    def rget(self, origin: np.ndarray, target_rank: int, **kw: Any):
+        """Request-based get (MPI-3): data is delivered at request wait."""
+        self._require_mpi3("rget")
+        self.get(origin, target_rank, **kw)
+        o = current_proc().rank
+        win = self
+
+        class _GetRequest(_DoneRequest):
+            def wait(self):
+                with win.runtime.cond:
+                    epoch = win._epochs.get((o, target_rank))
+                    if epoch is not None:
+                        win._deliver_gets(epoch)
+                return None
+
+        return _GetRequest()
+
+    # -- direct local access ------------------------------------------------------------
+    def local_view(self, dtype: "np.dtype | str" = np.uint8) -> np.ndarray:
+        """Direct load/store view of the calling rank's exposed memory.
+
+        Under strict MPI-2 semantics this is only safe inside an
+        *exclusive* self-lock epoch (§III, §V-E); violating that raises.
+        ARMCI's ``access_begin``/``access_end`` extension (§V-E) wraps
+        exactly this discipline.
+        """
+        me = self.comm.rank
+        origin = current_proc().rank
+        if self.strict:
+            with self.runtime.cond:
+                epoch = self._epochs.get((origin, me))
+                ok = epoch is not None and epoch.mode == LOCK_EXCLUSIVE
+                if not ok and origin in self._lock_all:
+                    ok = True  # MPI-3 unified-model relaxation
+                if not ok:
+                    raise RMASyncError(
+                        "direct local access requires an exclusive self-lock "
+                        "(use ARMCI access_begin/access_end)"
+                    )
+        return self._buffers[me].view(np.dtype(dtype))
+
+    def exposed_buffer(self, target_rank: int) -> np.ndarray:
+        """The raw byte buffer exposed by ``target_rank`` (for GMR bookkeeping).
+
+        This does *not* grant access rights; it exists so upper layers can
+        compute address ranges (e.g. to detect that a user's local buffer
+        lies inside a window, §V-E.1).
+        """
+        self._check_target(target_rank)
+        return self._buffers[target_rank]
+
+    # -- internals ----------------------------------------------------------------------
+    def _check_alive(self) -> None:
+        if self._freed:
+            raise WinError("operation on a freed window")
+
+    def _check_target(self, target_rank: int) -> None:
+        if not 0 <= target_rank < self.comm.size:
+            raise RMARangeError(
+                f"target rank {target_rank} not in [0, {self.comm.size})"
+            )
+
+    def _typed_view(
+        self, target_rank: int, target_offset: int, datatype: dt.Datatype, count: int
+    ) -> np.ndarray:
+        """Typed element view into a target buffer (atomic-op helper)."""
+        disp = target_offset * self._disp_units[target_rank]
+        nbytes = datatype.size * count
+        buf = self._buffers[target_rank]
+        if disp < 0 or disp + nbytes > buf.nbytes:
+            raise RMARangeError(
+                f"atomic access [{disp},{disp + nbytes}) outside window of "
+                f"{buf.nbytes}B at target {target_rank}"
+            )
+        return buf[disp : disp + nbytes].view(datatype.base)
+
+    def _require_epoch(self, origin_world: int, target_rank: int) -> _Epoch:
+        epoch = self._epochs.get((origin_world, target_rank))
+        if epoch is None:
+            epoch = self._fence_epoch(origin_world, target_rank)
+        if epoch is None:
+            raise RMASyncError(
+                f"RMA operation on target {target_rank} outside an access epoch"
+            )
+        return epoch
+
+    def _target_segmap(
+        self,
+        origin: np.ndarray,
+        target_rank: int,
+        target_offset: int,
+        target_datatype: "dt.Datatype | None",
+        target_count: int,
+        origin_nbytes: int,
+    ) -> dt.SegmentMap:
+        self._check_target(target_rank)
+        disp = target_offset * self._disp_units[target_rank]
+        if target_datatype is None:
+            segmap = dt.SegmentMap(
+                np.array([disp], dtype=np.int64),
+                np.array([origin_nbytes], dtype=np.int64),
+            )
+        else:
+            segmap = target_datatype.segment_map(target_count).shifted(disp)
+            if segmap.total_bytes != origin_nbytes:
+                raise ArgumentError(
+                    f"origin data {origin_nbytes}B != target datatype "
+                    f"{segmap.total_bytes}B"
+                )
+        buf = self._buffers[target_rank]
+        if segmap.nsegments:
+            lo = int(segmap.offsets.min())
+            hi = int((segmap.offsets + segmap.lengths).max())
+            if lo < 0 or hi > buf.nbytes:
+                raise RMARangeError(
+                    f"access [{lo},{hi}) outside window of {buf.nbytes}B "
+                    f"at target {target_rank}"
+                )
+        return segmap
+
+    @staticmethod
+    def _gather_origin(
+        origin: np.ndarray, origin_datatype: "dt.Datatype | None", count: int
+    ) -> np.ndarray:
+        view = _byte_view(origin)
+        if origin_datatype is None:
+            return view.copy()
+        return origin_datatype.pack(view, count)
+
+    def _scatter_target(self, target_rank: int, segmap: dt.SegmentMap, data: np.ndarray) -> None:
+        buf = self._buffers[target_rank]
+        pos = 0
+        for off, ln in zip(segmap.offsets.tolist(), segmap.lengths.tolist()):
+            buf[off : off + ln] = data[pos : pos + ln]
+            pos += ln
+
+    def _gather_target(self, target_rank: int, segmap: dt.SegmentMap) -> np.ndarray:
+        buf = self._buffers[target_rank]
+        out = np.empty(segmap.total_bytes, dtype=np.uint8)
+        pos = 0
+        for off, ln in zip(segmap.offsets.tolist(), segmap.lengths.tolist()):
+            out[pos : pos + ln] = buf[off : off + ln]
+            pos += ln
+        return out
+
+    def _accumulate_target(
+        self,
+        target_rank: int,
+        segmap: dt.SegmentMap,
+        data: np.ndarray,
+        base: np.dtype,
+        op: mpi_ops.Op,
+    ) -> None:
+        buf = self._buffers[target_rank]
+        itemsize = base.itemsize
+        pos = 0
+        for off, ln in zip(segmap.offsets.tolist(), segmap.lengths.tolist()):
+            if off % itemsize or ln % itemsize:
+                raise ArgumentError(
+                    f"accumulate segment [{off},{off + ln}) not aligned to "
+                    f"{base} elements"
+                )
+            tview = buf[off : off + ln].view(base)
+            sview = data[pos : pos + ln].view(base)
+            op.apply(tview, sview)
+            pos += ln
+
+    def _record_access(
+        self, epoch: _Epoch, kind: str, opname: "str | None", segmap: dt.SegmentMap
+    ) -> None:
+        if not self.strict:
+            return
+        order = np.argsort(segmap.offsets, kind="stable")
+        new_off = segmap.offsets[order]
+        new_len = segmap.lengths[order]
+        if segmap.overlaps_self() and kind != "acc":
+            raise RMAConflictError(
+                f"{kind} with self-overlapping target segments within one operation"
+            )
+        # same-epoch conflicts
+        hit = epoch.conflict_class(kind, opname, new_off, new_len)
+        if hit is not None:
+            raise RMAConflictError(
+                f"{kind} conflicts with earlier {hit} in the same epoch "
+                f"(origin {epoch.origin} -> target {epoch.target})"
+            )
+        # cross-origin conflicts: only possible when the target lock is shared
+        for (o, t), other in self._epochs.items():
+            if t != epoch.target or o == epoch.origin:
+                continue
+            hit = other.conflict_class(kind, opname, new_off, new_len)
+            if hit is not None:
+                raise RMAConflictError(
+                    f"{kind} by origin {epoch.origin} conflicts with "
+                    f"concurrent {hit} by origin {o} on target {t} "
+                    "(both hold shared locks)"
+                )
+        epoch.record(kind, opname, new_off, new_len)
+
+    def _deliver_gets(self, epoch: _Epoch) -> None:
+        for staged, user_view, origin_segmap in epoch.pending_gets:
+            pos = 0
+            for off, ln in zip(
+                origin_segmap.offsets.tolist(), origin_segmap.lengths.tolist()
+            ):
+                user_view[off : off + ln] = staged[pos : pos + ln]
+                pos += ln
+        epoch.pending_gets.clear()
+
+    # -- modeled time --------------------------------------------------------------------
+    def _charge_sync(self, kind: str) -> None:
+        if self.runtime.timing is not None:
+            cost = self.runtime.timing.rma_sync_cost(kind)
+            current_proc().clock.advance(cost, kind=f"rma:{kind}")
+
+    def _charge_op(self, kind: str, nbytes: int, nsegments: int, op_index: int = 0) -> None:
+        if self.runtime.timing is not None:
+            cost = self.runtime.timing.rma_op_cost(kind, nbytes, nsegments, op_index)
+            current_proc().clock.advance(cost, kind=f"rma:{kind}", nbytes=nbytes)
+
+
+class _DoneRequest:
+    """Trivially complete request for eager request-based ops."""
+
+    def test(self) -> tuple[bool, None]:
+        return True, None
+
+    def wait(self) -> None:
+        return None
+
+
+def _byte_view(arr: np.ndarray) -> np.ndarray:
+    """Flat uint8 view of an array (must be contiguous)."""
+    arr = np.asarray(arr)
+    if not arr.flags["C_CONTIGUOUS"]:
+        raise ArgumentError(
+            "RMA buffers must be C-contiguous; pass np.ascontiguousarray(...)"
+        )
+    return arr.reshape(-1).view(np.uint8)

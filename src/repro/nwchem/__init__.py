@@ -1,0 +1,57 @@
+"""NWChem CCSD(T) proxy: the §VII application study, reproducible.
+
+Two modes, per DESIGN.md:
+
+* **functional** (``CcsdDriver``, ``triples_energy``): runs the real
+  tiled-contraction workload over Global Arrays on a handful of
+  simulated ranks, validated against the dense serial reference;
+* **analytic** (``model``): composes platform path-model costs with the
+  w5 workload's operation counts to regenerate the Fig. 6 scaling
+  curves at real core counts.
+"""
+
+from .ccsd import CcsdDriver, CcsdProblem, tiled_matmul
+from .model import (
+    W5_NO,
+    W5_NV,
+    WorkloadModel,
+    ccsd_time,
+    fig6_series,
+    stack_for,
+    triples_time,
+)
+from .scf import ScfDriver, ScfProblem, core_hamiltonian, scf_dense
+from .reference import (
+    coupling_matrix,
+    denominator_matrix,
+    orbital_energies,
+    ring_ccd_dense,
+    triples_energy_dense,
+)
+from .tiles import Tile, TiledSpace
+from .triples import triples_energy
+
+__all__ = [
+    "CcsdDriver",
+    "CcsdProblem",
+    "ScfDriver",
+    "ScfProblem",
+    "core_hamiltonian",
+    "scf_dense",
+    "Tile",
+    "TiledSpace",
+    "W5_NO",
+    "W5_NV",
+    "WorkloadModel",
+    "ccsd_time",
+    "coupling_matrix",
+    "denominator_matrix",
+    "fig6_series",
+    "orbital_energies",
+    "ring_ccd_dense",
+    "stack_for",
+    "tiled_matmul",
+    "triples_energy",
+    "triples_energy_dense",
+    "triples_time",
+]

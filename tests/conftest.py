@@ -1,0 +1,23 @@
+"""Shared test helpers: SPMD execution with fast deadlock watchdogs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi.runtime import Runtime
+
+
+def spmd(nproc, fn, *args, watchdog_s: float = 0.4, **kw):
+    """Run ``fn(comm, *args)`` on ``nproc`` simulated ranks and return the
+    per-rank results.  A short watchdog keeps deadlock tests fast."""
+    return Runtime(nproc, watchdog_s=watchdog_s).spmd(fn, *args, **kw)
+
+
+@pytest.fixture
+def run4():
+    """Fixture form of :func:`spmd` pinned to 4 ranks."""
+
+    def _run(fn, *args, **kw):
+        return spmd(4, fn, *args, **kw)
+
+    return _run

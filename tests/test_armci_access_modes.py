@@ -1,0 +1,141 @@
+"""Tests for §VIII-A access-mode hints: shared locks where promises allow."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.armci import AccessMode, Armci
+from repro.mpi.errors import ArgumentError
+from repro.mpi.window import LOCK_EXCLUSIVE, LOCK_SHARED
+
+from conftest import spmd
+
+
+def test_mode_allows_table():
+    assert AccessMode.DEFAULT.allows("put")
+    assert AccessMode.READ_ONLY.allows("get")
+    assert not AccessMode.READ_ONLY.allows("put")
+    assert not AccessMode.READ_ONLY.allows("acc")
+    assert AccessMode.ACC_ONLY.allows("acc")
+    assert not AccessMode.ACC_ONLY.allows("get")
+    assert AccessMode.CONFLICT_FREE.allows("put")
+
+
+def test_lock_mode_selection():
+    assert AccessMode.DEFAULT.lock_mode("get") == LOCK_EXCLUSIVE
+    assert AccessMode.READ_ONLY.lock_mode("get") == LOCK_SHARED
+    assert AccessMode.ACC_ONLY.lock_mode("acc") == LOCK_SHARED
+    assert AccessMode.CONFLICT_FREE.lock_mode("put") == LOCK_SHARED
+    # RMW and DLA stay exclusive regardless
+    assert AccessMode.CONFLICT_FREE.lock_mode("rmw") == LOCK_EXCLUSIVE
+    assert AccessMode.CONFLICT_FREE.lock_mode("dla") == LOCK_EXCLUSIVE
+
+
+def test_read_only_phase_concurrent_gets():
+    """All ranks get from one hot slab concurrently under shared locks.
+
+    Under DEFAULT this serialises through exclusive epochs; under
+    READ_ONLY it does not — and the strict window verifies no conflict
+    arises (gets never conflict with gets)."""
+
+    def main(comm):
+        a = Armci.init(comm)
+        ptrs = a.malloc(1024)
+        if a.my_id == 0:
+            a.put(np.arange(128.0), ptrs[0])
+        a.barrier()
+        a.set_access_mode(ptrs[0], AccessMode.READ_ONLY)
+        out = np.zeros(128)
+        for _ in range(5):
+            a.get(ptrs[0], out)
+            np.testing.assert_array_equal(out, np.arange(128.0))
+        a.barrier()
+        a.set_access_mode(ptrs[0], AccessMode.DEFAULT)
+        a.barrier()
+        a.free(ptrs[a.my_id])
+
+    spmd(4, main)
+
+
+def test_read_only_rejects_put():
+    def main(comm):
+        a = Armci.init(comm)
+        ptrs = a.malloc(64)
+        a.set_access_mode(ptrs[0], AccessMode.READ_ONLY)
+        with pytest.raises(ArgumentError):
+            a.put(np.zeros(4), ptrs[0])
+        a.barrier()
+        a.set_access_mode(ptrs[0], AccessMode.DEFAULT)
+        a.free(ptrs[a.my_id])
+
+    spmd(2, main)
+
+
+def test_acc_only_phase_concurrent_accumulates():
+    """The NWChem hot path: concurrent accumulates under shared locks."""
+
+    def main(comm):
+        a = Armci.init(comm)
+        ptrs = a.malloc(64)
+        a.set_access_mode(ptrs[0], AccessMode.ACC_ONLY)
+        for _ in range(10):
+            a.acc(np.ones(8), ptrs[0])
+        a.barrier()
+        a.set_access_mode(ptrs[0], AccessMode.DEFAULT)
+        if a.my_id == 0:
+            v = np.zeros(8)
+            a.get(ptrs[0], v)
+            assert np.all(v == 10.0 * a.nproc)
+        a.barrier()
+        a.free(ptrs[a.my_id])
+
+    spmd(4, main)
+
+
+def test_acc_only_rejects_get():
+    def main(comm):
+        a = Armci.init(comm)
+        ptrs = a.malloc(64)
+        a.set_access_mode(ptrs[0], AccessMode.ACC_ONLY)
+        with pytest.raises(ArgumentError):
+            a.get(ptrs[0], np.zeros(4))
+        a.barrier()
+        a.set_access_mode(ptrs[0], AccessMode.DEFAULT)
+        a.free(ptrs[a.my_id])
+
+    spmd(2, main)
+
+
+def test_mode_is_per_gmr():
+    def main(comm):
+        a = Armci.init(comm)
+        p1 = a.malloc(32)
+        p2 = a.malloc(32)
+        a.set_access_mode(p1[0], AccessMode.READ_ONLY)
+        # p2 unaffected
+        a.put(np.zeros(4), p2[a.my_id])
+        a.barrier()
+        a.set_access_mode(p1[0], AccessMode.DEFAULT)
+        a.free(p2[a.my_id])
+        a.free(p1[a.my_id])
+
+    spmd(2, main)
+
+
+def test_mode_change_is_collective_barrier():
+    """No operation under the old mode may race one under the new mode."""
+
+    def main(comm):
+        a = Armci.init(comm)
+        ptrs = a.malloc(32)
+        # writes happen strictly before the READ_ONLY phase
+        a.put(np.full(4, float(a.my_id)), ptrs[a.my_id])
+        a.set_access_mode(ptrs[0], AccessMode.READ_ONLY)
+        v = np.zeros(4)
+        a.get(ptrs[0], v)
+        assert np.all(v == 0.0)
+        a.set_access_mode(ptrs[0], AccessMode.DEFAULT)
+        a.free(ptrs[a.my_id])
+
+    spmd(3, main)

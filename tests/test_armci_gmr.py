@@ -1,0 +1,185 @@
+"""Unit tests for GMR internals: translation table, addresses, handles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.armci import Armci, GlobalPtr, NULL_ADDR
+from repro.armci.gmr import GmrTable
+from repro.mpi.errors import ArgumentError
+
+from conftest import spmd
+
+
+# ---------------------------------------------------------------------------
+# GlobalPtr value semantics
+# ---------------------------------------------------------------------------
+
+
+def test_global_ptr_is_value_type():
+    a = GlobalPtr(1, 0x2000)
+    b = GlobalPtr(1, 0x2000)
+    assert a == b and hash(a) == hash(b)
+    assert a + 8 != a
+    assert (a + 8).addr == 0x2008
+    assert a < GlobalPtr(2, 0)  # ordered by rank first
+
+
+def test_null_pointer():
+    assert GlobalPtr(0, NULL_ADDR).is_null
+    assert not GlobalPtr(0, 0x1000).is_null
+
+
+# ---------------------------------------------------------------------------
+# virtual address allocation
+# ---------------------------------------------------------------------------
+
+
+def test_va_allocation_alignment_and_monotonicity():
+    t = GmrTable()
+    a = t.allocate_va(0, 100, alignment=64)
+    b = t.allocate_va(0, 10, alignment=64)
+    c = t.allocate_va(0, 10, alignment=64)
+    assert a % 64 == 0 and b % 64 == 0 and c % 64 == 0
+    assert a < b < c
+    assert b >= a + 100
+
+
+def test_va_zero_size_is_null():
+    t = GmrTable()
+    assert t.allocate_va(3, 0, alignment=64) == NULL_ADDR
+
+
+def test_va_spaces_are_per_process():
+    t = GmrTable()
+    a0 = t.allocate_va(0, 64, alignment=64)
+    a1 = t.allocate_va(1, 64, alignment=64)
+    assert a0 == a1  # independent address spaces start at the same base
+
+
+def test_lookup_on_empty_table():
+    t = GmrTable()
+    assert t.lookup(0, 0x1000) is None
+    assert t.lookup(0, NULL_ADDR) is None
+
+
+# ---------------------------------------------------------------------------
+# translation through a live runtime
+# ---------------------------------------------------------------------------
+
+
+def test_translation_table_routes_between_allocations():
+    def main(comm):
+        a = Armci.init(comm)
+        p1 = a.malloc(64)
+        p2 = a.malloc(128)
+        g1 = a.table.require(p1[0])
+        g2 = a.table.require(p2[0])
+        assert g1 is not g2
+        # interior addresses resolve to the right GMR
+        assert a.table.lookup(0, p1[0].addr + 63) is g1
+        assert a.table.lookup(0, p2[0].addr + 127) is g2
+        # one past the end is NOT inside
+        assert a.table.lookup(0, p1[0].addr + 64) in (None, g2)
+        a.barrier()
+        a.free(p2[a.my_id])
+        a.free(p1[a.my_id])
+
+    spmd(2, main)
+
+
+def test_displacement_translation():
+    def main(comm):
+        a = Armci.init(comm)
+        ptrs = a.malloc(96)
+        gmr = a.table.require(ptrs[1])
+        win_rank, disp = gmr.displacement(ptrs[1] + 40)
+        assert win_rank == gmr.group.group_rank_of(1)
+        assert disp == 40
+        with pytest.raises(ArgumentError):
+            gmr.displacement(ptrs[1] + 1000)
+        a.barrier()
+        a.free(ptrs[a.my_id])
+
+    spmd(2, main)
+
+
+def test_base_ptrs_match_malloc_return():
+    def main(comm):
+        a = Armci.init(comm)
+        ptrs = a.malloc(32)
+        gmr = a.table.require(ptrs[a.my_id])
+        assert gmr.base_ptrs() == ptrs
+        a.barrier()
+        a.free(ptrs[a.my_id])
+
+    spmd(3, main)
+
+
+def test_local_slab_is_window_memory():
+    def main(comm):
+        a = Armci.init(comm)
+        ptrs = a.malloc(64)
+        gmr = a.table.require(ptrs[a.my_id])
+        slab = gmr.local_slab()
+        assert slab.nbytes == 64
+        assert np.shares_memory(slab, gmr.win.exposed_buffer(gmr.group.rank))
+        a.barrier()
+        a.free(ptrs[a.my_id])
+
+    spmd(2, main)
+
+
+def test_gmr_contains_respects_null_slices():
+    def main(comm):
+        a = Armci.init(comm)
+        ptrs = a.malloc(0 if a.my_id == 0 else 32)
+        gmr = a.table.require(ptrs[1])
+        assert not gmr.contains(0, 0x1000)  # rank 0 has the NULL slice
+        assert gmr.contains(1, ptrs[1].addr)
+        with pytest.raises(ArgumentError):
+            gmr.displacement(GlobalPtr(0, 0x1000))
+        a.barrier()
+        a.free(None if a.my_id == 0 else ptrs[a.my_id])
+
+    spmd(2, main)
+
+
+def test_many_allocations_lookup_is_correct():
+    """Interleaved allocs/frees keep the per-rank bisect index consistent."""
+
+    def main(comm):
+        a = Armci.init(comm)
+        batches = [a.malloc(16 * (i + 1)) for i in range(6)]
+        # free the even ones
+        for i in (0, 2, 4):
+            a.free(batches[i][a.my_id])
+        # odd ones still resolve exactly
+        for i in (1, 3, 5):
+            gmr = a.table.lookup_ptr(batches[i][0])
+            assert gmr is not None
+            assert gmr.sizes[gmr.group.group_rank_of(0)] == 16 * (i + 1)
+        # even ones are gone
+        for i in (0, 2, 4):
+            assert a.table.lookup_ptr(batches[i][0]) is None
+        a.barrier()
+        for i in (1, 3, 5):
+            a.free(batches[i][a.my_id])
+        assert len(a.table) == 0
+
+    spmd(2, main)
+
+
+def test_find_local_buffer_ignores_foreign_arrays():
+    def main(comm):
+        a = Armci.init(comm)
+        ptrs = a.malloc(64)
+        plain = np.zeros(64, dtype=np.uint8)
+        assert a.table.find_local_buffer(a.my_id, plain) is None
+        slab = a.table.require(ptrs[a.my_id]).local_slab()
+        assert a.table.find_local_buffer(a.my_id, slab[10:20]) is not None
+        a.barrier()
+        a.free(ptrs[a.my_id])
+
+    spmd(2, main)

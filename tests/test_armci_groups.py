@@ -1,0 +1,187 @@
+"""Tests for ARMCI groups: translation, collective & noncollective creation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.armci import Armci
+from repro.mpi.errors import ArgumentError
+from repro.mpi.group import UNDEFINED
+
+from conftest import spmd
+
+
+def test_world_group_identity_translation():
+    def main(comm):
+        a = Armci.init(comm)
+        g = a.world_group
+        assert g.size == a.nproc
+        for r in range(g.size):
+            assert g.absolute_id(r) == r
+        assert g.members_absolute() == list(range(a.nproc))
+
+    spmd(4, main)
+
+
+def test_collective_subgroup_and_absolute_ids():
+    def main(comm):
+        a = Armci.init(comm)
+        sub = a.world_group.create_subgroup([1, 3])
+        if a.my_id in (1, 3):
+            assert sub is not None
+            assert sub.size == 2
+            # group rank -> absolute id (§V-A translation)
+            assert sub.absolute_id(0) == 1
+            assert sub.absolute_id(1) == 3
+            assert sub.group_rank_of(3) == 1
+            assert sub.group_rank_of(0) == UNDEFINED
+        else:
+            assert sub is None
+
+    spmd(4, main)
+
+
+def test_split_groups():
+    def main(comm):
+        a = Armci.init(comm)
+        sub = a.world_group.split(color=a.my_id % 2)
+        assert sub.size == 2
+        expect = [r for r in range(4) if r % 2 == a.my_id % 2]
+        assert sub.members_absolute() == expect
+
+    spmd(4, main)
+
+
+def test_malloc_on_subgroup_targets_absolute_ids():
+    """ARMCI ops use absolute ids even on group allocations (§IV)."""
+
+    def main(comm):
+        a = Armci.init(comm)
+        sub = a.world_group.create_subgroup([1, 2])
+        if sub is not None:
+            ptrs = a.malloc(32, group=sub)
+            assert len(ptrs) == 2
+            # pointer ranks are ABSOLUTE ids 1 and 2, not group ranks
+            assert [p.rank for p in ptrs] == [1, 2]
+            me_in_group = sub.rank
+            peer = ptrs[1 - me_in_group]
+            a.put(np.full(4, float(a.my_id)), peer)
+            sub.barrier()
+            mine = np.zeros(4)
+            a.get(ptrs[me_in_group], mine)
+            expect = 3.0 - a.my_id  # 1 <-> 2
+            assert np.all(mine == expect)
+            sub.barrier()
+            a.free(ptrs[me_in_group], group=sub)
+        a.barrier()
+
+    spmd(4, main)
+
+
+def test_group_allocation_invisible_to_outsiders():
+    def main(comm):
+        a = Armci.init(comm)
+        sub = a.world_group.create_subgroup([0, 1])
+        held = {}
+        if sub is not None:
+            ptrs = a.malloc(16, group=sub)
+            held["p"] = ptrs
+            sub.barrier()
+        a.barrier()
+        if sub is None:
+            # rank 2/3 are outside the window's group: even a forged
+            # pointer cannot open an epoch on it (MPI group rule)
+            from repro.armci import GlobalPtr
+            from repro.mpi.errors import WinError
+
+            with pytest.raises((ArgumentError, WinError)):
+                a.get(GlobalPtr(0, 0x1000), np.zeros(2))
+        a.barrier()
+        if sub is not None:
+            a.free(held["p"][sub.rank], group=sub)
+
+    spmd(4, main)
+
+
+def test_noncollective_group_creation():
+    """Only members participate — the EuroMPI'11 recursive algorithm."""
+
+    def main(comm):
+        a = Armci.init(comm)
+        members = [0, 2, 3]
+        if a.my_id in members:
+            g = a.world_group.create_noncollective(members)
+            assert g.size == 3
+            assert g.members_absolute() == members
+            assert g.absolute_id(g.rank) == a.my_id
+            total = g.comm.allreduce(np.array([a.my_id]))
+            assert total[0] == sum(members)
+        else:
+            pass  # rank 1 does nothing at all — that's the point
+        a.barrier()
+
+    spmd(4, main)
+
+
+def test_noncollective_group_singleton():
+    def main(comm):
+        a = Armci.init(comm)
+        g = a.world_group.create_noncollective([a.my_id], tag_seed=a.my_id + 1)
+        assert g.size == 1
+        assert g.members_absolute() == [a.my_id]
+        a.barrier()
+
+    spmd(3, main)
+
+
+def test_noncollective_group_all_members():
+    def main(comm):
+        a = Armci.init(comm)
+        g = a.world_group.create_noncollective(list(range(a.nproc)))
+        assert g.size == a.nproc
+        assert g.members_absolute() == list(range(a.nproc))
+        g.barrier()
+
+    spmd(4, main)
+
+
+def test_noncollective_group_nonmember_raises():
+    def main(comm):
+        a = Armci.init(comm)
+        if a.my_id == 0:
+            with pytest.raises(ArgumentError):
+                a.world_group.create_noncollective([1, 2])
+        a.barrier()
+
+    spmd(3, main)
+
+
+def test_malloc_on_noncollective_group():
+    def main(comm):
+        a = Armci.init(comm)
+        members = [1, 2]
+        if a.my_id in members:
+            g = a.world_group.create_noncollective(members)
+            ptrs = a.malloc(16, group=g)
+            a.put(np.array([float(a.my_id)]), ptrs[g.rank])
+            g.barrier()
+            v = np.zeros(1)
+            a.get(ptrs[g.rank], v)
+            assert v[0] == float(a.my_id)
+            g.barrier()
+            a.free(ptrs[g.rank], group=g)
+        a.barrier()
+
+    spmd(4, main)
+
+
+def test_duplicate_members_raise():
+    def main(comm):
+        a = Armci.init(comm)
+        if a.my_id == 0:
+            with pytest.raises(ArgumentError):
+                a.world_group.create_noncollective([0, 0])
+        a.barrier()
+
+    spmd(2, main)

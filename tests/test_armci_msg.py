@@ -1,0 +1,129 @@
+"""Tests for the ARMCI message layer (armci_msg_*) and mutex fairness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.armci import Armci
+from repro.armci.msg import (
+    msg_barrier,
+    msg_brdcst,
+    msg_dgop,
+    msg_igop,
+    msg_llgop,
+    msg_rcv,
+    msg_snd,
+)
+from repro.mpi.errors import ArgumentError
+
+from conftest import spmd
+
+
+def test_msg_send_recv():
+    def main(comm):
+        a = Armci.init(comm)
+        if a.my_id == 0:
+            msg_snd(a, 42, np.arange(5, dtype="f8"), dest=1)
+        elif a.my_id == 1:
+            buf = np.zeros(5)
+            n = msg_rcv(a, 42, buf, source=0)
+            assert n == 40
+            np.testing.assert_array_equal(buf, np.arange(5.0))
+
+    spmd(2, main)
+
+
+def test_msg_broadcast():
+    def main(comm):
+        a = Armci.init(comm)
+        buf = np.zeros(4, dtype="i8")
+        if a.my_id == 2:
+            buf[:] = [9, 8, 7, 6]
+        msg_brdcst(a, buf, root=2)
+        assert buf.tolist() == [9, 8, 7, 6]
+
+    spmd(3, main)
+
+
+def test_msg_gops():
+    def main(comm):
+        a = Armci.init(comm)
+        r = a.my_id
+        total = msg_dgop(a, [float(r), 1.0], "+")
+        assert total.tolist() == [sum(range(a.nproc)), float(a.nproc)]
+        prod = msg_igop(a, [2], "*")
+        assert prod[0] == 2**a.nproc
+        hi = msg_llgop(a, [r * 10], "max")
+        assert hi[0] == (a.nproc - 1) * 10
+        lo = msg_dgop(a, [float(r)], "min")
+        assert lo[0] == 0.0
+        amax = msg_dgop(a, [-(r + 1.0)], "absmax")
+        assert amax[0] == float(a.nproc)
+
+    spmd(4, main)
+
+
+def test_msg_gop_unknown_op():
+    def main(comm):
+        a = Armci.init(comm)
+        with pytest.raises(ArgumentError):
+            msg_dgop(a, [1.0], "xor")
+
+    spmd(1, main)
+
+
+def test_msg_barrier_is_plain_barrier():
+    def main(comm):
+        a = Armci.init(comm)
+        before = a.stats.fences
+        msg_barrier(a)
+        assert a.stats.fences == before  # no fence, unlike ARMCI_Barrier
+
+    spmd(2, main)
+
+
+# ---------------------------------------------------------------------------
+# mutex fairness (§V-D: "scanned starting at entry i+1, which ensures
+# fairness")
+# ---------------------------------------------------------------------------
+
+
+def test_mutex_handoff_is_circularly_fair():
+    """With rank 0 holding and ranks 1, 2 queued, release must reach rank 1
+    first (scan starts at holder+1), then rank 2."""
+    order: list[int] = []
+
+    def main(comm):
+        import numpy as _np
+
+        from repro.mpi.window import LOCK_SHARED
+
+        a = Armci.init(comm)
+        mtx = a.create_mutexes(1)
+        if a.my_id == 0:
+            mtx.lock(0, 0)
+            comm.barrier()
+            # wait until BOTH waiters' bits are set in the byte vector
+            # (deterministic: read B under a shared lock until B[1] & B[2])
+            waiting = _np.zeros(3, dtype=_np.uint8)
+            while not (waiting[1] and waiting[2]):
+                mtx._win.lock(0, LOCK_SHARED)
+                mtx._win.get(waiting, 0, 0)
+                mtx._win.unlock(0)
+            mtx.unlock(0, 0)  # forwards to rank 1 (scan from 0+1)
+        elif a.my_id == 1:
+            comm.barrier()
+            mtx.lock(0, 0)  # blocks until handoff
+            order.append(1)
+            mtx.unlock(0, 0)  # forwards to rank 2 (scan from 1+1)
+        else:
+            comm.barrier()
+            mtx.lock(0, 0)
+            order.append(2)
+            mtx.unlock(0, 0)
+        a.barrier()
+        mtx.destroy()
+
+    spmd(3, main)
+    assert order == [1, 2], f"handoff order violated fairness: {order}"

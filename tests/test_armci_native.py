@@ -1,0 +1,205 @@
+"""Tests for the simulated native ARMCI, incl. differential vs ARMCI-MPI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.armci import Armci
+from repro.armci_native import NativeArmci
+from repro.mpi.errors import ArgumentError, RMASyncError
+from repro.simtime import INFINIBAND
+
+from conftest import spmd
+
+
+def test_native_put_get_acc():
+    def main(comm):
+        n = NativeArmci.init(comm)
+        ptrs = n.malloc(64)
+        n.put(np.arange(8.0), ptrs[(n.my_id + 1) % n.nproc])
+        n.barrier()
+        v = np.zeros(8)
+        n.get(ptrs[n.my_id], v)
+        np.testing.assert_array_equal(v, np.arange(8.0))
+        n.barrier()  # no acc may land before every rank verified its slab
+        n.acc(np.ones(8), ptrs[0], scale=3.0)
+        n.barrier()
+        if n.my_id == 0:
+            n.get(ptrs[0], v)
+            np.testing.assert_array_equal(v, np.arange(8.0) + 3.0 * n.nproc)
+        n.barrier()
+        n.free(ptrs[n.my_id])
+
+    spmd(3, main)
+
+
+def test_native_strided_and_iov():
+    def main(comm):
+        n = NativeArmci.init(comm)
+        ptrs = n.malloc(512)
+        if n.my_id == 0:
+            n.put_s(np.arange(16.0), [32], ptrs[1] + 64, [64], [32, 4])
+        n.barrier()
+        if n.my_id == 1:
+            v = np.zeros(64)
+            n.get(ptrs[1], v)
+            arr = v.reshape(8, 8)
+            np.testing.assert_array_equal(arr[1:5, :4], np.arange(16.0).reshape(4, 4))
+            out = np.zeros(16)
+            n.getv(
+                [ptrs[1] + 64 + 64 * k for k in range(4)],
+                out, [32 * k for k in range(4)], 32,
+            )
+            np.testing.assert_array_equal(out, np.arange(16.0))
+        n.barrier()
+        n.free(ptrs[n.my_id])
+
+    spmd(2, main)
+
+
+def test_native_rmw_and_locks():
+    def main(comm):
+        n = NativeArmci.init(comm)
+        ptrs = n.malloc(8)
+        got = [n.rmw("fetch_and_add_long", ptrs[0], 1) for _ in range(5)]
+        allv = comm.allgather(got)
+        flat = sorted(x for sub in allv for x in sub)
+        assert flat == list(range(5 * n.nproc))
+        # host locks serialise
+        for _ in range(5):
+            n.lock(3, 0)
+            n.unlock(3, 0)
+        n.barrier()
+        n.free(ptrs[n.my_id])
+
+    spmd(4, main)
+
+
+def test_native_lock_not_reentrant():
+    def main(comm):
+        n = NativeArmci.init(comm)
+        n.lock(0, 0)
+        with pytest.raises(RMASyncError):
+            n.lock(0, 0)
+        n.unlock(0, 0)
+
+    spmd(1, main)
+
+
+def test_native_unlock_by_nonholder_raises():
+    def main(comm):
+        n = NativeArmci.init(comm)
+        if n.my_id == 0:
+            n.lock(1, 0)
+            comm.barrier()
+            comm.barrier()
+            n.unlock(1, 0)
+        else:
+            comm.barrier()
+            with pytest.raises(RMASyncError):
+                n.unlock(1, 0)
+            comm.barrier()
+
+    spmd(2, main)
+
+
+def test_native_charges_modeled_time():
+    def main(comm):
+        n = NativeArmci.init(comm, path=INFINIBAND.native)
+        ptrs = n.malloc(1 << 20)
+        from repro.mpi.runtime import current_proc
+
+        t0 = current_proc().clock.now
+        n.put(np.zeros(1 << 17), ptrs[(n.my_id + 1) % n.nproc])  # 1 MiB
+        dt = current_proc().clock.now - t0
+        expect = INFINIBAND.native.xfer_time("put", 1 << 20)
+        assert abs(dt - expect) < 1e-12
+        n.barrier()
+        n.free(ptrs[n.my_id])
+
+    spmd(2, main)
+
+
+def test_differential_native_vs_armci_mpi():
+    """Identical random workloads through both runtimes -> identical memory."""
+
+    def run(flavor, seed):
+        out = {}
+
+        def main(comm):
+            rt = (
+                Armci.init(comm)
+                if flavor == "mpi"
+                else NativeArmci.init(comm)
+            )
+            ptrs = rt.malloc(512)
+            rng = np.random.default_rng(seed + rt.my_id)
+            for _ in range(20):
+                target = int(rng.integers(rt.nproc))
+                off = int(rng.integers(0, 56)) * 8
+                val = rng.random(1)
+                rt.acc(val, ptrs[target] + off)
+            rt.barrier()
+            mine = np.zeros(64)
+            rt.get(ptrs[rt.my_id], mine)
+            gathered = comm.gather(mine.copy(), root=0)
+            if rt.my_id == 0:
+                out["mem"] = np.concatenate(gathered)
+            rt.barrier()
+            rt.free(ptrs[rt.my_id])
+
+        spmd(3, main)
+        return out["mem"]
+
+    a = run("mpi", 7)
+    b = run("native", 7)
+    np.testing.assert_allclose(a, b, rtol=1e-12)
+
+
+def test_differential_strided():
+    def run(flavor):
+        out = {}
+
+        def main(comm):
+            rt = Armci.init(comm) if flavor == "mpi" else NativeArmci.init(comm)
+            ptrs = rt.malloc(1024)
+            if rt.my_id == 0:
+                src = np.arange(64.0)
+                rt.put_s(src, [64], ptrs[1] + 16, [128], [64, 8])
+            rt.barrier()
+            if rt.my_id == 1:
+                v = np.zeros(128)
+                rt.get(ptrs[1], v)
+                out["mem"] = v.copy()
+            rt.barrier()
+            rt.free(ptrs[rt.my_id])
+
+        spmd(2, main)
+        return out["mem"]
+
+    np.testing.assert_array_equal(run("mpi"), run("native"))
+
+
+def test_native_zero_size_and_free_protocol():
+    def main(comm):
+        n = NativeArmci.init(comm)
+        ptrs = n.malloc(0 if n.my_id == 0 else 32)
+        assert ptrs[0].is_null
+        n.barrier()
+        n.free(None if n.my_id == 0 else ptrs[n.my_id])
+        assert not n.regions
+
+    spmd(3, main)
+
+
+def test_native_bad_address_raises():
+    def main(comm):
+        n = NativeArmci.init(comm)
+        n.malloc(32)
+        from repro.armci import GlobalPtr
+
+        with pytest.raises(ArgumentError):
+            n.get(GlobalPtr(0, 0xDEAD0000), np.zeros(1))
+
+    spmd(2, main)

@@ -1,0 +1,319 @@
+"""Tests for strided operations: Algorithm 1, subarray translation, _s ops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.armci import (
+    Armci,
+    ArmciConfig,
+    StridedSpec,
+    algorithm1_iter,
+    segment_displacements,
+    strided_datatype,
+    strided_to_iov,
+)
+from repro.mpi.errors import ArgumentError
+
+from conftest import spmd
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 1 and its vectorised twin
+# ---------------------------------------------------------------------------
+
+
+def test_algorithm1_2d():
+    # 3 segments, stride 100
+    disps = list(algorithm1_iter([100], [8, 3]))
+    assert disps == [0, 100, 200]
+
+
+def test_algorithm1_3d_order():
+    # idx[0] fastest (paper's odometer): strides (10, 100), counts (2, 3)
+    disps = list(algorithm1_iter([10, 100], [4, 2, 3]))
+    assert disps == [0, 10, 100, 110, 200, 210]
+
+
+def test_algorithm1_zero_count():
+    assert list(algorithm1_iter([10], [4, 0])) == []
+
+
+def test_algorithm1_no_stride_levels():
+    assert list(algorithm1_iter([], [16])) == [0]
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    sl=st.integers(0, 3),
+    data=st.data(),
+)
+def test_vectorised_matches_algorithm1(sl, data):
+    strides = [data.draw(st.integers(1, 50)) for _ in range(sl)]
+    count = [data.draw(st.integers(1, 8))] + [
+        data.draw(st.integers(0, 4)) for _ in range(sl)
+    ]
+    ref = list(algorithm1_iter(strides, count))
+    vec = segment_displacements(strides, count).tolist()
+    assert vec == ref
+
+
+# ---------------------------------------------------------------------------
+# StridedSpec validation
+# ---------------------------------------------------------------------------
+
+
+def test_spec_counts_and_totals():
+    spec = StridedSpec.make([8, 4, 3], [16, 128], [32, 256])
+    assert spec.stride_levels == 2
+    assert spec.seg_bytes == 8
+    assert spec.num_segments == 12
+    assert spec.total_bytes == 96
+
+
+def test_spec_wrong_stride_length_raises():
+    with pytest.raises(ArgumentError):
+        StridedSpec.make([8, 4], [16, 32], [16])
+
+
+def test_spec_overlapping_contiguous_raises():
+    with pytest.raises(ArgumentError):
+        StridedSpec.make([32, 4], [16], [16])  # 32B rows, 16B apart
+
+
+def test_strided_to_iov():
+    spec = StridedSpec.make([8, 3], [32], [64])
+    src, dst, n = strided_to_iov(spec)
+    assert src.tolist() == [0, 32, 64]
+    assert dst.tolist() == [0, 64, 128]
+    assert n == 8
+
+
+# ---------------------------------------------------------------------------
+# strided -> datatype translation (§VI-C backwards translation)
+# ---------------------------------------------------------------------------
+
+
+def test_strided_datatype_is_subarray_for_nested_strides():
+    t = strided_datatype([64, 640], [16, 4, 5])
+    # 5 planes x 4 rows of 16 bytes: 20 segments
+    sm = t.segment_map()
+    assert sm.total_bytes == 16 * 4 * 5
+    assert "subarray" in t.name
+
+
+def test_strided_datatype_falls_back_to_hindexed():
+    # stride 48 not divisible by 20 -> cannot nest evenly
+    t = strided_datatype([20, 48], [8, 2, 2])
+    assert "hindexed" in t.name
+    assert t.segment_map().total_bytes == 8 * 4
+
+
+@settings(max_examples=80, deadline=None)
+@given(sl=st.integers(0, 3), data=st.data())
+def test_strided_datatype_matches_algorithm1_segments(sl, data):
+    """Whatever representation is chosen, the byte layout must equal the
+    reference Algorithm 1 enumeration."""
+    seg = data.draw(st.integers(1, 6))
+    strides, count = [], [seg]
+    prev = seg
+    for _ in range(sl):
+        stride = data.draw(st.integers(prev, prev * 3))
+        strides.append(stride)
+        count.append(data.draw(st.integers(1, 3)))
+        prev = stride * count[-1] if stride * count[-1] > 0 else prev
+    t = strided_datatype(strides, count)
+    sm = t.segment_map()
+    expect = sorted(
+        (d, seg) for d in algorithm1_iter(strides, count)
+    )
+    got = sorted(zip(sm.offsets.tolist(), sm.lengths.tolist()))
+    # coalescing may merge adjacent segments; compare covered byte sets
+    def cover(pairs):
+        s = set()
+        for off, ln in pairs:
+            s.update(range(off, off + ln))
+        return s
+
+    assert cover(got) == cover(expect)
+    assert sm.total_bytes == seg * max(
+        1, int(np.prod(count[1:])) if len(count) > 1 else 1
+    )
+
+
+# ---------------------------------------------------------------------------
+# put_s / get_s / acc_s end-to-end (both methods)
+# ---------------------------------------------------------------------------
+
+
+def _2d_roundtrip(config):
+    """Put a 4x6-double patch into a remote 8x8 'array', read it back."""
+
+    def main(comm):
+        a = Armci.init(comm, config)
+        ptrs = a.malloc(8 * 8 * 8)  # an 8x8 array of doubles per rank
+        if a.my_id == 0:
+            src = np.arange(4 * 6, dtype="f8")  # contiguous 4x6 patch
+            # remote layout: rows of 8 doubles (64B); patch rows of 6 (48B)
+            a.put_s(
+                src,
+                src_strides=[48],
+                dst=ptrs[1] + (8 + 1) * 8,  # start at [1][1]
+                dst_strides=[64],
+                count=[48, 4],
+            )
+        a.barrier()
+        if a.my_id == 1:
+            view = a.access_begin(ptrs[1], 8 * 8 * 8, "f8")
+            arr = view.reshape(8, 8)
+            np.testing.assert_array_equal(
+                arr[1:5, 1:7], np.arange(24.0).reshape(4, 6)
+            )
+            assert arr[0].sum() == 0 and arr[5:].sum() == 0
+            a.access_end(ptrs[1])
+            # strided get back into a padded local buffer
+            out = np.zeros((6, 8))
+            a.get_s(
+                src=ptrs[1] + (8 + 1) * 8,
+                src_strides=[64],
+                dst=out,
+                dst_strides=[8 * 8],
+                count=[48, 4],
+            )
+            np.testing.assert_array_equal(out[:4, :6], np.arange(24.0).reshape(4, 6))
+            assert out[:, 6:].sum() == 0
+        a.barrier()
+        a.free(ptrs[a.my_id])
+
+    spmd(2, main)
+
+
+def test_put_s_get_s_direct():
+    _2d_roundtrip(ArmciConfig(strided_method="direct"))
+
+
+def test_put_s_get_s_iov_auto():
+    _2d_roundtrip(ArmciConfig(strided_method="iov", iov_method="auto"))
+
+
+def test_put_s_get_s_iov_conservative():
+    _2d_roundtrip(ArmciConfig(strided_method="iov", iov_method="conservative"))
+
+
+def test_put_s_get_s_iov_batched():
+    _2d_roundtrip(ArmciConfig(strided_method="iov", iov_method="batched", iov_batch_size=2))
+
+
+def test_acc_s_with_scale():
+    def main(comm):
+        a = Armci.init(comm)
+        ptrs = a.malloc(16 * 8)
+        # everyone accumulates 0.5 * ones into rows 0 and 2 of a 4x4 array
+        src = np.ones(8)
+        a.acc_s(
+            src, src_strides=[32], dst=ptrs[0], dst_strides=[64],
+            count=[32, 2], scale=0.5,
+        )
+        a.barrier()
+        if a.my_id == 0:
+            v = np.zeros(16)
+            a.get(ptrs[0], v)
+            expect = np.zeros((4, 4))
+            expect[0] = expect[2] = 0.5 * a.nproc
+            np.testing.assert_array_equal(v.reshape(4, 4), expect)
+        a.barrier()
+        a.free(ptrs[a.my_id])
+
+    spmd(3, main)
+
+
+def test_3d_strided_put_matches_numpy():
+    def main(comm):
+        a = Armci.init(comm)
+        # remote: 4x4x4 doubles
+        ptrs = a.malloc(4 * 4 * 4 * 8)
+        if a.my_id == 0:
+            # put a 2x2x2 patch at origin (1,1,1)
+            src = np.arange(8.0)
+            a.put_s(
+                src,
+                src_strides=[16, 32],  # 2 doubles contiguous, 2x2 segments
+                dst=ptrs[1] + ((1 * 16) + (1 * 4) + 1) * 8,
+                dst_strides=[4 * 8, 16 * 8],
+                count=[16, 2, 2],
+            )
+        a.barrier()
+        if a.my_id == 1:
+            v = np.zeros(64)
+            a.get(ptrs[1], v)
+            arr = v.reshape(4, 4, 4)
+            np.testing.assert_array_equal(
+                arr[1:3, 1:3, 1:3], np.arange(8.0).reshape(2, 2, 2)
+            )
+            assert arr.sum() == np.arange(8.0).sum()
+        a.barrier()
+        a.free(ptrs[a.my_id])
+
+    spmd(2, main)
+
+
+def test_strided_methods_agree():
+    """direct and iov strided paths must move identical bytes."""
+
+    def run(config, seed):
+        results = {}
+
+        def main(comm):
+            a = Armci.init(comm, config)
+            ptrs = a.malloc(1024)
+            rng = np.random.default_rng(seed)
+            if a.my_id == 0:
+                src = rng.random(32)
+                a.put_s(src, [64], ptrs[1] + 128, [128], [64, 4])
+            a.barrier()
+            if a.my_id == 1:
+                v = np.zeros(128)
+                a.get(ptrs[1], v)
+                results["data"] = v.copy()
+            a.barrier()
+            a.free(ptrs[a.my_id])
+
+        spmd(2, main)
+        return results["data"]
+
+    direct = run(ArmciConfig(strided_method="direct"), 42)
+    via_iov = run(ArmciConfig(strided_method="iov", iov_method="direct"), 42)
+    batched = run(ArmciConfig(strided_method="iov", iov_method="batched"), 42)
+    np.testing.assert_array_equal(direct, via_iov)
+    np.testing.assert_array_equal(direct, batched)
+
+
+def test_strided_local_buffer_too_small_raises():
+    def main(comm):
+        a = Armci.init(comm)
+        ptrs = a.malloc(256)
+        with pytest.raises(ArgumentError):
+            a.put_s(np.zeros(4), [64], ptrs[0], [64], [32, 4])
+        a.barrier()
+        a.free(ptrs[a.my_id])
+
+    spmd(2, main)
+
+
+def test_zero_segment_strided_is_noop():
+    def main(comm):
+        a = Armci.init(comm)
+        ptrs = a.malloc(64)
+        a.put_s(np.zeros(8), [16], ptrs[0], [16], [8, 0])
+        a.barrier()
+        if a.my_id == 0:
+            v = np.zeros(8)
+            a.get(ptrs[0], v)
+            assert v.sum() == 0
+        a.barrier()
+        a.free(ptrs[a.my_id])
+
+    spmd(2, main)

@@ -1,0 +1,114 @@
+"""Tests for the ARMCI tracing facility (ARMCI_PROFILE equivalent)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.armci import Armci, TracingArmci
+from repro.ga import GlobalArray, zero
+from repro.mpi.runtime import Runtime
+from repro.simtime import INFINIBAND, MPITimingPolicy
+
+from conftest import spmd
+
+
+def test_trace_records_ops_and_targets():
+    def main(comm):
+        rt = TracingArmci(Armci.init(comm))
+        ptrs = rt.malloc(64)
+        other = (rt.my_id + 1) % rt.nproc
+        rt.put(np.ones(4), ptrs[other])
+        rt.get(ptrs[other], np.zeros(4))
+        rt.acc(np.ones(2), ptrs[other])
+        rt.barrier()
+        mine = [e for e in rt.events if e.rank == rt.my_id]
+        assert [e.op for e in mine] == ["put", "get", "acc"]
+        assert all(e.target == other for e in mine)
+        assert mine[0].nbytes == 32 and mine[2].nbytes == 16
+        rt.free(ptrs[rt.my_id])
+
+    spmd(2, main)
+
+
+def test_trace_durations_use_modeled_time():
+    rt = Runtime(2)
+    rt.timing = MPITimingPolicy(INFINIBAND.mpi)
+
+    def main(comm):
+        tr = TracingArmci(Armci.init(comm))
+        ptrs = tr.malloc(1 << 20)
+        tr.barrier()
+        if tr.my_id == 0:
+            tr.put(np.zeros(1 << 17), ptrs[1])  # 1 MiB
+            ev = [e for e in tr.events if e.op == "put"][0]
+            # duration = lock + wire + unlock on the IB MPI path
+            path = INFINIBAND.mpi
+            expect = (
+                path.sync_time("lock")
+                + path.xfer_time("put", 1 << 20)
+                + path.sync_time("unlock")
+            )
+            assert abs(ev.duration - expect) < 1e-12
+        tr.barrier()
+        tr.free(ptrs[tr.my_id])
+
+    rt.spmd(main)
+
+
+def test_trace_summary_and_matrix():
+    def main(comm):
+        tr = TracingArmci(Armci.init(comm))
+        ptrs = tr.malloc(64)
+        if tr.my_id == 0:
+            for _ in range(3):
+                tr.put(np.ones(4), ptrs[1])
+            tr.rmw("fetch_and_add_long", ptrs[1], 1)
+        tr.barrier()
+        if tr.my_id == 0:
+            summary = tr.summary_by_op()
+            assert summary["put"][0] == 3
+            assert summary["put"][1] == 96
+            assert summary["rmw"][0] == 1
+            assert tr.traffic_matrix()[(0, 1)] >= 96
+            report = tr.render(max_events=5)
+            assert "put" in report and "0 -> 1" in report
+        tr.barrier()
+        tr.free(ptrs[tr.my_id])
+
+    spmd(2, main)
+
+
+def test_trace_clear():
+    def main(comm):
+        tr = TracingArmci(Armci.init(comm))
+        ptrs = tr.malloc(16)
+        tr.put(np.ones(2), ptrs[tr.my_id])
+        assert tr.events
+        tr.barrier()
+        tr.clear()
+        assert not tr.events
+        tr.free(ptrs[tr.my_id])
+
+    spmd(2, main)
+
+
+def test_traced_runtime_works_under_ga():
+    """The tracer is transparent: GA runs on it unchanged."""
+
+    def main(comm):
+        tr = TracingArmci(Armci.init(comm))
+        ga = GlobalArray.create(tr, (6, 6), "f8")
+        zero(ga)
+        if tr.my_id == 0:
+            ga.put((1, 1), (5, 5), np.ones((4, 4)))
+        ga.sync()
+        got = ga.get((0, 0), (6, 6))
+        assert got.sum() == 16.0
+        # each rank owns its own tracer: events are per-process views
+        ops = {e.op for e in tr.events}
+        assert "get_s" in ops
+        if tr.my_id == 0:
+            assert "put_s" in ops
+        ga.destroy()
+
+    spmd(4, main)

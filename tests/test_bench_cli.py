@@ -1,0 +1,97 @@
+"""Tests for the bench harness utilities and the CLI."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench import Series, format_series_table, format_table, gbps, pow2_sizes
+from repro.bench.cli import build_parser, main
+
+
+def test_pow2_sizes():
+    assert pow2_sizes(0, 4) == [1, 2, 4, 8, 16]
+    assert pow2_sizes(2, 8, step=3) == [4, 32, 256]
+
+
+def test_gbps():
+    assert gbps(1e9, 1.0) == 1.0
+    assert gbps(100, 0.0) == 0.0
+
+
+def test_series_and_table_formatting():
+    s1 = Series(label="a")
+    s2 = Series(label="b")
+    for x in (1, 2):
+        s1.add(x, x * 1.0)
+        s2.add(x, x * 2.0)
+    text = format_series_table("T", "x", [s1, s2])
+    assert "T" in text and "a" in text and "b" in text
+    lines = text.splitlines()
+    assert len(lines) == 5  # title, rule, header, two rows
+
+
+def test_series_mismatched_axes_raise():
+    s1 = Series(label="a", x=[1], y=[1.0])
+    s2 = Series(label="b", x=[2], y=[1.0])
+    with pytest.raises(ValueError):
+        format_series_table("T", "x", [s1, s2])
+
+
+def test_format_table_alignment():
+    out = format_table("T", ["col", "value"], [["x", 1.23456], ["yy", 2.0]])
+    lines = out.splitlines()
+    assert all(len(l) == len(lines[2]) for l in lines[2:])
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["fig4", "--platform", "ib", "--kind", "get"])
+    assert args.command == "fig4" and args.platform == "ib"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["fig3", "--platform", "summit"])
+
+
+def test_cli_table2(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Cray XE6 (Hopper II)" in out
+    assert "MVAPICH2 1.6" in out
+
+
+def test_cli_fig5(capsys):
+    assert main(["fig5"]) == 0
+    out = capsys.readouterr().out
+    assert "ARMCI-IB, ARMCI Alloc" in out
+    assert "MPI, ARMCI Alloc" in out
+
+
+def test_cli_fig6(capsys):
+    assert main(["fig6", "--platform", "ib", "--kind", "ccsd"]) == 0
+    out = capsys.readouterr().out
+    assert "CCSD time (min)" in out
+    assert "192" in out
+
+
+def test_cli_fig3_sparse(capsys):
+    assert main(["fig3", "--platform", "xe6", "--step", "12"]) == 0
+    out = capsys.readouterr().out
+    assert "Get (MPI)" in out
+
+
+def test_cli_module_entrypoint():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "table2"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "Blue Gene/P" in proc.stdout

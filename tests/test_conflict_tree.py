@@ -1,0 +1,127 @@
+"""Tests for the §VI-B AVL conflict tree, incl. property tests vs naive."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.armci.conflict_tree import (
+    ConflictTree,
+    any_overlap_naive,
+    any_overlap_tree,
+)
+
+
+def test_insert_disjoint():
+    t = ConflictTree()
+    assert t.insert(0, 9)
+    assert t.insert(10, 19)
+    assert t.insert(30, 39)
+    assert len(t) == 3
+    t.check_invariants()
+
+
+def test_insert_conflict_rejected_and_tree_unchanged():
+    t = ConflictTree()
+    assert t.insert(10, 20)
+    assert not t.insert(15, 25)
+    assert not t.insert(5, 10)  # touches the lo end (closed interval)
+    assert not t.insert(20, 30)  # touches the hi end
+    assert not t.insert(0, 100)  # fully covers
+    assert not t.insert(12, 18)  # fully inside
+    assert len(t) == 1
+    t.check_invariants()
+
+
+def test_adjacent_ranges_do_not_conflict():
+    t = ConflictTree()
+    assert t.insert(0, 9)
+    assert t.insert(10, 19)  # closed intervals: [0,9] and [10,19] disjoint
+
+
+def test_conflicts_query_is_readonly():
+    t = ConflictTree()
+    t.insert(5, 10)
+    assert t.conflicts(7, 8)
+    assert not t.conflicts(11, 20)
+    assert len(t) == 1
+
+
+def test_inverted_range_raises():
+    t = ConflictTree()
+    with pytest.raises(ValueError):
+        t.insert(10, 5)
+    with pytest.raises(ValueError):
+        t.conflicts(10, 5)
+
+
+def test_single_byte_ranges():
+    t = ConflictTree()
+    for i in range(100):
+        assert t.insert(i, i)
+    assert not t.insert(50, 50)
+    assert len(t) == 100
+
+
+def test_ranges_iteration_sorted():
+    t = ConflictTree()
+    for lo in (50, 10, 30, 70, 90):
+        t.insert(lo, lo + 5)
+    assert [lo for lo, _ in t.ranges()] == [10, 30, 50, 70, 90]
+
+
+def test_balance_under_sequential_insert():
+    """Ascending inserts must stay logarithmic (the AVL property)."""
+    t = ConflictTree()
+    n = 4096
+    for i in range(n):
+        assert t.insert(i * 10, i * 10 + 5)
+    t.check_invariants()
+    # AVL height bound: 1.44 * log2(n+2)
+    import math
+
+    assert t.height <= 1.45 * math.log2(n + 2) + 1
+
+
+def test_helpers_agree_on_examples():
+    disjoint = [(0, 4), (10, 14), (20, 24)]
+    overlapping = [(0, 10), (5, 15)]
+    assert not any_overlap_tree(disjoint)
+    assert not any_overlap_naive(disjoint)
+    assert any_overlap_tree(overlapping)
+    assert any_overlap_naive(overlapping)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 300), st.integers(0, 30)),
+        min_size=0,
+        max_size=40,
+    )
+)
+def test_tree_matches_naive_oracle(pairs):
+    """Property: the O(N log N) tree and the O(N²) scan always agree."""
+    ranges = [(lo, lo + ln) for lo, ln in pairs]
+    assert any_overlap_tree(ranges) == any_overlap_naive(ranges)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 10_000), st.integers(0, 50)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_invariants_hold_after_any_insert_sequence(pairs):
+    t = ConflictTree()
+    inserted = []
+    for lo, ln in pairs:
+        if t.insert(lo, lo + ln):
+            inserted.append((lo, lo + ln))
+    t.check_invariants()
+    assert len(t) == len(inserted)
+    # everything reported inserted must be found, in sorted order
+    assert list(t.ranges()) == sorted(inserted)

@@ -1,0 +1,31 @@
+"""Every example must run cleanly end to end (they are part of the API)."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "ga_patches", "nwchem_ccsd",
+            "dynamic_load_balance", "strided_methods"} <= names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, f"{script.name} failed:\n{proc.stderr}"
+    assert "OK" in proc.stdout, f"{script.name} did not report success"

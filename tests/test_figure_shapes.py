@@ -1,0 +1,294 @@
+"""Shape tests: every qualitative relation §VII reports must hold.
+
+These tests pin the figure shapes DESIGN.md commits to, so recalibrating
+any platform model cannot silently break a reproduced result.  They use
+coarse sweeps for speed; the benches print the full-resolution series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import fig3_series, fig4_series, fig5_series
+from repro.nwchem.model import ccsd_time, triples_time
+from repro.simtime import PLATFORMS
+
+
+def _by_label(series):
+    return {s.label: s for s in series}
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: contiguous bandwidth
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return {
+        key: _by_label(fig3_series(PLATFORMS[key], exponents=(0, 25), step=5))
+        for key in PLATFORMS
+    }
+
+
+def test_fig3_bgp_mpi_close_below_native(fig3):
+    s = fig3["bgp"]
+    for kind in ("Get", "Put"):
+        nat = s[f"{kind} (Nat.)"].y[-1]
+        mpi = s[f"{kind} (MPI)"].y[-1]
+        assert mpi < nat, "MPI should be below native on BG/P"
+        assert mpi > 0.8 * nat, "...but comparable (within ~20%)"
+
+
+def test_fig3_ib_acc_gap_exceeds_1_5_gbps(fig3):
+    s = fig3["ib"]
+    gap = s["Acc (Nat.)"].y[-1] - s["Acc (MPI)"].y[-1]
+    assert gap > 1.5, f"§VII-A: IB accumulate gap must exceed 1.5 GB/s, got {gap:.2f}"
+
+
+def test_fig3_ib_get_put_comparable(fig3):
+    s = fig3["ib"]
+    for kind in ("Get", "Put"):
+        assert s[f"{kind} (MPI)"].y[-1] > 0.85 * s[f"{kind} (Nat.)"].y[-1]
+
+
+def test_fig3_xt_comparable_small_half_large(fig3):
+    s = fig3["xt5"]
+    sizes = s["Get (MPI)"].x
+    for i, n in enumerate(sizes):
+        nat, mpi = s["Get (Nat.)"].y[i], s["Get (MPI)"].y[i]
+        if n == 32 * 1024:
+            # byte costs dominate here: MPI within ~20% (comparable)
+            assert mpi > 0.8 * nat, f"comparable at 32 KiB (n={n})"
+        if n >= 1 << 20:
+            assert mpi < 0.62 * nat, f"~half native beyond 32 KiB (n={n})"
+
+
+def test_fig3_xe_mpi_twice_native_large(fig3):
+    s = fig3["xe6"]
+    for kind in ("Get", "Put"):
+        ratio = s[f"{kind} (MPI)"].y[-1] / s[f"{kind} (Nat.)"].y[-1]
+        assert 1.7 <= ratio <= 2.4, f"XE large {kind}: MPI ~2x native, got {ratio:.2f}"
+
+
+def test_fig3_xe_acc_25pct_better(fig3):
+    s = fig3["xe6"]
+    ratio = s["Acc (MPI)"].y[-1] / s["Acc (Nat.)"].y[-1]
+    assert 1.1 <= ratio <= 1.45, f"XE acc: MPI ~25% above native, got {ratio:.2f}"
+
+
+def test_fig3_native_bandwidth_monotone_in_size(fig3):
+    # only native paths: the XT MPI path legitimately LOSES achieved
+    # bandwidth past its 32 KiB threshold (that is the Fig. 3 result)
+    for key, s in fig3.items():
+        for label, series in s.items():
+            if "Nat." not in label:
+                continue
+            ys = series.y
+            assert all(b >= a for a, b in zip(ys, ys[1:])), (
+                f"{key}/{label}: native bandwidth must not decrease with size"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: strided bandwidth by method
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fig4_small():
+    """Get bandwidth at 16 B segments, key platforms, sparse x."""
+    return {
+        key: _by_label(fig4_series(PLATFORMS[key], "get", 16, exponents=(0, 10)))
+        for key in ("bgp", "ib")
+    }
+
+
+@pytest.fixture(scope="module")
+def fig4_large():
+    """Get bandwidth at 1 KiB segments."""
+    return {
+        key: _by_label(fig4_series(PLATFORMS[key], "get", 1024, exponents=(0, 10)))
+        for key in ("bgp", "ib", "xt5", "xe6")
+    }
+
+
+def test_fig4_bgp_direct_best_small_segments(fig4_small):
+    s = fig4_small["bgp"]
+    assert s["direct"].y[-1] > s["iov-batched"].y[-1]
+    assert s["direct"].y[-1] > s["iov-consrv"].y[-1]
+
+
+def test_fig4_bgp_batched_wins_at_1k_segments(fig4_large):
+    """Slow BG/P cores make packing expensive: batched overtakes direct."""
+    s = fig4_large["bgp"]
+    assert s["iov-batched"].y[-1] > s["direct"].y[-1]
+    # and comes close to (but does not beat) native
+    assert 0.9 * s["Native"].y[-1] <= s["iov-batched"].y[-1] <= s["Native"].y[-1]
+
+
+def test_fig4_ib_direct_best_small(fig4_small):
+    s = fig4_small["ib"]
+    assert s["direct"].y[-1] > s["iov-batched"].y[-1]
+
+
+def test_fig4_ib_batched_better_at_1k_then_collapses(fig4_large):
+    s = fig4_large["ib"]
+    # moderate segment counts: batched above direct (offers better bw)
+    idx16 = s["direct"].x.index(16)
+    assert s["iov-batched"].y[idx16] > s["direct"].y[idx16]
+    # large counts: the MVAPICH queue issue collapses batched (§VII-A)
+    assert s["iov-batched"].y[-1] < 0.25 * s["direct"].y[-1]
+    peak = max(s["iov-batched"].y)
+    assert s["iov-batched"].y[-1] < 0.2 * peak, "suffers severely at large N"
+
+
+def test_fig4_xt_datatypes_beat_batched(fig4_large):
+    s = fig4_large["xt5"]
+    idx = s["direct"].x.index(32)
+    assert s["direct"].y[idx] > s["iov-batched"].y[idx]
+    assert s["iov-direct"].y[idx] > s["iov-batched"].y[idx]
+
+
+def test_fig4_xt_falls_to_half_native_many_segments(fig4_large):
+    s = fig4_large["xt5"]
+    ratio = s["direct"].y[-1] / s["Native"].y[-1]
+    assert 0.3 <= ratio <= 0.6, f"§VII-A: ~half native at many segments, got {ratio:.2f}"
+
+
+def test_fig4_xe_mpi_above_native(fig4_large):
+    s = fig4_large["xe6"]
+    assert s["direct"].y[-1] > 1.5 * s["Native"].y[-1], (
+        "§VII-A: XE strided put/get significantly above native"
+    )
+
+
+def test_fig4_xe_acc_matches_native():
+    s = _by_label(fig4_series(PLATFORMS["xe6"], "acc", 1024, exponents=(8, 10)))
+    ratio = s["direct"].y[-1] / s["Native"].y[-1]
+    assert 0.8 <= ratio <= 1.3, f"XE acc should match native, got {ratio:.2f}"
+
+
+def test_fig4_conservative_is_flat_and_slowest_at_scale(fig4_large):
+    for key in ("ib", "xt5"):
+        s = fig4_large[key]
+        ys = s["iov-consrv"].y
+        # one epoch per segment: bandwidth independent of segment count
+        assert max(ys) - min(ys) < 0.05 * max(ys)
+        assert ys[-1] <= min(s["direct"].y[-1], s["Native"].y[-1])
+
+
+def test_fig4_iov_direct_equals_direct(fig4_large):
+    """Both are a single datatype op in this substrate (documented)."""
+    s = fig4_large["ib"]
+    assert s["iov-direct"].y == pytest.approx(s["direct"].y)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: registration interoperability
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return _by_label(fig5_series(PLATFORMS["ib"]))
+
+
+def test_fig5_armci_alloc_fastest(fig5):
+    best = fig5["ARMCI-IB, ARMCI Alloc"].y
+    for label, s in fig5.items():
+        assert all(y <= b + 1e-12 for y, b in zip(s.y, best))
+
+
+def test_fig5_nonpinned_path_gap(fig5):
+    """ARMCI on an MPI buffer drops off the pinned path: visible gap."""
+    fast = fig5["ARMCI-IB, ARMCI Alloc"].y[-1]
+    slow = fig5["ARMCI-IB, MPI Touch"].y[-1]
+    assert slow < 0.8 * fast
+
+
+def test_fig5_on_demand_registration_penalty(fig5):
+    """MPI on an untouched buffer pays registration above 8 KiB (2 pages)."""
+    s = fig5["MPI, ARMCI Alloc"]
+    touched = fig5["MPI, MPI Touch"]
+    i8k = s.x.index(8192)
+    # at and below the threshold: close to the touched curve (bounce copy)
+    assert s.y[i8k] > 0.55 * touched.y[i8k]
+    # just above: a sharp drop (the Fig. 5 cliff)
+    assert s.y[i8k + 1] < 0.5 * s.y[i8k]
+    # partially recovering at very large transfers as pinning amortises,
+    # but still visibly below the touched curve (as in Fig. 5)
+    assert 0.6 * touched.y[-1] < s.y[-1] < 0.95 * touched.y[-1]
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: NWChem CCSD / (T)
+# ---------------------------------------------------------------------------
+
+
+def test_fig6_ib_ccsd_gap_about_2x_shrinking():
+    p = PLATFORMS["ib"]
+    r192 = ccsd_time(p, "mpi", 192) / ccsd_time(p, "native", 192)
+    r384 = ccsd_time(p, "mpi", 384) / ccsd_time(p, "native", 384)
+    assert 1.6 <= r192 <= 2.4, f"IB CCSD gap ~2x at 192 cores, got {r192:.2f}"
+    assert r384 <= r192, "gap must shrink as processor count increases"
+
+
+def test_fig6_ib_triples_gap():
+    p = PLATFORMS["ib"]
+    r = triples_time(p, "mpi", 192) / triples_time(p, "native", 192)
+    assert 1.4 <= r <= 2.4, f"IB (T) gap, got {r:.2f}"
+
+
+def test_fig6_bgp_comparable():
+    p = PLATFORMS["bgp"]
+    for cores in (1024, 4096):
+        r = ccsd_time(p, "mpi", cores) / ccsd_time(p, "native", cores)
+        assert 0.95 <= r <= 1.25, f"BG/P CCSD comparable, got {r:.2f} at {cores}"
+
+
+def test_fig6_xt_15_to_20_pct_slower():
+    p = PLATFORMS["xt5"]
+    for cores in (2048, 8192):
+        r = ccsd_time(p, "mpi", cores) / ccsd_time(p, "native", cores)
+        assert 1.10 <= r <= 1.30, f"XT CCSD 15-20% slower, got {r:.2f} at {cores}"
+
+
+def test_fig6_xe_mpi_30pct_faster():
+    p = PLATFORMS["xe6"]
+    r = ccsd_time(p, "mpi", 1488) / ccsd_time(p, "native", 1488)
+    assert 0.6 <= r <= 0.85, f"XE CCSD: MPI ~30% faster, got {r:.2f}"
+
+
+def test_fig6_xe_native_ccsd_worsens_at_scale():
+    p = PLATFORMS["xe6"]
+    assert ccsd_time(p, "native", 5952) > ccsd_time(p, "native", 4464), (
+        "§VII-D: native CCSD worsens between 4,464 and 5,952 cores"
+    )
+    assert ccsd_time(p, "mpi", 5952) < ccsd_time(p, "mpi", 4464), (
+        "while ARMCI-MPI keeps improving"
+    )
+
+
+def test_fig6_xe_native_triples_flattens_mpi_scales():
+    p = PLATFORMS["xe6"]
+    nat_drop = triples_time(p, "native", 5952) / triples_time(p, "native", 2976)
+    mpi_drop = triples_time(p, "mpi", 5952) / triples_time(p, "mpi", 2976)
+    assert nat_drop > 0.9, f"native (T) must flatten (got {nat_drop:.2f} of 2976-time)"
+    assert mpi_drop < 0.7, f"MPI (T) must keep scaling (got {mpi_drop:.2f})"
+
+
+def test_fig6_all_times_positive_and_finite():
+    for p in PLATFORMS.values():
+        for flavor in ("native", "mpi"):
+            t = ccsd_time(p, flavor, 1024)
+            assert 0 < t < 1e6
+
+
+def test_fig6_invalid_cores_raise():
+    with pytest.raises(ValueError):
+        ccsd_time(PLATFORMS["ib"], "mpi", 0)
+    with pytest.raises(ValueError):
+        from repro.nwchem.model import stack_for
+
+        stack_for(PLATFORMS["ib"], "fastest")

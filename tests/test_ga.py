@@ -1,0 +1,352 @@
+"""Tests for the Global Arrays layer over both ARMCI runtimes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.armci import Armci
+from repro.armci_ds import DataServerArmci
+from repro.armci_native import NativeArmci
+from repro.ga import (
+    GlobalArray,
+    Patch,
+    SharedCounter,
+    TaskPool,
+    add,
+    copy,
+    dgemm,
+    dot,
+    fill,
+    norm2,
+    scale,
+    sum_all,
+    transpose,
+    zero,
+)
+from repro.mpi.errors import ArgumentError
+
+from conftest import spmd
+
+
+def _rt(comm, flavor):
+    if flavor == "mpi":
+        return Armci.init(comm)
+    if flavor == "ds":
+        return DataServerArmci.init(comm)
+    return NativeArmci.init(comm)
+
+
+@pytest.fixture(params=["mpi", "native", "ds"])
+def flavor(request):
+    return request.param
+
+
+def test_create_and_distribution(flavor):
+    def main(comm):
+        rt = _rt(comm, flavor)
+        ga = GlobalArray.create(rt, (8, 8), "f8", name="A")
+        blocks = [ga.distribution(r) for r in range(rt.nproc)]
+        # blocks tile the array exactly
+        total = sum(b.size for b in blocks)
+        assert total == 64
+        ga.destroy()
+
+    spmd(4, main)
+
+
+def test_put_get_full_array(flavor):
+    def main(comm):
+        rt = _rt(comm, flavor)
+        ga = GlobalArray.create(rt, (8, 8), "f8")
+        ref = np.arange(64.0).reshape(8, 8)
+        if rt.my_id == 0:
+            ga.put((0, 0), (8, 8), ref)
+        ga.sync()
+        got = ga.get((0, 0), (8, 8))
+        np.testing.assert_array_equal(got, ref)
+        ga.destroy()
+
+    spmd(4, main)
+
+
+def test_patch_put_get_spanning_owners(flavor):
+    """Figure 2: a patch spanning 4 owners decomposes into 4 strided ops."""
+
+    def main(comm):
+        rt = _rt(comm, flavor)
+        ga = GlobalArray.create(rt, (8, 8), "f8")
+        zero(ga)
+        if rt.my_id == 3:
+            patch = np.arange(16.0).reshape(4, 4)
+            ga.put((2, 2), (6, 6), patch)
+        ga.sync()
+        got = ga.get((2, 2), (6, 6))
+        np.testing.assert_array_equal(got, np.arange(16.0).reshape(4, 4))
+        # the rest stayed zero
+        full = ga.get((0, 0), (8, 8))
+        assert full.sum() == np.arange(16.0).sum()
+        ga.destroy()
+
+    spmd(4, main)
+
+
+def test_fig2_decomposition_op_counts():
+    """The spanning patch issues exactly one strided op per owner (ARMCI-MPI)."""
+
+    def main(comm):
+        rt = Armci.init(comm)
+        ga = GlobalArray.create(rt, (8, 8), "f8")
+        ga.sync()
+        before = rt.stats.puts
+        if rt.my_id == 0:
+            ga.put((2, 2), (6, 6), np.ones((4, 4)))
+            assert rt.stats.puts - before == 4  # 2x2 process grid -> 4 PutS
+        ga.sync()
+        ga.destroy()
+
+    spmd(4, main)
+
+
+def test_acc_patch(flavor):
+    def main(comm):
+        rt = _rt(comm, flavor)
+        ga = GlobalArray.create(rt, (6, 6), "f8")
+        zero(ga)
+        ones = np.ones((3, 3))
+        ga.acc((1, 1), (4, 4), ones, alpha=0.5)
+        ga.sync()
+        got = ga.get((0, 0), (6, 6))
+        assert got[1:4, 1:4].sum() == pytest.approx(0.5 * 9 * rt.nproc)
+        assert got.sum() == pytest.approx(0.5 * 9 * rt.nproc)
+        ga.destroy()
+
+    spmd(4, main)
+
+
+def test_1d_array(flavor):
+    def main(comm):
+        rt = _rt(comm, flavor)
+        ga = GlobalArray.create(rt, (17,), "i8")
+        if rt.my_id == 1:
+            ga.put((3,), (12,), np.arange(3, 12, dtype="i8"))
+        ga.sync()
+        got = ga.get((0,), (17,))
+        assert got[3:12].tolist() == list(range(3, 12))
+        ga.destroy()
+
+    spmd(3, main)
+
+
+def test_3d_array(flavor):
+    def main(comm):
+        rt = _rt(comm, flavor)
+        ga = GlobalArray.create(rt, (4, 4, 4), "f8")
+        ref = np.arange(64.0).reshape(4, 4, 4)
+        if rt.my_id == 0:
+            ga.put((0, 0, 0), (4, 4, 4), ref)
+        ga.sync()
+        got = ga.get((1, 1, 1), (3, 3, 3))
+        np.testing.assert_array_equal(got, ref[1:3, 1:3, 1:3])
+        ga.destroy()
+
+    spmd(4, main)
+
+
+def test_access_release(flavor):
+    def main(comm):
+        rt = _rt(comm, flavor)
+        ga = GlobalArray.create(rt, (6, 6), "f8")
+        block = ga.distribution()
+        if not block.empty:
+            view = ga.access()
+            view[...] = float(rt.my_id)
+            ga.release()
+        ga.sync()
+        full = ga.get((0, 0), (6, 6))
+        for r in range(rt.nproc):
+            b = ga.distribution(r)
+            if not b.empty:
+                sub = full[b.lo[0] : b.hi[0], b.lo[1] : b.hi[1]]
+                assert np.all(sub == float(r))
+        ga.destroy()
+
+    spmd(4, main)
+
+
+def test_release_without_access_raises(flavor):
+    def main(comm):
+        rt = _rt(comm, flavor)
+        ga = GlobalArray.create(rt, (4, 4))
+        with pytest.raises(ArgumentError):
+            ga.release()
+        ga.sync()
+        ga.destroy()
+
+    spmd(2, main)
+
+
+def test_wrong_patch_shape_raises(flavor):
+    def main(comm):
+        rt = _rt(comm, flavor)
+        ga = GlobalArray.create(rt, (4, 4))
+        with pytest.raises(ArgumentError):
+            ga.put((0, 0), (2, 2), np.ones((3, 3)))
+        with pytest.raises(ArgumentError):
+            ga.put((0, 0), (6, 6), np.ones((6, 6)))  # out of bounds
+        ga.sync()
+        ga.destroy()
+
+    spmd(2, main)
+
+
+def test_dtype_mismatch_raises(flavor):
+    def main(comm):
+        rt = _rt(comm, flavor)
+        ga = GlobalArray.create(rt, (4,), "f8")
+        with pytest.raises(ArgumentError):
+            ga.put((0,), (4,), np.ones(4, dtype="f4"))
+        ga.sync()
+        ga.destroy()
+
+    spmd(1, main)
+
+
+# ---------------------------------------------------------------------------
+# collectives
+# ---------------------------------------------------------------------------
+
+
+def test_fill_scale_sum(flavor):
+    def main(comm):
+        rt = _rt(comm, flavor)
+        ga = GlobalArray.create(rt, (10, 10))
+        fill(ga, 2.0)
+        assert sum_all(ga) == pytest.approx(200.0)
+        scale(ga, 0.5)
+        assert sum_all(ga) == pytest.approx(100.0)
+        ga.destroy()
+
+    spmd(4, main)
+
+
+def test_copy_add_dot_norm(flavor):
+    def main(comm):
+        rt = _rt(comm, flavor)
+        a = GlobalArray.create(rt, (6, 6), name="a")
+        b = GlobalArray.create(rt, (6, 6), name="b")
+        c = GlobalArray.create(rt, (6, 6), name="c")
+        fill(a, 1.0)
+        fill(b, 2.0)
+        copy(a, c)
+        assert sum_all(c) == pytest.approx(36.0)
+        add(2.0, a, 1.0, b, c)  # c = 2*1 + 2 = 4
+        assert sum_all(c) == pytest.approx(144.0)
+        assert dot(a, b) == pytest.approx(72.0)
+        assert norm2(c) == pytest.approx(np.sqrt(36 * 16.0))
+        for g in (c, b, a):
+            g.destroy()
+
+    spmd(4, main)
+
+
+@pytest.mark.parametrize("k_tile", [0, 3])
+def test_dgemm_matches_numpy(flavor, k_tile):
+    def main(comm):
+        rt = _rt(comm, flavor)
+        rng = np.random.default_rng(5)
+        m, k, n = 9, 7, 8
+        A = rng.random((m, k))
+        B = rng.random((k, n))
+        C0 = rng.random((m, n))
+        ga_a = GlobalArray.create(rt, (m, k), name="A")
+        ga_b = GlobalArray.create(rt, (k, n), name="B")
+        ga_c = GlobalArray.create(rt, (m, n), name="C")
+        if rt.my_id == 0:
+            ga_a.put((0, 0), (m, k), A)
+            ga_b.put((0, 0), (k, n), B)
+            ga_c.put((0, 0), (m, n), C0)
+        ga_c.sync()
+        dgemm(0.5, ga_a, ga_b, 2.0, ga_c, k_tile=k_tile)
+        got = ga_c.get((0, 0), (m, n))
+        np.testing.assert_allclose(got, 0.5 * A @ B + 2.0 * C0, rtol=1e-12)
+        for g in (ga_c, ga_b, ga_a):
+            g.destroy()
+
+    spmd(4, main)
+
+
+def test_transpose(flavor):
+    def main(comm):
+        rt = _rt(comm, flavor)
+        A = np.arange(24.0).reshape(4, 6)
+        ga_a = GlobalArray.create(rt, (4, 6), name="A")
+        ga_b = GlobalArray.create(rt, (6, 4), name="B")
+        if rt.my_id == 0:
+            ga_a.put((0, 0), (4, 6), A)
+        ga_a.sync()
+        transpose(ga_a, ga_b)
+        got = ga_b.get((0, 0), (6, 4))
+        np.testing.assert_array_equal(got, A.T)
+        ga_b.destroy()
+        ga_a.destroy()
+
+    spmd(4, main)
+
+
+# ---------------------------------------------------------------------------
+# counters / task pool
+# ---------------------------------------------------------------------------
+
+
+def test_shared_counter_unique_draws(flavor):
+    def main(comm):
+        rt = _rt(comm, flavor)
+        ctr = SharedCounter(rt)
+        got = [ctr.next() for _ in range(6)]
+        allv = comm.allgather(got)
+        flat = sorted(x for sub in allv for x in sub)
+        assert flat == list(range(6 * rt.nproc))
+        ctr.reset(100)
+        assert ctr.read() == 100
+        ctr.destroy()
+
+    spmd(3, main)
+
+
+def test_task_pool_covers_all_tasks_once(flavor):
+    def main(comm):
+        rt = _rt(comm, flavor)
+        pool = TaskPool(rt, 37)
+        mine = list(pool.tasks())
+        allv = comm.allgather(mine)
+        flat = sorted(x for sub in allv for x in sub)
+        assert flat == list(range(37))
+        pool.destroy()
+
+    spmd(4, main)
+
+
+def test_task_pool_empty(flavor):
+    def main(comm):
+        rt = _rt(comm, flavor)
+        pool = TaskPool(rt, 0)
+        assert list(pool.tasks()) == []
+        pool.destroy()
+
+    spmd(2, main)
+
+
+def test_duplicate_array(flavor):
+    def main(comm):
+        rt = _rt(comm, flavor)
+        a = GlobalArray.create(rt, (5, 5), name="a")
+        fill(a, 3.0)
+        b = a.duplicate()
+        assert b.shape == a.shape
+        copy(a, b)
+        assert sum_all(b) == pytest.approx(75.0)
+        b.destroy()
+        a.destroy()
+
+    spmd(3, main)

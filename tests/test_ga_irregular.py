@@ -1,0 +1,113 @@
+"""Tests for irregular (user-specified) distributions — NGA_Create_irreg."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.armci import Armci
+from repro.armci_native import NativeArmci
+from repro.ga import (
+    GlobalArray,
+    IrregularDistribution,
+    Patch,
+    create_irregular,
+    fill,
+    sum_all,
+)
+from repro.mpi.errors import ArgumentError
+
+from conftest import spmd
+
+
+def test_boundaries_define_blocks():
+    d = IrregularDistribution((10, 8), 4, [[0, 7], [0, 2]])
+    assert d.dims == [2, 2]
+    assert d.block(0) == Patch((0, 0), (7, 2))
+    assert d.block(1) == Patch((0, 2), (7, 8))
+    assert d.block(2) == Patch((7, 0), (10, 2))
+    assert d.block(3) == Patch((7, 2), (10, 8))
+
+
+def test_owner_respects_boundaries():
+    d = IrregularDistribution((10,), 3, [[0, 3, 4]])
+    assert d.owner((0,)) == 0
+    assert d.owner((2,)) == 0
+    assert d.owner((3,)) == 1
+    assert d.owner((4,)) == 2
+    assert d.owner((9,)) == 2
+
+
+def test_surplus_processes_get_empty_blocks():
+    d = IrregularDistribution((10,), 5, [[0, 5]])
+    assert d.block(4).empty
+    assert d.block(1).size == 5
+
+
+def test_locate_spanning_patch():
+    d = IrregularDistribution((10,), 2, [[0, 6]])
+    pieces = list(d.locate(Patch((4,), (9,))))
+    assert [(p.rank, p.global_patch.lo, p.global_patch.hi) for p in pieces] == [
+        (0, (4,), (6,)),
+        (1, (6,), (9,)),
+    ]
+
+
+def test_validation_errors():
+    with pytest.raises(ArgumentError):
+        IrregularDistribution((10,), 4, [[1, 5]])  # must start at 0
+    with pytest.raises(ArgumentError):
+        IrregularDistribution((10,), 4, [[0, 5, 5]])  # must increase
+    with pytest.raises(ArgumentError):
+        IrregularDistribution((10,), 4, [[0, 10]])  # boundary outside
+    with pytest.raises(ArgumentError):
+        IrregularDistribution((10,), 1, [[0, 5]])  # grid needs 2 procs
+    with pytest.raises(ArgumentError):
+        IrregularDistribution((10, 10), 4, [[0]])  # one list per dim
+
+
+@pytest.mark.parametrize("flavor", ["mpi", "native"])
+def test_irregular_global_array_roundtrip(flavor):
+    def main(comm):
+        rt = Armci.init(comm) if flavor == "mpi" else NativeArmci.init(comm)
+        # tile-aligned boundaries: rows split 5/3, cols split 2/6
+        ga = create_irregular(rt, (8, 8), [[0, 5], [0, 2]], name="irreg")
+        assert isinstance(ga.dist, IrregularDistribution)
+        ref = np.arange(64.0).reshape(8, 8)
+        if rt.my_id == 0:
+            ga.put((0, 0), (8, 8), ref)
+        ga.sync()
+        got = ga.get((1, 1), (7, 7))
+        np.testing.assert_array_equal(got, ref[1:7, 1:7])
+        ga.sync()  # all reads must finish before fill rewrites the array
+        # owner-computes works with uneven blocks too
+        fill(ga, 1.0)
+        assert sum_all(ga) == pytest.approx(64.0)
+        ga.destroy()
+
+    spmd(4, main)
+
+
+def test_irregular_matches_regular_results():
+    """Same data, different distributions — identical logical contents."""
+
+    def run(irregular: bool):
+        out = {}
+
+        def main(comm):
+            rt = Armci.init(comm)
+            if irregular:
+                ga = create_irregular(rt, (9, 4), [[0, 2, 7], [0]], name="i")
+            else:
+                ga = GlobalArray.create(rt, (9, 4), "f8", name="r")
+            if rt.my_id == 1:
+                ga.put((0, 0), (9, 4), np.arange(36.0).reshape(9, 4))
+            ga.sync()
+            out["full"] = ga.get((0, 0), (9, 4))
+            ga.sync()
+            ga.destroy()
+
+        spmd(3, main)
+        return out["full"]
+
+    np.testing.assert_array_equal(run(True), run(False))

@@ -1,0 +1,212 @@
+"""Tests for periodic patch ops and element-wise GA math."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.armci import Armci
+from repro.armci_native import NativeArmci
+from repro.ga import (
+    GlobalArray,
+    abs_value,
+    add_constant,
+    elem_divide,
+    elem_maximum,
+    elem_multiply,
+    fill,
+    periodic_acc,
+    periodic_get,
+    periodic_put,
+    recip,
+    select_elem,
+    sum_all,
+    zero,
+)
+from repro.mpi.errors import ArgumentError
+
+from conftest import spmd
+
+
+@pytest.fixture(params=["mpi", "native"])
+def flavor(request):
+    return request.param
+
+
+def _rt(comm, flavor):
+    return Armci.init(comm) if flavor == "mpi" else NativeArmci.init(comm)
+
+
+# ---------------------------------------------------------------------------
+# periodic ops
+# ---------------------------------------------------------------------------
+
+
+def test_periodic_get_wraps_both_dims(flavor):
+    def main(comm):
+        rt = _rt(comm, flavor)
+        ga = GlobalArray.create(rt, (6, 6), "f8")
+        ref = np.arange(36.0).reshape(6, 6)
+        if rt.my_id == 0:
+            ga.put((0, 0), (6, 6), ref)
+        ga.sync()
+        # a 4x4 patch centred on the corner (wraps on all four sides)
+        got = periodic_get(ga, (-2, -2), (2, 2))
+        expect = ref[np.ix_([4, 5, 0, 1], [4, 5, 0, 1])]
+        np.testing.assert_array_equal(got, expect)
+        ga.sync()
+        ga.destroy()
+
+    spmd(4, main)
+
+
+def test_periodic_put_then_get_roundtrip(flavor):
+    def main(comm):
+        rt = _rt(comm, flavor)
+        ga = GlobalArray.create(rt, (5, 5), "f8")
+        zero(ga)
+        if rt.my_id == 0:
+            periodic_put(ga, (3, 3), (6, 6), np.arange(9.0).reshape(3, 3))
+        ga.sync()
+        got = periodic_get(ga, (3, 3), (6, 6))
+        np.testing.assert_array_equal(got, np.arange(9.0).reshape(3, 3))
+        # the wrap landed at the low corner
+        low = ga.get((0, 0), (1, 1))
+        assert low[0, 0] == 8.0
+        ga.sync()
+        ga.destroy()
+
+    spmd(4, main)
+
+
+def test_periodic_acc_atomicity(flavor):
+    def main(comm):
+        rt = _rt(comm, flavor)
+        ga = GlobalArray.create(rt, (4,), "f8")
+        zero(ga)
+        periodic_acc(ga, (2,), (6,), np.ones(4), alpha=0.5)
+        ga.sync()
+        assert sum_all(ga) == pytest.approx(0.5 * 4 * rt.nproc)
+        got = ga.get((0,), (4,))
+        assert np.all(got == 0.5 * rt.nproc)
+        ga.destroy()
+
+    spmd(3, main)
+
+
+def test_periodic_patch_too_large_raises():
+    def main(comm):
+        rt = Armci.init(comm)
+        ga = GlobalArray.create(rt, (4, 4), "f8")
+        with pytest.raises(ArgumentError):
+            periodic_get(ga, (0, 0), (5, 4))  # > one full wrap
+        ga.sync()
+        ga.destroy()
+
+    spmd(2, main)
+
+
+def test_periodic_in_range_equals_plain_get(flavor):
+    def main(comm):
+        rt = _rt(comm, flavor)
+        ga = GlobalArray.create(rt, (6, 4), "f8")
+        ref = np.arange(24.0).reshape(6, 4)
+        if rt.my_id == 0:
+            ga.put((0, 0), (6, 4), ref)
+        ga.sync()
+        np.testing.assert_array_equal(
+            periodic_get(ga, (1, 1), (4, 3)), ga.get((1, 1), (4, 3))
+        )
+        ga.sync()
+        ga.destroy()
+
+    spmd(2, main)
+
+
+# ---------------------------------------------------------------------------
+# element-wise math
+# ---------------------------------------------------------------------------
+
+
+def test_abs_add_constant_recip(flavor):
+    def main(comm):
+        rt = _rt(comm, flavor)
+        ga = GlobalArray.create(rt, (4, 4), "f8")
+        fill(ga, -2.0)
+        abs_value(ga)
+        assert sum_all(ga) == pytest.approx(32.0)
+        add_constant(ga, 2.0)  # all elements 4.0
+        recip(ga)  # all elements 0.25
+        assert sum_all(ga) == pytest.approx(4.0)
+        ga.destroy()
+
+    spmd(4, main)
+
+
+def test_recip_of_zero_raises():
+    def main(comm):
+        rt = Armci.init(comm)
+        ga = GlobalArray.create(rt, (4,), "f8")
+        zero(ga)
+        # every rank owns part of the zero array, so every rank raises
+        with pytest.raises(ArgumentError):
+            recip(ga)
+
+    spmd(2, main, watchdog_s=0.5)
+
+
+def test_elem_multiply_divide_maximum(flavor):
+    def main(comm):
+        rt = _rt(comm, flavor)
+        a = GlobalArray.create(rt, (6,), name="a")
+        b = GlobalArray.create(rt, (6,), name="b")
+        c = GlobalArray.create(rt, (6,), name="c")
+        if rt.my_id == 0:
+            a.put((0,), (6,), np.array([1.0, -2, 3, -4, 5, -6]))
+            b.put((0,), (6,), np.array([2.0, 2, 2, 2, 2, 2]))
+        a.sync()
+        elem_multiply(a, b, c)
+        got = c.get((0,), (6,))
+        np.testing.assert_array_equal(got, [2, -4, 6, -8, 10, -12])
+        elem_divide(a, b, c)
+        got = c.get((0,), (6,))
+        np.testing.assert_array_equal(got, [0.5, -1, 1.5, -2, 2.5, -3])
+        elem_maximum(a, b, c)
+        got = c.get((0,), (6,))
+        np.testing.assert_array_equal(got, [2, 2, 3, 2, 5, 2])
+        for g in (c, b, a):
+            g.destroy()
+
+    spmd(3, main)
+
+
+def test_select_elem(flavor):
+    def main(comm):
+        rt = _rt(comm, flavor)
+        ga = GlobalArray.create(rt, (5, 5), "f8")
+        ref = np.arange(25.0).reshape(5, 5)
+        ref[3, 2] = 99.0
+        ref[1, 4] = -50.0
+        if rt.my_id == 0:
+            ga.put((0, 0), (5, 5), ref)
+        ga.sync()
+        vmax, imax = select_elem(ga, "max")
+        vmin, imin = select_elem(ga, "min")
+        assert (vmax, imax) == (99.0, (3, 2))
+        assert (vmin, imin) == (-50.0, (1, 4))
+        ga.sync()
+        ga.destroy()
+
+    spmd(4, main)
+
+
+def test_select_elem_bad_kind():
+    def main(comm):
+        rt = Armci.init(comm)
+        ga = GlobalArray.create(rt, (4,), "f8")
+        with pytest.raises(ArgumentError):
+            select_elem(ga, "median")
+        ga.sync()
+        ga.destroy()
+
+    spmd(1, main)

@@ -1,0 +1,356 @@
+"""Unit and property tests for the MPI derived-datatype engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import datatypes as dt
+from repro.mpi.errors import ArgumentError, DatatypeError
+
+
+# ---------------------------------------------------------------------------
+# predefined types
+# ---------------------------------------------------------------------------
+
+
+def test_predefined_sizes():
+    assert dt.BYTE.size == 1
+    assert dt.INT.size == 4
+    assert dt.LONG.size == 8
+    assert dt.FLOAT.size == 4
+    assert dt.DOUBLE.size == 8
+
+
+def test_predefined_are_committed():
+    assert dt.DOUBLE.committed
+    assert dt.DOUBLE.is_predefined
+    sm = dt.DOUBLE.segment_map()
+    assert sm.nsegments == 1
+    assert sm.total_bytes == 8
+
+
+def test_from_numpy_dtype_roundtrip():
+    assert dt.from_numpy_dtype("f8") is dt.DOUBLE
+    assert dt.from_numpy_dtype(np.int32) is dt.INT
+    with pytest.raises(DatatypeError):
+        dt.from_numpy_dtype("c16")
+
+
+def test_predefined_replication_coalesces():
+    sm = dt.DOUBLE.segment_map(count=10)
+    assert sm.nsegments == 1
+    assert sm.total_bytes == 80
+
+
+# ---------------------------------------------------------------------------
+# constructors
+# ---------------------------------------------------------------------------
+
+
+def test_contiguous():
+    t = dt.contiguous(5, dt.INT).commit()
+    assert t.size == 20
+    assert t.extent == 20
+    sm = t.segment_map()
+    assert sm.nsegments == 1
+
+
+def test_uncommitted_derived_type_raises():
+    t = dt.contiguous(5, dt.INT)
+    with pytest.raises(DatatypeError):
+        t.segment_map()
+
+
+def test_free_resets_commit():
+    t = dt.contiguous(5, dt.INT).commit()
+    t.free()
+    with pytest.raises(DatatypeError):
+        t.segment_map()
+    t.commit()
+    assert t.segment_map().total_bytes == 20
+
+
+def test_vector_layout():
+    # 3 blocks of 2 ints, stride 4 ints
+    t = dt.vector(3, 2, 4, dt.INT).commit()
+    sm = t.segment_map()
+    assert sm.nsegments == 3
+    assert sm.offsets.tolist() == [0, 16, 32]
+    assert sm.lengths.tolist() == [8, 8, 8]
+    assert t.size == 24
+    assert t.extent == 2 * 16 + 8
+
+
+def test_vector_stride_equals_blocklength_coalesces():
+    t = dt.vector(4, 3, 3, dt.DOUBLE).commit()
+    sm = t.segment_map()
+    assert sm.nsegments == 1
+    assert sm.total_bytes == 96
+
+
+def test_hvector_byte_stride():
+    t = dt.hvector(2, 1, 10, dt.INT).commit()
+    sm = t.segment_map()
+    assert sm.offsets.tolist() == [0, 10]
+
+
+def test_indexed_layout():
+    t = dt.indexed([2, 1], [0, 5], dt.INT).commit()
+    sm = t.segment_map()
+    assert sm.offsets.tolist() == [0, 20]
+    assert sm.lengths.tolist() == [8, 4]
+    assert t.size == 12
+
+
+def test_indexed_block():
+    t = dt.indexed_block(2, [0, 4, 8], dt.INT).commit()
+    sm = t.segment_map()
+    assert sm.nsegments == 3
+    assert all(l == 8 for l in sm.lengths.tolist())
+
+
+def test_indexed_mismatched_args_raise():
+    with pytest.raises(ArgumentError):
+        dt.indexed([1, 2], [0], dt.INT)
+
+
+def test_indexed_zero_blocks():
+    t = dt.indexed([], [], dt.INT).commit()
+    assert t.size == 0
+    assert t.segment_map().nsegments == 0
+
+
+def test_subarray_2d():
+    # 4x6 array of doubles, take the 2x3 patch at (1, 2)
+    t = dt.subarray([4, 6], [2, 3], [1, 2], dt.DOUBLE).commit()
+    sm = t.segment_map()
+    assert t.size == 6 * 8
+    assert sm.nsegments == 2  # two rows of 3 doubles
+    assert sm.offsets.tolist() == [(1 * 6 + 2) * 8, (2 * 6 + 2) * 8]
+    assert sm.lengths.tolist() == [24, 24]
+
+
+def test_subarray_full_width_coalesces():
+    # patch spans full fastest dimension AND rows are adjacent
+    t = dt.subarray([4, 6], [2, 6], [1, 0], dt.DOUBLE).commit()
+    assert t.segment_map().nsegments == 1
+
+
+def test_subarray_3d_matches_numpy():
+    sizes, subsizes, starts = [3, 4, 5], [2, 2, 3], [1, 1, 1]
+    t = dt.subarray(sizes, subsizes, starts, dt.INT).commit()
+    arr = np.arange(np.prod(sizes), dtype="i4").reshape(sizes)
+    packed = t.pack(arr.reshape(-1).view(np.uint8)).view("i4")
+    expected = arr[1:3, 1:3, 1:4].reshape(-1)
+    np.testing.assert_array_equal(packed, expected)
+
+
+def test_subarray_out_of_bounds_raises():
+    with pytest.raises(ArgumentError):
+        dt.subarray([4, 4], [2, 2], [3, 0], dt.INT)
+
+
+def test_subarray_1d():
+    t = dt.subarray([10], [4], [3], dt.DOUBLE).commit()
+    sm = t.segment_map()
+    assert sm.offsets.tolist() == [24]
+    assert sm.lengths.tolist() == [32]
+
+
+def test_nested_types():
+    inner = dt.vector(2, 1, 2, dt.INT).commit()
+    outer = dt.contiguous(3, inner).commit()
+    assert outer.size == 3 * inner.size
+    sm = outer.segment_map()
+    assert sm.total_bytes == outer.size
+
+
+# ---------------------------------------------------------------------------
+# pack / unpack
+# ---------------------------------------------------------------------------
+
+
+def test_pack_unpack_roundtrip_indexed():
+    buf = np.arange(32, dtype="i4")
+    t = dt.indexed([3, 2, 1], [0, 8, 20], dt.INT).commit()
+    packed = t.pack(buf.view(np.uint8)).view("i4")
+    np.testing.assert_array_equal(packed, [0, 1, 2, 8, 9, 20])
+    dest = np.zeros(32, dtype="i4")
+    t.unpack(dest.view(np.uint8), packed.view(np.uint8))
+    assert dest[0:3].tolist() == [0, 1, 2]
+    assert dest[8:10].tolist() == [8, 9]
+    assert dest[20] == 20
+    assert dest[3] == 0  # untouched gaps
+
+
+def test_pack_out_of_bounds_raises():
+    buf = np.zeros(4, dtype="i4")
+    t = dt.indexed([1], [10], dt.INT).commit()
+    with pytest.raises(ArgumentError):
+        t.pack(buf.view(np.uint8))
+
+
+def test_unpack_wrong_length_raises():
+    buf = np.zeros(16, dtype=np.uint8)
+    t = dt.contiguous(2, dt.INT).commit()
+    with pytest.raises(ArgumentError):
+        t.unpack(buf, np.zeros(3, dtype=np.uint8))
+
+
+# ---------------------------------------------------------------------------
+# SegmentMap behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_segment_map_shift():
+    sm = dt.SegmentMap(np.array([0, 16]), np.array([8, 8])).shifted(100)
+    assert sm.offsets.tolist() == [100, 116]
+
+
+def test_segment_map_overlap_detection():
+    sm = dt.SegmentMap(np.array([0, 4]), np.array([8, 8]))
+    assert sm.overlaps_self()
+    sm2 = dt.SegmentMap(np.array([0, 8]), np.array([8, 8]))
+    assert not sm2.overlaps_self()
+
+
+def test_segment_map_rejects_bad_shape():
+    with pytest.raises(ArgumentError):
+        dt.SegmentMap(np.array([[0]]), np.array([[1]]))
+
+
+# ---------------------------------------------------------------------------
+# property-based tests
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sizes=st.lists(st.integers(1, 6), min_size=1, max_size=3),
+    data=st.data(),
+)
+def test_subarray_pack_always_matches_numpy_slicing(sizes, data):
+    """For any n-D patch, datatype packing equals NumPy fancy slicing."""
+    subsizes, starts = [], []
+    for s in sizes:
+        ss = data.draw(st.integers(1, s))
+        subsizes.append(ss)
+        starts.append(data.draw(st.integers(0, s - ss)))
+    t = dt.subarray(sizes, subsizes, starts, dt.INT).commit()
+    arr = np.arange(np.prod(sizes), dtype="i4").reshape(sizes)
+    packed = t.pack(arr.reshape(-1).view(np.uint8)).view("i4")
+    slices = tuple(slice(st_, st_ + ss) for st_, ss in zip(starts, subsizes))
+    np.testing.assert_array_equal(packed, arr[slices].reshape(-1))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    blocks=st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 40)), min_size=0, max_size=8
+    )
+)
+def test_indexed_size_and_roundtrip(blocks):
+    """indexed type size == sum of blocks; pack→unpack is identity on
+    covered elements when displacements do not overlap."""
+    # lay blocks out without overlap: displacements strictly increasing
+    # with enough room for each block
+    disps, cursor = [], 0
+    for bl, gap in blocks:
+        cursor += gap
+        disps.append(cursor)
+        cursor += bl
+    bls = [bl for bl, _ in blocks]
+    t = dt.indexed(bls, disps, dt.INT).commit()
+    assert t.size == sum(bls) * 4
+    n = max(cursor, 1)
+    buf = np.arange(n, dtype="i4")
+    packed = t.pack(buf.view(np.uint8))
+    out = np.full(n, -1, dtype="i4")
+    t.unpack(out.view(np.uint8), packed)
+    for bl, d in zip(bls, disps):
+        np.testing.assert_array_equal(out[d : d + bl], buf[d : d + bl])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    count=st.integers(0, 5),
+    blocklength=st.integers(0, 4),
+    stride=st.integers(0, 8),
+)
+def test_vector_size_invariant(count, blocklength, stride):
+    t = dt.vector(count, blocklength, max(stride, blocklength), dt.DOUBLE).commit()
+    assert t.size == count * blocklength * 8
+    assert t.segment_map().total_bytes == t.size
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 1000), st.integers(1, 50)), max_size=20))
+def test_coalesced_preserves_bytes(pairs):
+    offs = np.array([p[0] for p in pairs], dtype=np.int64)
+    lens = np.array([p[1] for p in pairs], dtype=np.int64)
+    sm = dt.SegmentMap(offs, lens)
+    co = sm.coalesced()
+    assert co.total_bytes == sm.total_bytes
+    assert co.nsegments <= max(sm.nsegments, 1)
+
+
+# ---------------------------------------------------------------------------
+# struct types
+# ---------------------------------------------------------------------------
+
+
+def test_struct_homogeneous():
+    t = dt.struct_type([2, 1], [0, 16], [dt.INT, dt.INT]).commit()
+    assert t.size == 12
+    assert t.base == np.dtype("i4")
+    sm = t.segment_map()
+    assert sm.offsets.tolist() == [0, 16]
+    assert sm.lengths.tolist() == [8, 4]
+
+
+def test_struct_heterogeneous_pack():
+    # an {int32, double} record at displacements 0 and 8
+    t = dt.struct_type([1, 1], [0, 8], [dt.INT, dt.DOUBLE]).commit()
+    assert t.size == 12
+    assert t.extent == 16
+    rec = np.zeros(16, dtype=np.uint8)
+    rec[:4] = np.array([7], dtype="i4").view(np.uint8)
+    rec[8:16] = np.array([2.5], dtype="f8").view(np.uint8)
+    packed = t.pack(rec)
+    assert packed[:4].view("i4")[0] == 7
+    assert packed[4:12].view("f8")[0] == 2.5
+
+
+def test_struct_heterogeneous_has_no_base():
+    t = dt.struct_type([1, 1], [0, 8], [dt.INT, dt.DOUBLE]).commit()
+    assert t.base.itemsize == 0  # no uniform predefined leaf
+
+
+def test_struct_arg_validation():
+    with pytest.raises(ArgumentError):
+        dt.struct_type([1], [0, 8], [dt.INT])
+    with pytest.raises(ArgumentError):
+        dt.struct_type([-1], [0], [dt.INT])
+
+
+def test_struct_empty():
+    t = dt.struct_type([], [], []).commit()
+    assert t.size == 0 and t.segment_map().nsegments == 0
+
+
+def test_struct_replication_uses_extent():
+    t = dt.struct_type([1], [0], [dt.INT])
+    # widen the extent by placing the block at displacement 4
+    t2 = dt.struct_type([1], [4], [dt.INT]).commit()
+    sm = t2.segment_map(count=2)
+    assert sm.offsets.tolist() == [4, 12]
+
+
+def test_struct_nested_in_contiguous():
+    inner = dt.struct_type([1, 1], [0, 8], [dt.INT, dt.INT]).commit()
+    outer = dt.contiguous(3, inner).commit()
+    assert outer.size == 3 * 8
+    assert outer.segment_map().total_bytes == 24

@@ -1,0 +1,127 @@
+"""Tests for active-target fence synchronisation (MPI_Win_fence, §III)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.mpi.errors import RMAConflictError, RMASyncError
+
+from conftest import spmd
+
+
+def test_fence_put_get_cycle():
+    def main(comm):
+        local = np.zeros(8, dtype="f8")
+        win = mpi.Win.create(comm, local)
+        win.fence_sync()  # open the first access epoch
+        right = (comm.rank + 1) % comm.size
+        win.put(np.full(8, float(comm.rank)), right)
+        win.fence_sync()  # completes the puts, opens the next epoch
+        assert local[0] == float((comm.rank - 1) % comm.size)
+        out = np.zeros(8)
+        win.get(out, right)
+        assert np.all(out == 0.0), "fence gets complete at the NEXT fence"
+        win.fence_sync(end=True)
+        # right's slab holds (right - 1) % size == our own rank
+        assert np.all(out == float(comm.rank))
+        win.free()
+
+    spmd(4, main)
+
+
+def test_ops_without_fence_raise():
+    def main(comm):
+        local = np.zeros(4, dtype="f8")
+        win = mpi.Win.create(comm, local)
+        with pytest.raises(RMASyncError):
+            win.put(np.zeros(1), 0)
+        win.free()
+
+    spmd(2, main)
+
+
+def test_ops_after_closing_fence_raise():
+    def main(comm):
+        local = np.zeros(4, dtype="f8")
+        win = mpi.Win.create(comm, local)
+        win.fence_sync()
+        win.fence_sync(end=True)
+        with pytest.raises(RMASyncError):
+            win.put(np.zeros(1), 0)
+        win.free()
+
+    spmd(2, main)
+
+
+def test_fence_and_lock_are_mutually_exclusive():
+    def main(comm):
+        local = np.zeros(4, dtype="f8")
+        win = mpi.Win.create(comm, local)
+        win.fence_sync()
+        with pytest.raises(RMASyncError):
+            win.lock(0)
+        win.fence_sync(end=True)
+        # and the other direction
+        win.lock(0)
+        with pytest.raises((RMASyncError, mpi.RankFailedError)):
+            win.fence_sync()
+        win.unlock(0)
+        win.free()
+
+    # the second fence attempt may kill the run collectively; accept both
+    try:
+        spmd(1, main, watchdog_s=0.4)
+    except (RMASyncError, mpi.RankFailedError):
+        pass
+
+
+def test_fence_conflicts_detected_across_origins():
+    """Two origins writing the same bytes within one fence epoch is the
+    canonical erroneous active-target program; the checker catches it."""
+
+    def main(comm):
+        local = np.zeros(4, dtype="f8")
+        win = mpi.Win.create(comm, local)
+        win.fence_sync()
+        if comm.rank == 0:
+            win.put(np.ones(4), 1)
+            comm.barrier()
+            comm.barrier()
+        else:
+            comm.barrier()
+            with pytest.raises(RMAConflictError):
+                win.put(np.full(4, 2.0), 1)
+            comm.barrier()
+        win.fence_sync(end=True)
+        win.free()
+
+    spmd(2, main)
+
+
+def test_fence_accumulates_merge():
+    def main(comm):
+        local = np.zeros(4, dtype="f8")
+        win = mpi.Win.create(comm, local)
+        win.fence_sync()
+        win.accumulate(np.ones(4), 0, op="MPI_SUM")
+        win.fence_sync(end=True)
+        if comm.rank == 0:
+            assert np.all(local == comm.size)
+        win.free()
+
+    spmd(4, main)
+
+
+def test_free_inside_open_fence_epoch_raises():
+    def main(comm):
+        local = np.zeros(4, dtype="f8")
+        win = mpi.Win.create(comm, local)
+        win.fence_sync()
+        with pytest.raises((RMASyncError, mpi.RankFailedError)):
+            win.free()
+        win.fence_sync(end=True)
+        win.free()
+
+    spmd(2, main)

@@ -1,0 +1,127 @@
+"""Unit + property tests for MPI group algebra (repro.mpi.group)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.group import UNDEFINED, Group
+from repro.mpi.errors import GroupError, RankError
+
+
+def test_basic_queries():
+    g = Group([3, 1, 4])
+    assert g.size == 3
+    assert g.world_rank(0) == 3
+    assert g.world_rank(2) == 4
+    assert g.rank_of_world(1) == 1
+    assert g.rank_of_world(9) == UNDEFINED
+    assert g.contains_world(4)
+    assert list(g) == [3, 1, 4]
+    assert len(g) == 3
+
+
+def test_duplicate_and_negative_members_rejected():
+    with pytest.raises(GroupError):
+        Group([0, 1, 0])
+    with pytest.raises(GroupError):
+        Group([-1, 2])
+
+
+def test_world_rank_out_of_range():
+    g = Group([5, 6])
+    with pytest.raises(RankError):
+        g.world_rank(2)
+    with pytest.raises(RankError):
+        g.world_rank(-1)
+
+
+def test_incl_excl():
+    g = Group([10, 20, 30, 40])
+    assert Group([20, 40]) == g.incl([1, 3])
+    assert Group([10, 30]) == g.excl([1, 3])
+    with pytest.raises(RankError):
+        g.excl([7])
+    # order matters for incl (MPI semantics)
+    assert g.incl([3, 0]).members == (40, 10)
+
+
+def test_union_preserves_mpi_order():
+    a = Group([1, 2, 3])
+    b = Group([3, 4, 1])
+    u = a.union(b)
+    assert u.members == (1, 2, 3, 4)  # a's members first, then new ones
+
+
+def test_intersection_and_difference():
+    a = Group([1, 2, 3, 4])
+    b = Group([4, 2, 9])
+    assert a.intersection(b).members == (2, 4)  # ordered as in a
+    assert a.difference(b).members == (1, 3)
+    assert b.difference(a).members == (9,)
+
+
+def test_translate_ranks():
+    a = Group([10, 20, 30])
+    b = Group([30, 10])
+    assert a.translate_ranks([0, 1, 2], b) == [1, UNDEFINED, 0]
+
+
+def test_equality_and_hash():
+    assert Group([1, 2]) == Group([1, 2])
+    assert Group([1, 2]) != Group([2, 1])  # groups are ORDERED sets
+    assert hash(Group([1, 2])) == hash(Group([1, 2]))
+
+
+# ---------------------------------------------------------------------------
+# algebraic properties
+# ---------------------------------------------------------------------------
+
+members = st.lists(st.integers(0, 30), unique=True, max_size=12)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=members, b=members)
+def test_intersection_is_subset_of_both(a, b):
+    ga, gb = Group(a), Group(b)
+    inter = ga.intersection(gb)
+    for w in inter:
+        assert ga.contains_world(w) and gb.contains_world(w)
+    # and contains everything common
+    assert set(inter.members) == set(a) & set(b)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=members, b=members)
+def test_union_covers_both_without_duplicates(a, b):
+    u = Group(a).union(Group(b))
+    assert set(u.members) == set(a) | set(b)
+    assert len(u.members) == len(set(u.members))
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=members, b=members)
+def test_difference_disjoint_from_b(a, b):
+    d = Group(a).difference(Group(b))
+    assert set(d.members) == set(a) - set(b)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=members)
+def test_translate_roundtrip_identity(a):
+    g = Group(a)
+    # translating every rank into the same group is the identity
+    assert g.translate_ranks(list(range(g.size)), g) == list(range(g.size))
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=st.lists(st.integers(0, 30), unique=True, min_size=1, max_size=12), data=st.data())
+def test_incl_then_rank_lookup_consistent(a, data):
+    g = Group(a)
+    picks = data.draw(
+        st.lists(st.integers(0, g.size - 1), unique=True, min_size=1, max_size=g.size)
+    )
+    sub = g.incl(picks)
+    for new_rank, old_rank in enumerate(picks):
+        assert sub.world_rank(new_rank) == g.world_rank(old_rank)

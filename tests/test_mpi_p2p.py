@@ -1,0 +1,201 @@
+"""Tests for two-sided messaging: matching, ordering, wildcards, errors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.mpi.errors import TagError, TruncationError
+
+from conftest import spmd
+
+
+def test_basic_send_recv():
+    def main(comm):
+        if comm.rank == 0:
+            comm.send(np.arange(8, dtype="f8"), dest=1, tag=3)
+        elif comm.rank == 1:
+            buf = np.zeros(8)
+            st = comm.recv(buf, source=0, tag=3)
+            assert st.source == 0 and st.tag == 3 and st.count == 64
+            np.testing.assert_array_equal(buf, np.arange(8.0))
+
+    spmd(2, main)
+
+
+def test_object_mode_send_recv():
+    def main(comm):
+        if comm.rank == 0:
+            comm.send({"k": [1, 2, 3]}, dest=1)
+        elif comm.rank == 1:
+            obj, st = comm.recv(source=0)
+            assert obj == {"k": [1, 2, 3]}
+            assert st.count == 0
+
+    spmd(2, main)
+
+
+def test_send_buffer_is_copied_at_send_time():
+    """Eager protocol: mutating the send buffer after send() is safe."""
+
+    def main(comm):
+        if comm.rank == 0:
+            data = np.full(4, 7, dtype="i8")
+            comm.send(data, dest=1)
+            data[:] = -1  # must not affect the message
+            comm.barrier()
+        else:
+            comm.barrier()
+            buf = np.zeros(4, dtype="i8")
+            comm.recv(buf, source=0)
+            assert buf.tolist() == [7, 7, 7, 7]
+
+    spmd(2, main)
+
+
+def test_nonovertaking_order_same_pair():
+    def main(comm):
+        if comm.rank == 0:
+            for i in range(10):
+                comm.send(np.array([i]), dest=1, tag=9)
+        else:
+            for i in range(10):
+                buf = np.zeros(1, dtype="i8")
+                comm.recv(buf, source=0, tag=9)
+                assert buf[0] == i
+
+    spmd(2, main)
+
+
+def test_tag_selectivity():
+    def main(comm):
+        if comm.rank == 0:
+            comm.send(np.array([1]), dest=1, tag=10)
+            comm.send(np.array([2]), dest=1, tag=20)
+        else:
+            buf = np.zeros(1, dtype="i8")
+            comm.recv(buf, source=0, tag=20)
+            assert buf[0] == 2
+            comm.recv(buf, source=0, tag=10)
+            assert buf[0] == 1
+
+    spmd(2, main)
+
+
+def test_wildcard_source_and_tag():
+    def main(comm):
+        if comm.rank == 3:
+            seen = set()
+            for _ in range(3):
+                obj, st = comm.recv(source=mpi.ANY_SOURCE, tag=mpi.ANY_TAG)
+                seen.add(st.source)
+                assert obj == st.source
+            assert seen == {0, 1, 2}
+        else:
+            comm.send(comm.rank, dest=3, tag=comm.rank + 1)
+
+    spmd(4, main)
+
+
+def test_irecv_wait_blocks_until_matched():
+    def main(comm):
+        if comm.rank == 0:
+            req = comm.irecv(source=1, tag=7)
+            done, _ = req.test()
+            assert not done
+            comm.barrier()
+            obj, st = (lambda s: (s.payload, s))(req.wait())
+            assert obj == "late"
+        else:
+            comm.barrier()
+            comm.send("late", dest=0, tag=7)
+
+    spmd(2, main)
+
+
+def test_isend_completes_immediately():
+    def main(comm):
+        if comm.rank == 0:
+            req = comm.isend(np.zeros(4), dest=1)
+            done, _ = req.test()
+            assert done
+        else:
+            buf = np.zeros(4)
+            comm.recv(buf, source=0)
+
+    spmd(2, main)
+
+
+def test_sendrecv_exchange_no_deadlock():
+    def main(comm):
+        partner = 1 - comm.rank
+        buf = np.zeros(1, dtype="i8")
+        comm.sendrecv(
+            np.array([comm.rank], dtype="i8"), dest=partner, recvbuf=buf, source=partner
+        )
+        assert buf[0] == partner
+
+    spmd(2, main)
+
+
+def test_truncation_raises():
+    def main(comm):
+        if comm.rank == 0:
+            comm.send(np.zeros(100), dest=1)
+        else:
+            buf = np.zeros(2)
+            with pytest.raises(TruncationError):
+                comm.recv(buf, source=0)
+
+    spmd(2, main)
+
+
+def test_negative_tag_raises():
+    def main(comm):
+        if comm.rank == 0:
+            with pytest.raises(TagError):
+                comm.send(np.zeros(1), dest=1, tag=-3)
+
+    spmd(2, main)
+
+
+def test_iprobe():
+    def main(comm):
+        if comm.rank == 0:
+            assert comm.iprobe(source=1) is None
+            comm.barrier()
+            # wait until the message is visible
+            st = None
+            while st is None:
+                st = comm.iprobe(source=1, tag=4)
+            assert st.count == 8
+            buf = np.zeros(1, dtype="f8")
+            comm.recv(buf, source=1, tag=4)
+        else:
+            comm.barrier()
+            comm.send(np.array([2.5]), dest=0, tag=4)
+
+    spmd(2, main)
+
+
+def test_recv_blocking_deadlock_detected():
+    """Two ranks both receiving first is a genuine deadlock -> watchdog."""
+
+    def main(comm):
+        buf = np.zeros(1)
+        comm.recv(buf, source=1 - comm.rank, tag=0)
+
+    with pytest.raises(mpi.ProgressDeadlockError):
+        spmd(2, main, watchdog_s=0.2)
+
+
+def test_exception_in_one_rank_propagates():
+    def main(comm):
+        if comm.rank == 1:
+            raise ValueError("boom")
+        buf = np.zeros(1)
+        comm.recv(buf, source=1)  # would block forever
+
+    with pytest.raises(ValueError, match="boom"):
+        spmd(2, main, watchdog_s=0.5)

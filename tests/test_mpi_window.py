@@ -1,0 +1,688 @@
+"""Tests for MPI RMA windows: the strict MPI-2 semantics ARMCI-MPI targets.
+
+These tests pin exactly the rules §III and §V of the paper design around:
+epochs, one-lock-per-window, conflicting-access errors, deferred get
+delivery, exclusive-lock DLA, and the MPI-3 gating.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.mpi.errors import (
+    RMAConflictError,
+    RMARangeError,
+    RMASyncError,
+    WinError,
+)
+
+from conftest import spmd
+
+
+def _win(comm, n_doubles=16, **kw):
+    local = np.zeros(n_doubles, dtype="f8")
+    win = mpi.Win.create(comm, local, **kw)
+    return win, local
+
+
+# ---------------------------------------------------------------------------
+# basic data movement
+# ---------------------------------------------------------------------------
+
+
+def test_put_get_roundtrip():
+    def main(comm):
+        win, local = _win(comm)
+        if comm.rank == 1:
+            win.lock(0)
+            win.put(np.arange(16.0), 0)
+            win.unlock(0)
+        comm.barrier()
+        if comm.rank == 0:
+            assert local[5] == 5.0
+        out = np.zeros(16)
+        win.lock(0, mpi.LOCK_SHARED)
+        win.get(out, 0)
+        win.unlock(0)
+        np.testing.assert_array_equal(out, np.arange(16.0))
+        win.free()
+
+    spmd(3, main)
+
+
+def test_get_not_delivered_until_unlock():
+    def main(comm):
+        win, local = _win(comm)
+        if comm.rank == 0:
+            local[:] = 9.0
+        comm.barrier()
+        if comm.rank == 1:
+            out = np.zeros(16)
+            win.lock(0)
+            win.get(out, 0)
+            assert np.all(out == 0.0), "get must not complete before unlock"
+            win.unlock(0)
+            assert np.all(out == 9.0)
+        comm.barrier()
+        win.free()
+
+    spmd(2, main)
+
+
+def test_accumulate_sum():
+    def main(comm):
+        win, local = _win(comm, 4)
+        comm.barrier()
+        win.lock(0)
+        win.accumulate(np.full(4, 1.5), 0, op="MPI_SUM")
+        win.unlock(0)
+        comm.barrier()
+        if comm.rank == 0:
+            assert np.all(local == 1.5 * comm.size)
+        win.free()
+
+    spmd(4, main)
+
+
+def test_accumulate_replace_and_min():
+    def main(comm):
+        win, local = _win(comm, 2)
+        if comm.rank == 0:
+            local[:] = [10.0, 10.0]
+        comm.barrier()
+        if comm.rank == 1:
+            win.lock(0)
+            win.accumulate(np.array([3.0, 99.0]), 0, op=mpi.MIN)
+            win.unlock(0)
+            win.lock(0)
+            win.accumulate(np.array([7.0, 7.0]), 0, op=mpi.REPLACE)
+            win.unlock(0)
+        comm.barrier()
+        if comm.rank == 0:
+            assert local.tolist() == [7.0, 7.0]
+        win.free()
+
+    spmd(2, main)
+
+
+def test_put_with_target_datatype():
+    def main(comm):
+        win, local = _win(comm, 16)
+        if comm.rank == 1:
+            t = mpi.vector(4, 1, 4, mpi.DOUBLE).commit()
+            win.lock(0)
+            win.put(np.array([1.0, 2.0, 3.0, 4.0]), 0, target_datatype=t)
+            win.unlock(0)
+        comm.barrier()
+        if comm.rank == 0:
+            assert local[::4].tolist() == [1.0, 2.0, 3.0, 4.0]
+            assert local[1] == 0.0
+        win.free()
+
+    spmd(2, main)
+
+
+def test_get_with_origin_datatype():
+    def main(comm):
+        win, local = _win(comm, 8)
+        if comm.rank == 0:
+            local[:] = np.arange(8.0)
+        comm.barrier()
+        if comm.rank == 1:
+            out = np.zeros(8)
+            t = mpi.vector(4, 1, 2, mpi.DOUBLE).commit()
+            # fetch first 4 doubles, scatter into every other slot
+            win.lock(0, mpi.LOCK_SHARED)
+            win.get(out, 0, target_datatype=mpi.contiguous(4, mpi.DOUBLE).commit(),
+                    origin_datatype=t)
+            win.unlock(0)
+            assert out[::2].tolist() == [0.0, 1.0, 2.0, 3.0]
+            assert out[1::2].tolist() == [0.0] * 4
+        comm.barrier()
+        win.free()
+
+    spmd(2, main)
+
+
+def test_heterogeneous_window_sizes_and_zero_size():
+    def main(comm):
+        n = 8 if comm.rank == 0 else 0
+        local = np.zeros(n, dtype="f8")
+        win = mpi.Win.create(comm, local if n else None)
+        assert win.size_of(0) == 64
+        assert win.size_of(1) == 0
+        if comm.rank == 1:
+            win.lock(0)
+            win.put(np.ones(8), 0)
+            win.unlock(0)
+        comm.barrier()
+        if comm.rank == 0:
+            assert np.all(local == 1.0)
+        win.free()
+
+    spmd(2, main)
+
+
+def test_out_of_range_access_raises():
+    def main(comm):
+        win, _ = _win(comm, 4)
+        win.lock(0, mpi.LOCK_SHARED)
+        with pytest.raises(RMARangeError):
+            win.get(np.zeros(100), 0)
+        win.unlock(0)
+        win.free()
+
+    spmd(1, main)
+
+
+# ---------------------------------------------------------------------------
+# epoch discipline
+# ---------------------------------------------------------------------------
+
+
+def test_op_outside_epoch_raises():
+    def main(comm):
+        win, _ = _win(comm)
+        with pytest.raises(RMASyncError):
+            win.put(np.zeros(4), 0)
+        win.free()
+
+    spmd(2, main)
+
+
+def test_unlock_without_lock_raises():
+    def main(comm):
+        win, _ = _win(comm)
+        with pytest.raises(RMASyncError):
+            win.unlock(0)
+        win.free()
+
+    spmd(2, main)
+
+
+def test_double_lock_same_window_raises():
+    """MPI-2: one lock per window per process — the rule that forces
+    ARMCI-MPI to stage transfers whose local buffer is also global."""
+
+    def main(comm):
+        win, _ = _win(comm)
+        win.lock(0)
+        with pytest.raises(RMASyncError):
+            win.lock(1)
+        win.unlock(0)
+        win.free()
+
+    spmd(2, main)
+
+
+def test_free_with_open_epoch_raises():
+    def main(comm):
+        win, _ = _win(comm)
+        if comm.rank == 0:
+            win.lock(1)
+            with pytest.raises((RMASyncError, mpi.RankFailedError)):
+                win.free()
+            win.unlock(1)
+        else:
+            with pytest.raises((RMASyncError, mpi.RankFailedError)):
+                win.free()
+
+    spmd(2, main, watchdog_s=0.3)
+
+
+def test_exclusive_lock_mutual_exclusion():
+    """Exclusive epochs on one target must serialise: increments never race."""
+
+    def main(comm):
+        win, local = _win(comm, 1)
+        comm.barrier()
+        for _ in range(25):
+            win.lock(0, mpi.LOCK_EXCLUSIVE)
+            out = np.zeros(1)
+            win.get(out, 0)
+            win.unlock(0)
+            win.lock(0, mpi.LOCK_EXCLUSIVE)
+            win.put(out + 1.0, 0)
+            win.unlock(0)
+        comm.barrier()
+        # NOTE: get-then-put in separate epochs is NOT atomic (that is the
+        # point of §V-D's mutexes) — so we only check a weaker invariant:
+        if comm.rank == 0:
+            assert 25 <= local[0] <= 25 * comm.size
+        win.free()
+
+    spmd(2, main)
+
+
+def test_shared_then_exclusive_queueing():
+    def main(comm):
+        win, local = _win(comm, 4)
+        comm.barrier()
+        # all ranks take shared locks to read; then rank 0 writes exclusively
+        win.lock(0, mpi.LOCK_SHARED)
+        out = np.zeros(4)
+        win.get(out, 0)
+        win.unlock(0)
+        comm.barrier()
+        if comm.rank == 0:
+            win.lock(0, mpi.LOCK_EXCLUSIVE)
+            win.put(np.ones(4), 0)
+            win.unlock(0)
+        comm.barrier()
+        win.lock(0, mpi.LOCK_SHARED)
+        win.get(out, 0)
+        win.unlock(0)
+        assert np.all(out == 1.0)
+        win.free()
+
+    spmd(4, main)
+
+
+# ---------------------------------------------------------------------------
+# conflicting access detection (the MPI-2 'erroneous program' rules)
+# ---------------------------------------------------------------------------
+
+
+def test_overlapping_put_put_same_epoch_raises():
+    def main(comm):
+        win, _ = _win(comm)
+        win.lock(0)
+        win.put(np.ones(4), 0, target_offset=0)
+        with pytest.raises(RMAConflictError):
+            win.put(np.ones(4), 0, target_offset=16)  # bytes 16..48 overlap 0..32
+        win.unlock(0)
+        win.free()
+
+    spmd(2, main)
+
+
+def test_put_get_overlap_same_epoch_raises():
+    def main(comm):
+        win, _ = _win(comm)
+        win.lock(0)
+        win.put(np.ones(2), 0)
+        with pytest.raises(RMAConflictError):
+            win.get(np.zeros(2), 0)
+        win.unlock(0)
+        win.free()
+
+    spmd(1, main)
+
+
+def test_disjoint_ops_same_epoch_allowed():
+    def main(comm):
+        win, local = _win(comm)
+        win.lock(0)
+        win.put(np.ones(4), 0, target_offset=0)
+        win.put(np.full(4, 2.0), 0, target_offset=32)
+        out = np.zeros(4)
+        win.get(out, 0, target_offset=64)
+        win.unlock(0)
+        win.free()
+
+    spmd(1, main)
+
+
+def test_same_op_accumulate_overlap_allowed():
+    def main(comm):
+        win, local = _win(comm, 4)
+        win.lock(0, mpi.LOCK_SHARED)
+        win.accumulate(np.ones(4), 0, op="MPI_SUM")
+        win.accumulate(np.ones(4), 0, op="MPI_SUM")
+        win.unlock(0)
+        if comm.rank == 0:
+            pass
+        win.free()
+
+    spmd(1, main)
+
+
+def test_different_op_accumulate_overlap_raises():
+    def main(comm):
+        win, _ = _win(comm, 4)
+        win.lock(0)
+        win.accumulate(np.ones(4), 0, op="MPI_SUM")
+        with pytest.raises(RMAConflictError):
+            win.accumulate(np.ones(4), 0, op="MPI_PROD")
+        win.unlock(0)
+        win.free()
+
+    spmd(1, main)
+
+
+def test_cross_origin_shared_lock_conflict_raises():
+    """Two origins with shared locks writing the same bytes is erroneous."""
+
+    def main(comm):
+        win, _ = _win(comm, 4)
+        comm.barrier()
+        if comm.rank == 0:
+            win.lock(2, mpi.LOCK_SHARED)
+            win.put(np.ones(4), 2)
+            comm.barrier()  # hold epoch open while rank 1 collides
+            comm.barrier()
+            win.unlock(2)
+        elif comm.rank == 1:
+            win.lock(2, mpi.LOCK_SHARED)
+            comm.barrier()
+            with pytest.raises(RMAConflictError):
+                win.put(np.full(4, 2.0), 2)
+            comm.barrier()
+            win.unlock(2)
+        else:
+            comm.barrier()
+            comm.barrier()
+        comm.barrier()
+        win.free()
+
+    spmd(3, main)
+
+
+def test_cross_origin_same_op_accumulate_allowed():
+    def main(comm):
+        win, local = _win(comm, 4)
+        comm.barrier()
+        if comm.rank in (0, 1):
+            win.lock(2, mpi.LOCK_SHARED)
+            win.accumulate(np.ones(4), 2, op="MPI_SUM")
+            win.unlock(2)
+        comm.barrier()
+        if comm.rank == 2:
+            assert np.all(local == 2.0)
+        win.free()
+
+    spmd(3, main)
+
+
+def test_strict_false_permits_conflicts():
+    """Permissive mode models coherent systems (§V-E.1 last paragraph)."""
+
+    def main(comm):
+        win, _ = _win(comm, strict=False)
+        win.lock(0)
+        win.put(np.ones(4), 0)
+        win.put(np.full(4, 2.0), 0)  # would raise under strict
+        win.unlock(0)
+        win.free()
+
+    spmd(1, main)
+
+
+# ---------------------------------------------------------------------------
+# direct local access (the rule behind ARMCI's DLA extension)
+# ---------------------------------------------------------------------------
+
+
+def test_local_view_requires_exclusive_self_lock():
+    def main(comm):
+        win, _ = _win(comm)
+        with pytest.raises(RMASyncError):
+            win.local_view()
+        win.lock(comm.rank, mpi.LOCK_SHARED)
+        with pytest.raises(RMASyncError):
+            win.local_view()  # shared is not enough
+        win.unlock(comm.rank)
+        win.lock(comm.rank, mpi.LOCK_EXCLUSIVE)
+        view = win.local_view("f8")
+        view[0] = 42.0
+        win.unlock(comm.rank)
+        win.free()
+
+    spmd(2, main)
+
+
+def test_local_view_nonstrict_allows_bare_access():
+    def main(comm):
+        win, _ = _win(comm, strict=False)
+        view = win.local_view("f8")
+        view[:] = 1.0
+        win.free()
+
+    spmd(1, main)
+
+
+# ---------------------------------------------------------------------------
+# deadlock: the §V-E.1 circular-lock hazard is REAL in this substrate
+# ---------------------------------------------------------------------------
+
+
+def test_circular_window_locks_deadlock():
+    """Rank 0 locks winA@0 then winB@1 while rank 1 locks winB@1 then
+    winA@0: a circular dependence between two windows. The naive
+    implementation the paper warns about really deadlocks here."""
+
+    def main(comm):
+        a, _ = _win(comm)
+        b, _ = _win(comm)
+        comm.barrier()
+        if comm.rank == 0:
+            a.lock(0)
+            comm.barrier()  # both hold their first lock
+            b.lock(1)  # blocks forever
+            b.unlock(1)
+            a.unlock(0)
+        else:
+            b.lock(1)
+            comm.barrier()
+            a.lock(0)  # blocks forever
+            a.unlock(0)
+            b.unlock(1)
+
+    with pytest.raises(mpi.ProgressDeadlockError):
+        spmd(2, main, watchdog_s=0.3)
+
+
+# ---------------------------------------------------------------------------
+# MPI-3 gating and extensions (§VIII-B made concrete)
+# ---------------------------------------------------------------------------
+
+
+def test_mpi3_features_gated_off_by_default():
+    def main(comm):
+        win, _ = _win(comm)
+        with pytest.raises(WinError):
+            win.flush(0)
+        with pytest.raises(WinError):
+            win.lock_all()
+        with pytest.raises(WinError):
+            win.fetch_and_op(1, 0, 0)
+        win.free()
+
+    spmd(1, main)
+
+
+def test_mpi3_flush_completes_get_mid_epoch():
+    def main(comm):
+        win, local = _win(comm, 4, mpi3=True)
+        if comm.rank == 0:
+            local[:] = 3.0
+        comm.barrier()
+        if comm.rank == 1:
+            out = np.zeros(4)
+            win.lock(0, mpi.LOCK_SHARED)
+            win.get(out, 0)
+            win.flush(0)
+            assert np.all(out == 3.0), "flush must deliver without unlock"
+            win.unlock(0)
+        comm.barrier()
+        win.free()
+
+    spmd(2, main)
+
+
+def test_mpi3_fetch_and_op_atomic_counter():
+    def main(comm):
+        win, local = _win(comm, 0, mpi3=True)
+        counter = np.zeros(1, dtype="i8")
+        cwin = mpi.Win.create(comm, counter if comm.rank == 0 else None, mpi3=True)
+        comm.barrier()
+        got = []
+        for _ in range(10):
+            cwin.lock(0, mpi.LOCK_SHARED)
+            old = cwin.fetch_and_op(1, 0, 0, mpi.LONG, op="MPI_SUM")
+            cwin.unlock(0)
+            got.append(old)
+        all_got = comm.allgather(got)
+        flat = sorted(x for sub in all_got for x in sub)
+        assert flat == list(range(10 * comm.size)), "fetch_and_add must hand out unique values"
+        comm.barrier()
+        win.free()
+        cwin.free()
+
+    spmd(3, main)
+
+
+def test_mpi3_compare_and_swap():
+    def main(comm):
+        val = np.zeros(1, dtype="i8")
+        win = mpi.Win.create(comm, val if comm.rank == 0 else None, mpi3=True)
+        comm.barrier()
+        win.lock(0, mpi.LOCK_SHARED)
+        old = win.compare_and_swap(0, comm.rank + 100, 0, 0, mpi.LONG)
+        win.unlock(0)
+        winners = comm.allgather(old == 0)
+        assert sum(winners) == 1, "exactly one CAS must win"
+        comm.barrier()
+        win.free()
+
+    spmd(4, main)
+
+
+def test_mpi3_lock_all_and_flush_all():
+    def main(comm):
+        win, local = _win(comm, 2, mpi3=True)
+        local[:] = comm.rank
+        comm.barrier()
+        outs = [np.zeros(2) for _ in range(comm.size)]
+        win.lock_all()
+        for t in range(comm.size):
+            win.get(outs[t], t)
+        win.flush_all()
+        for t in range(comm.size):
+            assert np.all(outs[t] == t)
+        win.unlock_all()
+        comm.barrier()
+        win.free()
+
+    spmd(3, main)
+
+
+def test_mpi3_rget_request_delivery():
+    def main(comm):
+        win, local = _win(comm, 2, mpi3=True)
+        if comm.rank == 0:
+            local[:] = 5.0
+        comm.barrier()
+        if comm.rank == 1:
+            out = np.zeros(2)
+            win.lock(0, mpi.LOCK_SHARED)
+            req = win.rget(out, 0)
+            req.wait()
+            assert np.all(out == 5.0)
+            win.unlock(0)
+        comm.barrier()
+        win.free()
+
+    spmd(2, main)
+
+
+def test_freed_window_rejects_ops():
+    def main(comm):
+        win, _ = _win(comm)
+        win.free()
+        with pytest.raises(WinError):
+            win.lock(0)
+
+    spmd(2, main)
+
+
+# ---------------------------------------------------------------------------
+# property test: the epoch conflict checker vs a naive oracle
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+def _oracle_conflicts(ops):
+    """Naive O(N^2) MPI-2 conflict oracle over (kind, opname, lo, hi)."""
+    for i in range(len(ops)):
+        k1, o1, lo1, hi1 = ops[i]
+        for j in range(i):
+            k2, o2, lo2, hi2 = ops[j]
+            if lo1 < hi2 and lo2 < hi1:  # overlap
+                if k1 == "get" and k2 == "get":
+                    continue
+                if k1 == "acc" and k2 == "acc" and o1 == o2:
+                    continue
+                return i  # first op index that conflicts
+    return None
+
+
+@st.composite
+def _epoch_ops(draw):
+    n = draw(st.integers(1, 12))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["put", "get", "acc"]))
+        opname = draw(st.sampled_from(["MPI_SUM", "MPI_PROD"])) if kind == "acc" else None
+        lo = draw(st.integers(0, 12)) * 8
+        ln = draw(st.integers(1, 4)) * 8
+        ops.append((kind, opname, lo, lo + ln))
+    return ops
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_epoch_ops())
+def test_epoch_conflict_checker_matches_oracle(ops):
+    """The window's interval-coverage checker must agree exactly with a
+    naive pairwise MPI-2 conflict oracle on random op sequences."""
+    expected = _oracle_conflicts(ops)
+    observed = {}
+
+    def main(comm):
+        local = np.zeros(160, dtype="f8")
+        win = mpi.Win.create(comm, local)
+        win.lock(0)
+        try:
+            for i, (kind, opname, lo, hi) in enumerate(ops):
+                buf = np.zeros((hi - lo) // 8)
+                try:
+                    if kind == "put":
+                        win.put(buf, 0, lo)
+                    elif kind == "get":
+                        win.get(buf, 0, lo)
+                    else:
+                        win.accumulate(buf, 0, lo, op=opname)
+                except RMAConflictError:
+                    observed["at"] = i
+                    return
+            observed["at"] = None
+        finally:
+            win.unlock(0)
+        win.free()
+
+    spmd(1, main)
+    assert observed["at"] == expected
+
+
+def test_get_origin_datatype_out_of_bounds_raises():
+    """The origin layout must fit inside the origin buffer — silently
+    clamped writes would be data loss."""
+
+    def main(comm):
+        local = np.zeros(16, dtype="f8")
+        win = mpi.Win.create(comm, local)
+        out = np.zeros(2)  # 16 bytes, but the layout reaches byte 80
+        t = mpi.vector(2, 1, 9, mpi.DOUBLE).commit()
+        win.lock(0, mpi.LOCK_SHARED)
+        with pytest.raises(mpi.ArgumentError):
+            win.get(out, 0,
+                    target_datatype=mpi.contiguous(2, mpi.DOUBLE).commit(),
+                    origin_datatype=t)
+        win.unlock(0)
+        win.free()
+
+    spmd(1, main)

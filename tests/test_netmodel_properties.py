@@ -1,0 +1,86 @@
+"""Property tests for the LogGP cost models (monotonicity, sanity)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simtime import PLATFORMS, PathModel
+
+_paths = [p for plat in PLATFORMS.values() for p in (plat.native, plat.mpi)]
+
+
+@pytest.mark.parametrize("path", _paths, ids=lambda p: p.name)
+def test_all_platform_paths_have_positive_primitives(path):
+    assert path.xfer_time("get", 0) >= 0
+    assert path.xfer_time("put", 1 << 20) > 0
+    assert path.p2p_time(64) > 0
+    assert path.collective_time("barrier", 0, 1024) > 0
+    assert path.sync_time("lock") >= 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    path=st.sampled_from(_paths),
+    kind=st.sampled_from(["put", "get", "acc"]),
+    nbytes=st.integers(0, 1 << 22),
+    extra=st.integers(1, 1 << 20),
+)
+def test_time_monotone_in_bytes_within_regime(path, kind, nbytes, extra):
+    """More bytes never cost less time, within one bandwidth regime."""
+    a, b = nbytes, nbytes + extra
+    # stay on one side of the piecewise-bandwidth threshold
+    if a <= path.bw_threshold < b:
+        b = path.bw_threshold
+        if b <= a:
+            return
+    assert path.xfer_time(kind, b) >= path.xfer_time(kind, a)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    path=st.sampled_from(_paths),
+    nbytes=st.integers(1, 1 << 20),
+    nsegs=st.integers(1, 2048),
+)
+def test_segmented_never_cheaper_than_contiguous(path, nbytes, nsegs):
+    assert path.xfer_time("get", nbytes, nsegments=nsegs) >= path.xfer_time(
+        "get", nbytes, nsegments=1
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(path=st.sampled_from(_paths), nbytes=st.integers(0, 1 << 22))
+def test_acc_never_cheaper_than_put(path, nbytes):
+    assert path.xfer_time("acc", nbytes) >= path.xfer_time("put", nbytes)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    path=st.sampled_from(_paths),
+    nbytes=st.integers(0, 1 << 16),
+    p1=st.integers(2, 512),
+    p2=st.integers(2, 512),
+)
+def test_collectives_monotone_in_ranks(path, nbytes, p1, p2):
+    lo, hi = min(p1, p2), max(p1, p2)
+    assert path.collective_time("barrier", nbytes, hi) >= path.collective_time(
+        "barrier", nbytes, lo
+    )
+
+
+def test_with_overrides_returns_modified_copy():
+    base = PLATFORMS["ib"].mpi
+    faster = base.with_overrides(latency=base.latency / 2)
+    assert faster.latency == base.latency / 2
+    assert faster.bw_small == base.bw_small
+    assert base.latency != faster.latency  # original untouched (frozen)
+
+
+def test_invalid_pathmodel_rejected():
+    with pytest.raises(ValueError):
+        PathModel(
+            name="bad", latency=-1, bw_small=1e9, bw_large=1e9,
+            bw_threshold=1, acc_rate=1e9, seg_overhead=0, pack_rate=1e9,
+        )

@@ -1,0 +1,136 @@
+"""Tests for the NWChem CCSD(T) proxy: functional vs dense reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.armci import Armci
+from repro.armci_native import NativeArmci
+from repro.ga import GlobalArray, SharedCounter
+from repro.nwchem import (
+    CcsdDriver,
+    CcsdProblem,
+    TiledSpace,
+    coupling_matrix,
+    denominator_matrix,
+    ring_ccd_dense,
+    tiled_matmul,
+    triples_energy,
+    triples_energy_dense,
+)
+
+from conftest import spmd
+
+
+def test_tiled_space():
+    s = TiledSpace(10, 4)
+    assert s.ntiles == 3
+    assert [(t.lo, t.hi) for t in s] == [(0, 4), (4, 8), (8, 10)]
+    assert len(list(s.pairs())) == 9
+    assert len(list(s.triples())) == 27
+
+
+def test_reference_converges():
+    e, t, trace = ring_ccd_dense(2, 3, iterations=20)
+    # geometric convergence: successive diffs shrink
+    diffs = [abs(trace[i + 1] - trace[i]) for i in range(len(trace) - 1)]
+    assert diffs[-1] < 1e-12
+    assert e < 0  # correlation energy is negative (V*T/D with D<0)
+
+
+def test_denominators_negative():
+    d = denominator_matrix(3, 5)
+    assert np.all(d < 0)
+
+
+def test_coupling_symmetric_and_deterministic():
+    v1 = coupling_matrix(2, 3)
+    v2 = coupling_matrix(2, 3)
+    np.testing.assert_array_equal(v1, v2)
+    np.testing.assert_array_equal(v1, v1.T)
+
+
+def test_tiled_matmul_matches_numpy():
+    def main(comm):
+        rt = Armci.init(comm)
+        rng = np.random.default_rng(3)
+        n, tile = 12, 5
+        A, B = rng.random((n, n)), rng.random((n, n))
+        ga_a = GlobalArray.create(rt, (n, n), name="A")
+        ga_b = GlobalArray.create(rt, (n, n), name="B")
+        ga_c = GlobalArray.create(rt, (n, n), name="C")
+        if rt.my_id == 0:
+            ga_a.put((0, 0), (n, n), A)
+            ga_b.put((0, 0), (n, n), B)
+            ga_c.put((0, 0), (n, n), np.zeros((n, n)))
+        ga_c.sync()
+        ctr = SharedCounter(rt)
+        tiled_matmul(rt, ga_a, ga_b, ga_c, TiledSpace(n, tile), ctr, alpha=2.0)
+        got = ga_c.get((0, 0), (n, n))
+        np.testing.assert_allclose(got, 2.0 * A @ B, rtol=1e-12)
+        ctr.destroy()
+        for g in (ga_c, ga_b, ga_a):
+            g.destroy()
+
+    spmd(4, main)
+
+
+@pytest.mark.parametrize("flavor", ["mpi", "native"])
+def test_ccsd_driver_matches_reference(flavor):
+    problem = CcsdProblem(no=2, nv=4, tile=3, iterations=6)
+
+    def main(comm):
+        rt = Armci.init(comm) if flavor == "mpi" else NativeArmci.init(comm)
+        driver = CcsdDriver(rt, problem)
+        e, trace = driver.solve()
+        e_ref, t_ref, trace_ref = ring_ccd_dense(
+            problem.no, problem.nv, problem.iterations
+        )
+        assert e == pytest.approx(e_ref, rel=1e-10)
+        np.testing.assert_allclose(trace, trace_ref, rtol=1e-10)
+        np.testing.assert_allclose(driver.amplitudes(), t_ref, rtol=1e-10)
+        driver.destroy()
+
+    spmd(4, main)
+
+
+@pytest.mark.parametrize("flavor", ["mpi", "native"])
+def test_triples_matches_dense(flavor):
+    problem = CcsdProblem(no=2, nv=3, tile=2, iterations=5)
+
+    def main(comm):
+        rt = Armci.init(comm) if flavor == "mpi" else NativeArmci.init(comm)
+        driver = CcsdDriver(rt, problem)
+        driver.solve()
+        et = triples_energy(rt, driver.t, driver.v, problem)
+        t_ref = driver.amplitudes()
+        v_ref = coupling_matrix(problem.no, problem.nv)
+        et_ref = triples_energy_dense(
+            t_ref, v_ref, problem.no, problem.nv, problem.tile
+        )
+        assert et == pytest.approx(et_ref, rel=1e-10)
+        driver.destroy()
+
+    spmd(3, main)
+
+
+def test_ccsd_energy_independent_of_nproc_and_tile():
+    """The distributed answer must not depend on decomposition."""
+    problem_a = CcsdProblem(no=2, nv=4, tile=2, iterations=5)
+    problem_b = CcsdProblem(no=2, nv=4, tile=5, iterations=5)
+    energies = []
+
+    for nproc, problem in ((2, problem_a), (5, problem_b)):
+        out = {}
+
+        def main(comm, problem=problem, out=out):
+            rt = Armci.init(comm)
+            driver = CcsdDriver(rt, problem)
+            e, _ = driver.solve()
+            out["e"] = e
+            driver.destroy()
+
+        spmd(nproc, main)
+        energies.append(out["e"])
+    assert energies[0] == pytest.approx(energies[1], rel=1e-10)

@@ -1,0 +1,106 @@
+"""Unit tests for the Fig. 6 analytic scaling model itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi.progress import MPI_ASYNC, MPI_POLLING, NATIVE_CHT
+from repro.nwchem.model import (
+    W5_NO,
+    W5_NV,
+    WorkloadModel,
+    ccsd_time,
+    fig6_series,
+    stack_for,
+    triples_time,
+)
+from repro.simtime import PLATFORMS
+
+
+def test_w5_constants_match_paper():
+    """§VII-C: no = 20 correlated occupied, nv = 435 virtual orbitals."""
+    assert W5_NO == 20
+    assert W5_NV == 435
+
+
+def test_workload_counts_consistent():
+    w = WorkloadModel()
+    assert w.o_tiles == -(-w.no // w.t_o)
+    assert w.v_tiles == -(-w.nv // w.t_v)
+    assert w.ccsd_tasks == w.ccsd_iterations * (w.o_tiles**2) * (w.v_tiles**4)
+    assert w.ccsd_flops > 1e14  # O(no^2 nv^4) at w5 scale
+    assert w.t_flops > w.ccsd_flops / w.ccsd_iterations  # (T) >> one CCSD iter
+
+
+def test_task_transfers_shapes():
+    w = WorkloadModel()
+    ccsd = w.ccsd_task_transfers()
+    kinds = [k for k, _, _ in ccsd]
+    assert kinds == ["get", "get", "acc"]
+    t = w.t_task_transfers()
+    assert all(k == "get" for k, _, _ in t), "(T) has no write-back phase"
+    assert len(t) > 10
+
+
+def test_stack_for_flavors():
+    p = PLATFORMS["ib"]
+    nat = stack_for(p, "native")
+    mpi = stack_for(p, "mpi")
+    assert not nat.uses_epochs and mpi.uses_epochs
+    assert nat.progress is NATIVE_CHT and mpi.progress is MPI_ASYNC
+    assert mpi.epoch_contention > nat.epoch_contention
+    with pytest.raises(ValueError):
+        stack_for(p, "hybrid")
+
+
+def test_rmw_time_mpi2_much_larger():
+    p = PLATFORMS["ib"]
+    assert stack_for(p, "mpi").rmw_time() > 3 * stack_for(p, "native").rmw_time()
+
+
+def test_strong_scaling_until_contention():
+    """Time decreases with cores in the paper's plotted ranges."""
+    for key, cores in (("ib", (192, 384)), ("bgp", (1024, 4096))):
+        p = PLATFORMS[key]
+        for flavor in ("native", "mpi"):
+            assert ccsd_time(p, flavor, cores[1]) < ccsd_time(p, flavor, cores[0])
+
+
+def test_comm_inflation_grows_superlinearly():
+    s = stack_for(PLATFORMS["xe6"], "native")
+    f1 = s.comm_inflation(1488)
+    f2 = s.comm_inflation(2976)
+    f4 = s.comm_inflation(5952)
+    assert f4 - f2 > f2 - f1, "contention term must accelerate with scale"
+
+
+def test_progress_override_changes_only_comm_terms():
+    p = PLATFORMS["xt5"]
+    base = ccsd_time(p, "mpi", 4096)
+    poll = ccsd_time(p, "mpi", 4096, progress=MPI_POLLING)
+    assert poll > base
+    # and (T), being get-dominated, also inflates
+    assert triples_time(p, "mpi", 4096, progress=MPI_POLLING) > triples_time(
+        p, "mpi", 4096
+    )
+
+
+def test_fig6_series_structure():
+    data = fig6_series(PLATFORMS["xe6"], [744, 1488], kind="triples")
+    assert data["cores"] == [744, 1488]
+    assert len(data["native_min"]) == 2 and len(data["mpi_min"]) == 2
+    assert all(v > 0 for v in data["native_min"] + data["mpi_min"])
+
+
+def test_custom_workload_scales_cost():
+    small = WorkloadModel(no=10, nv=100, ccsd_iterations=5)
+    big = WorkloadModel()
+    p = PLATFORMS["ib"]
+    assert ccsd_time(p, "mpi", 256, workload=small) < ccsd_time(
+        p, "mpi", 256, workload=big
+    )
+
+
+def test_invalid_cores_raise():
+    with pytest.raises(ValueError):
+        triples_time(PLATFORMS["ib"], "native", 0)
