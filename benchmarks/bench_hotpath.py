@@ -1,0 +1,51 @@
+"""Hot-path datapath benchmarks (pack/unpack, strided translation,
+conflict check, GMR lookup).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_hotpath.py --benchmark-only -s
+
+The speedup test measures every workload against its retained pre-PR
+reference implementation in-process, asserts the acceptance floors
+(≥5x on 1024-segment uniform pack/unpack, ≥2x on repeated strided
+translation), and rewrites ``benchmarks/BENCH_hotpath.json`` so the perf
+trajectory is tracked from this PR on.  The fast regression gate over
+that file is ``python -m repro.bench --hotpath-smoke``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import hotpath
+
+
+@pytest.mark.parametrize("name", hotpath.workload_names())
+def test_hotpath_optimized(benchmark, name):
+    optimized, _baseline = hotpath.build(name)
+    benchmark(optimized)
+
+
+@pytest.mark.parametrize("name", hotpath.workload_names())
+def test_hotpath_reference(benchmark, name):
+    _optimized, baseline = hotpath.build(name)
+    benchmark(baseline)
+
+
+def test_hotpath_speedups_and_write_baseline(emit):
+    results = hotpath.measure()
+    emit("hotpath", hotpath.format_results(results))
+    path = hotpath.write_baseline(results)
+    assert path.exists()
+    for name, floor in hotpath.MIN_SPEEDUP.items():
+        assert results[name]["speedup"] >= floor, (
+            f"{name}: {results[name]['speedup']:.1f}x below the {floor}x floor"
+        )
+
+
+@pytest.mark.hotpath_smoke
+def test_hotpath_smoke():
+    """The <60 s regression gate, exposed as a pytest marker too."""
+    ok, report = hotpath.smoke()
+    print(report)
+    assert ok, report

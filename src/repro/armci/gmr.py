@@ -147,6 +147,14 @@ class GmrTable:
     allocation bases sorted, so a lookup is one bisect plus a bounds
     check — O(log #allocations), mirroring the real implementation's
     balanced lookup structure.
+
+    On top of the bisect, the table remembers the **last-hit GMR per
+    process**: ARMCI traffic is bursty — long op runs against one
+    allocation (every segment of an IOV or strided transfer resolves to
+    the same GMR) — so the hot entry answers most lookups with a single
+    bounds check.  Hot entries are dropped on :meth:`unregister`, so a
+    freed allocation can never serve a lookup even if a later allocation
+    reuses its virtual address range.
     """
 
     def __init__(self) -> None:
@@ -154,6 +162,8 @@ class GmrTable:
         self._by_rank: dict[int, list[tuple[int, Gmr]]] = {}
         self._all: list[Gmr] = []
         self._next_va: dict[int, int] = {}
+        # absolute id -> most recently hit GMR (invalidated on unregister)
+        self._hot: dict[int, Gmr] = {}
 
     # -- virtual address space -----------------------------------------------------
     def allocate_va(self, absolute_id: int, nbytes: int, alignment: int) -> int:
@@ -185,18 +195,29 @@ class GmrTable:
             entries = self._by_rank.get(absolute, [])
             self._by_rank[absolute] = [e for e in entries if e[1] is not gmr]
         self._all.remove(gmr)
+        # a stale hot entry must never resolve a reused address range
+        for rank in [r for r, g in self._hot.items() if g is gmr]:
+            del self._hot[rank]
 
     # -- lookup -----------------------------------------------------------------------
     def lookup(self, absolute_id: int, addr: int) -> "Gmr | None":
         """GMR owning ``addr`` on process ``absolute_id``, or None."""
         if addr == NULL_ADDR:
             return None
+        hot = self._hot.get(absolute_id)
+        if hot is not None and hot.contains(absolute_id, addr):
+            return hot
+        return self._lookup_bisect(absolute_id, addr)
+
+    def _lookup_bisect(self, absolute_id: int, addr: int) -> "Gmr | None":
+        """The uncached bisect lookup (hot-path benchmark baseline)."""
         entries = self._by_rank.get(absolute_id, [])
         i = bisect.bisect_right(entries, addr, key=lambda e: e[0]) - 1
         if i < 0:
             return None
         base, gmr = entries[i]
         if gmr.contains(absolute_id, addr):
+            self._hot[absolute_id] = gmr
             return gmr
         return None
 

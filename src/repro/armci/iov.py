@@ -30,6 +30,7 @@ same-op accumulates, but overlapping writes are erroneous.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -229,6 +230,39 @@ def _batched(armci: "Armci", req: IovRequest) -> None:
             gmr.win.unlock(win_rank)
 
 
+#: bound on the direct-method layout memo below (entries, LRU eviction)
+IOV_DATATYPE_CACHE_MAX = 128
+
+#: (elem name, block length, displacement bytes) -> committed hindexed type.
+#: GA's gather/scatter phases replay the same IOV layouts (identical
+#: displacement vectors) many times per iteration; the displacement array's
+#: raw bytes key the memo so a hit costs one hash of an int64 buffer
+#: instead of rebuilding + re-flattening a thousand-segment datatype.
+_iov_dt_cache: "OrderedDict[tuple, dt.Datatype]" = OrderedDict()
+
+
+def _hindexed_cached(blocks: int, disps: np.ndarray, elem: dt.Datatype) -> dt.Datatype:
+    key = (elem.name, blocks, disps.tobytes())
+    hit = _iov_dt_cache.get(key)
+    if hit is not None:
+        _iov_dt_cache.move_to_end(key)
+        return hit.commit()  # re-commit in case a caller free()d it
+    built = dt.hindexed([blocks] * len(disps), disps.tolist(), elem).commit()
+    _iov_dt_cache[key] = built
+    if len(_iov_dt_cache) > IOV_DATATYPE_CACHE_MAX:
+        _iov_dt_cache.popitem(last=False)
+    return built
+
+
+def iov_datatype_cache_clear() -> None:
+    """Drop all memoised IOV layouts (test/bench hook)."""
+    _iov_dt_cache.clear()
+
+
+def iov_datatype_cache_len() -> int:
+    return len(_iov_dt_cache)
+
+
 def _direct(armci: "Armci", req: IovRequest) -> None:
     """One RMA op with indexed datatypes describing both layouts (§VI-A)."""
     gmr = _require_single_gmr(armci, req, "direct")
@@ -242,12 +276,12 @@ def _direct(armci: "Armci", req: IovRequest) -> None:
             f"{elem.name} elements"
         )
     blocks = n // elem.size
-    target_t = dt.hindexed(
-        [blocks] * req.nsegments, (req.rem_addrs - base).tolist(), elem
-    ).commit()
-    origin_t = dt.hindexed(
-        [blocks] * req.nsegments, req.loc_offsets.tolist(), elem
-    ).commit()
+    target_t = _hindexed_cached(
+        blocks, np.asarray(req.rem_addrs - base, dtype=np.int64), elem
+    )
+    origin_t = _hindexed_cached(
+        blocks, np.asarray(req.loc_offsets, dtype=np.int64), elem
+    )
     lock_mode = gmr.access_mode.lock_mode(req.kind)
     gmr.win.lock(win_rank, lock_mode)
     try:

@@ -31,6 +31,7 @@ Two translations are implemented, as in the paper:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
@@ -179,18 +180,25 @@ def _nests_evenly(strides: Sequence[int], count: Sequence[int]) -> bool:
     return True
 
 
-def strided_datatype(strides: Sequence[int], count: Sequence[int]) -> dt.Datatype:
-    """One MPI datatype covering a whole strided transfer.
+#: bound on the committed-datatype memo below (entries, LRU eviction)
+STRIDED_DATATYPE_CACHE_MAX = 256
 
-    Prefers the subarray form (the paper's backward translation): the
-    parent byte array has C-order dimensions
+#: (strides, count) -> committed datatype.  GA issues long runs of
+#: strided operations over identically-shaped patches (every tile of a
+#: distributed array shares one stride/count signature), so the same
+#: translation is requested over and over; rebuilding and re-flattening
+#: the subarray/hindexed type per operation was a dominant hot spot.
+_strided_dt_cache: "OrderedDict[tuple, dt.Datatype]" = OrderedDict()
 
-    ``[count[sl], strides[sl-1]/strides[sl-2], ..., strides[1]/strides[0], strides[0]]``
 
-    and the patch is ``[count[sl], count[sl-1], ..., count[1], count[0]]``
-    starting at index 0 in every dimension.  When strides do not nest
-    evenly, an hindexed type over Algorithm 1's displacements is built
-    instead — still a single MPI operation.
+def strided_datatype_uncached(
+    strides: Sequence[int], count: Sequence[int]
+) -> dt.Datatype:
+    """Build (and commit) the translation datatype, bypassing the memo.
+
+    This is the pre-memoization translation path, kept public as the
+    hot-path benchmark baseline and for callers that intend to
+    ``free()`` the type.
     """
     sl = len(strides)
     if sl == 0:
@@ -205,6 +213,46 @@ def strided_datatype(strides: Sequence[int], count: Sequence[int]) -> dt.Datatyp
         return dt.subarray(sizes, subsizes, starts, dt.BYTE).commit()
     disps = segment_displacements(strides, count)
     return dt.hindexed([count[0]] * len(disps), disps.tolist(), dt.BYTE).commit()
+
+
+def strided_datatype(strides: Sequence[int], count: Sequence[int]) -> dt.Datatype:
+    """One MPI datatype covering a whole strided transfer (memoised).
+
+    Prefers the subarray form (the paper's backward translation): the
+    parent byte array has C-order dimensions
+
+    ``[count[sl], strides[sl-1]/strides[sl-2], ..., strides[1]/strides[0], strides[0]]``
+
+    and the patch is ``[count[sl], count[sl-1], ..., count[1], count[0]]``
+    starting at index 0 in every dimension.  When strides do not nest
+    evenly, an hindexed type over Algorithm 1's displacements is built
+    instead — still a single MPI operation.
+
+    Results are memoised in a bounded LRU keyed on ``(strides, count)``;
+    callers share the returned committed type and must not ``free()`` it
+    (a freed cache entry is transparently re-committed on the next hit).
+    """
+    key = (tuple(strides), tuple(count))
+    hit = _strided_dt_cache.get(key)
+    if hit is not None:
+        _strided_dt_cache.move_to_end(key)
+        # a caller may have free()d the shared type; commit() restores the
+        # segment map and is a no-op on a live entry
+        return hit.commit()
+    built = strided_datatype_uncached(strides, count)
+    _strided_dt_cache[key] = built
+    if len(_strided_dt_cache) > STRIDED_DATATYPE_CACHE_MAX:
+        _strided_dt_cache.popitem(last=False)
+    return built
+
+
+def strided_datatype_cache_clear() -> None:
+    """Drop all memoised strided translations (test/bench hook)."""
+    _strided_dt_cache.clear()
+
+
+def strided_datatype_cache_len() -> int:
+    return len(_strided_dt_cache)
 
 
 def local_patch_view(arr: np.ndarray) -> tuple[np.ndarray, StridedSpec]:

@@ -7,6 +7,8 @@ Examples::
     python -m repro.bench fig4 --platform bgp --kind get --seg-size 1024
     python -m repro.bench fig5
     python -m repro.bench fig6 --platform xe6 --kind triples
+    python -m repro.bench hotpath              # vectorized-datapath microbenches
+    python -m repro.bench --hotpath-smoke      # fast regression gate (<60 s)
     python -m repro.bench all            # everything (slow: full Fig. 4 grid)
 
 The same series the pytest benches persist are printed to stdout.
@@ -18,6 +20,7 @@ import argparse
 import sys
 
 from ..simtime import PLATFORMS
+from . import hotpath
 from .figures import (
     FIG4_SEG_SIZES,
     fig3_series,
@@ -88,6 +91,20 @@ def cmd_fig6(args) -> None:
             print()
 
 
+def cmd_hotpath(args) -> int:
+    """Hot-path microbenches: measure, optionally gate or rewrite baseline."""
+    if args.smoke:
+        ok, report = hotpath.smoke(args.baseline)
+        print(report)
+        return 0 if ok else 1
+    results = hotpath.measure(fast=args.fast)
+    print(hotpath.format_results(results))
+    if args.write:
+        path = hotpath.write_baseline(results, args.baseline)
+        print(f"\nwrote {path}")
+    return 0
+
+
 def cmd_all(args) -> None:
     cmd_table2(args)
     print()
@@ -124,21 +141,41 @@ def build_parser() -> argparse.ArgumentParser:
     p6.add_argument("--platform", choices=_PLATFORM_CHOICES, default="all")
     p6.add_argument("--kind", choices=["ccsd", "triples", "all"], default="all")
 
+    ph = sub.add_parser(
+        "hotpath", help="vectorized-datapath microbenches (pack/unpack, "
+        "strided translation, conflict check, GMR lookup)"
+    )
+    ph.add_argument("--smoke", action="store_true",
+                    help="fast regression gate against the committed "
+                    "benchmarks/BENCH_hotpath.json (exit 1 on >2x regression)")
+    ph.add_argument("--fast", action="store_true",
+                    help="shorter measurement windows")
+    ph.add_argument("--write", action="store_true",
+                    help="rewrite the committed baseline JSON")
+    ph.add_argument("--baseline", default=None,
+                    help="override the baseline JSON path")
+
     sub.add_parser("all", help="everything (slow)")
     return parser
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # convenience alias: `python -m repro.bench --hotpath-smoke`
+    if "--hotpath-smoke" in argv:
+        argv = [a for a in argv if a != "--hotpath-smoke"]
+        argv = ["hotpath", "--smoke"] + argv
     args = build_parser().parse_args(argv)
-    {
+    rv = {
         "table2": cmd_table2,
         "fig3": cmd_fig3,
         "fig4": cmd_fig4,
         "fig5": cmd_fig5,
         "fig6": cmd_fig6,
+        "hotpath": cmd_hotpath,
         "all": cmd_all,
     }[args.command](args)
-    return 0
+    return int(rv or 0)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,312 @@
+"""Hot-path micro-benchmarks for the vectorized datapath.
+
+The paper's §VI performance argument is that datatype processing and
+per-operation bookkeeping dominate noncontiguous transfer cost.  In this
+reproduction those same paths are the Python-level hot spots, and this
+module tracks them:
+
+``pack_uniform_1024`` / ``unpack_uniform_1024``
+    vectorised gather/scatter of 1024 uniform 64-byte segments vs the
+    retained per-segment reference loop
+    (:func:`repro.mpi.datatypes.pack_reference`).
+``strided_translation``
+    memoised :func:`repro.armci.strided.strided_datatype` vs rebuilding
+    and committing the subarray type per operation.
+``conflict_check_contig``
+    single-interval :class:`repro.mpi.window._IntervalSet` overlap query
+    (bounding-box fast path) vs the pre-PR sorted-scan reference.
+``gmr_lookup_hot``
+    :class:`repro.armci.gmr.GmrTable` last-hit cache vs the bisect-only
+    lookup.
+
+Each workload exposes an *optimized* callable (the production code path)
+and a *baseline* callable (the pre-PR algorithm, retained in-tree), so
+speedups are measured by one suite on one machine in one process — the
+committed ``benchmarks/BENCH_hotpath.json`` records them and the smoke
+target (``python -m repro.bench --hotpath-smoke``) fails when a speedup
+collapses by more than 2x against that baseline file.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+from typing import Callable
+
+import numpy as np
+
+from ..armci import iov, strided
+from ..armci.gmr import GmrTable
+from ..mpi import datatypes as dt
+from ..mpi.group import UNDEFINED
+from ..mpi.window import _IntervalSet, _segments_overlap
+
+#: default location of the committed baseline (repo benchmarks/ dir)
+BASELINE_PATH = (
+    pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "BENCH_hotpath.json"
+)
+
+#: smoke fails when a measured speedup drops below committed/REGRESSION_FACTOR
+REGRESSION_FACTOR = 2.0
+
+#: acceptance floors: the vectorized datapath must beat the retained
+#: pre-PR reference by at least this much, independent of the machine
+MIN_SPEEDUP = {
+    "pack_uniform_1024": 5.0,
+    "unpack_uniform_1024": 5.0,
+    "strided_translation": 2.0,
+    "conflict_check_contig": 1.0,
+    "gmr_lookup_hot": 1.0,
+}
+
+
+# ---------------------------------------------------------------------------
+# workloads
+# ---------------------------------------------------------------------------
+
+
+def _wl_pack() -> tuple[Callable, Callable]:
+    nseg, seg, stride = 1024, 64, 128
+    t = dt.hindexed([seg] * nseg, [i * stride for i in range(nseg)], dt.BYTE).commit()
+    buf = (np.arange(nseg * stride, dtype=np.int64) % 251).astype(np.uint8)
+    return (lambda: t.pack(buf)), (lambda: dt.pack_reference(t, buf))
+
+
+def _wl_unpack() -> tuple[Callable, Callable]:
+    nseg, seg, stride = 1024, 64, 128
+    t = dt.hindexed([seg] * nseg, [i * stride for i in range(nseg)], dt.BYTE).commit()
+    buf = np.zeros(nseg * stride, dtype=np.uint8)
+    data = (np.arange(nseg * seg, dtype=np.int64) % 251).astype(np.uint8)
+    return (
+        lambda: t.unpack(buf, data),
+        lambda: dt.unpack_reference(t, buf, data),
+    )
+
+
+def _wl_strided() -> tuple[Callable, Callable]:
+    # a 3-level GA-style patch: 8 planes x 64 rows of 256 contiguous bytes
+    count = (256, 64, 8)
+    strides = (512, 512 * 64)
+    strided.strided_datatype_cache_clear()
+    strided.strided_datatype(strides, count)  # warm the memo
+    return (
+        lambda: strided.strided_datatype(strides, count),
+        lambda: strided.strided_datatype_uncached(strides, count),
+    )
+
+
+def _wl_conflict() -> tuple[Callable, Callable]:
+    iset = _IntervalSet()
+    for i in range(512):
+        iset.add(
+            np.array([i * 256], dtype=np.int64), np.array([128], dtype=np.int64)
+        )
+    # a non-conflicting single-segment op past everything recorded
+    q_off = np.array([1 << 30], dtype=np.int64)
+    q_len = np.array([128], dtype=np.int64)
+    cov_off, cov_len = iset._cov_off, iset._cov_len
+    pending = list(iset._pending)
+
+    def baseline() -> bool:
+        # the pre-PR overlap query: sorted-scan against coverage, then an
+        # argsort per pending batch — no bounding-box rejection
+        if _segments_overlap(q_off, q_len, cov_off, cov_len):
+            return True
+        for p_off, p_len in pending:
+            if len(p_off) > 1:
+                order = np.argsort(p_off, kind="stable")
+                p_off, p_len = p_off[order], p_len[order]
+            if _segments_overlap(q_off, q_len, p_off, p_len):
+                return True
+        return False
+
+    return (lambda: iset.overlaps(q_off, q_len)), baseline
+
+
+class _BenchGroup:
+    """Single-member group shim so GmrTable can be benched without a runtime."""
+
+    size = 1
+
+    @staticmethod
+    def absolute_id(_r: int) -> int:
+        return 0
+
+    @staticmethod
+    def group_rank_of(absolute: int) -> int:
+        return 0 if absolute == 0 else UNDEFINED
+
+
+class _BenchGmr:
+    """Duck-typed GMR: bases/sizes/contains are all GmrTable needs."""
+
+    def __init__(self, base: int, size: int):
+        self.bases = [base]
+        self.sizes = [size]
+        self.group = _BenchGroup()
+        self.freed = False
+
+    def contains(self, _rank: int, addr: int) -> bool:
+        return self.bases[0] <= addr < self.bases[0] + self.sizes[0]
+
+
+def _wl_gmr_lookup() -> tuple[Callable, Callable]:
+    table = GmrTable()
+    gmrs = [_BenchGmr(0x1000 + i * 0x10000, 0x8000) for i in range(64)]
+    for g in gmrs:
+        table.register(g)  # type: ignore[arg-type]
+    addr = gmrs[48].bases[0] + 1234
+    table.lookup(0, addr)  # prime the hot entry
+    return (lambda: table.lookup(0, addr)), (lambda: table._lookup_bisect(0, addr))
+
+
+WORKLOADS: dict[str, Callable[[], tuple[Callable, Callable]]] = {
+    "pack_uniform_1024": _wl_pack,
+    "unpack_uniform_1024": _wl_unpack,
+    "strided_translation": _wl_strided,
+    "conflict_check_contig": _wl_conflict,
+    "gmr_lookup_hot": _wl_gmr_lookup,
+}
+
+
+def workload_names() -> list[str]:
+    return list(WORKLOADS)
+
+
+def build(name: str) -> tuple[Callable, Callable]:
+    """(optimized, baseline) callables for one workload, fresh state."""
+    return WORKLOADS[name]()
+
+
+# ---------------------------------------------------------------------------
+# timing
+# ---------------------------------------------------------------------------
+
+
+def _time_per_op(fn: Callable, min_time: float, repeats: int) -> float:
+    """Best-of-``repeats`` seconds per call, auto-calibrated batch size."""
+    fn()  # warmup (also warms memo caches)
+    number = 1
+    while True:
+        t0 = time.perf_counter()
+        for _ in range(number):
+            fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed >= min_time / 4 or number >= 1 << 20:
+            break
+        number *= 4
+    best = elapsed / number
+    for _ in range(repeats - 1):
+        t0 = time.perf_counter()
+        for _ in range(number):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / number)
+    return best
+
+
+def measure(fast: bool = False) -> dict[str, dict[str, float]]:
+    """Run every workload; returns per-workload optimized/baseline/speedup."""
+    min_time, repeats = (0.02, 2) if fast else (0.1, 3)
+    results: dict[str, dict[str, float]] = {}
+    for name, setup in WORKLOADS.items():
+        optimized, baseline = setup()
+        opt_s = _time_per_op(optimized, min_time, repeats)
+        base_s = _time_per_op(baseline, min_time, repeats)
+        results[name] = {
+            "optimized_s": opt_s,
+            "baseline_s": base_s,
+            "speedup": base_s / opt_s if opt_s > 0 else float("inf"),
+        }
+    return results
+
+
+# ---------------------------------------------------------------------------
+# baseline file + smoke check
+# ---------------------------------------------------------------------------
+
+
+def write_baseline(
+    results: dict[str, dict[str, float]], path: "pathlib.Path | None" = None
+) -> pathlib.Path:
+    """Persist results as the machine-readable trajectory file."""
+    path = pathlib.Path(path) if path is not None else BASELINE_PATH
+    payload = {
+        "schema": 1,
+        "units": "seconds_per_op",
+        "note": (
+            "hot-path datapath benchmarks; 'baseline' is the retained "
+            "pre-vectorization reference implementation measured by the "
+            "same suite in the same process"
+        ),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "min_speedup": MIN_SPEEDUP,
+        "results": results,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path: "pathlib.Path | None" = None) -> dict:
+    path = pathlib.Path(path) if path is not None else BASELINE_PATH
+    return json.loads(path.read_text())
+
+
+def format_results(results: dict[str, dict[str, float]]) -> str:
+    width = max(len(n) for n in results)
+    lines = ["Hot-path datapath benchmarks (seconds per op)"]
+    lines.append("-" * len(lines[0]))
+    lines.append(
+        f"{'workload':<{width}}  {'optimized':>12}  {'baseline':>12}  {'speedup':>8}"
+    )
+    for name, r in results.items():
+        lines.append(
+            f"{name:<{width}}  {r['optimized_s']:>12.3e}  "
+            f"{r['baseline_s']:>12.3e}  {r['speedup']:>7.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def smoke(path: "pathlib.Path | None" = None) -> tuple[bool, str]:
+    """Fast regression gate against the committed baseline file.
+
+    Re-measures every workload (fast mode, <60 s total) and fails when a
+    measured speedup fell below ``committed_speedup / REGRESSION_FACTOR``
+    (i.e. the hot path regressed >2x relative to the in-process reference
+    implementation) or below its absolute acceptance floor.  Speedups —
+    not wall-clock times — are compared, so the gate is stable across
+    machines of different absolute speed.
+    """
+    try:
+        committed = load_baseline(path)
+    except (OSError, json.JSONDecodeError) as exc:
+        where = path if path is not None else BASELINE_PATH
+        return False, f"HOTPATH SMOKE: unreadable baseline {where}: {exc}"
+    measured = measure(fast=True)
+    failures: list[str] = []
+    lines = [format_results(measured), ""]
+    for name, r in measured.items():
+        ref = committed.get("results", {}).get(name)
+        if ref is None:
+            failures.append(f"{name}: missing from committed baseline")
+            continue
+        floor = max(
+            MIN_SPEEDUP.get(name, 1.0), ref["speedup"] / REGRESSION_FACTOR
+        )
+        if r["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {r['speedup']:.1f}x fell below {floor:.1f}x "
+                f"(committed {ref['speedup']:.1f}x / regression factor "
+                f"{REGRESSION_FACTOR})"
+            )
+    if failures:
+        lines.append("HOTPATH SMOKE: FAIL")
+        lines.extend(f"  - {f}" for f in failures)
+        return False, "\n".join(lines)
+    lines.append("HOTPATH SMOKE: ok (no hot-path benchmark regressed >2x)")
+    return True, "\n".join(lines)

@@ -51,6 +51,10 @@ from .runtime import current_proc
 LOCK_SHARED = "shared"
 LOCK_EXCLUSIVE = "exclusive"
 
+#: pending additions an :class:`_IntervalSet` tolerates before folding them
+#: into its compacted disjoint coverage (amortises the sort; see class doc)
+INTERVAL_COMPACT_AT = 8
+
 
 def _segments_overlap(
     a_off: np.ndarray, a_len: np.ndarray, b_off: np.ndarray, b_len: np.ndarray
@@ -79,25 +83,41 @@ class _IntervalSet:
 
     Stores the union of all added intervals as a compacted sorted
     disjoint array plus a small pending list; queries check both.  With
-    compaction every 32 additions, recording N operations in one epoch
-    costs O(N log N) total instead of the O(N^2) a naive
-    check-against-every-previous-op scan would (the regime the batched
-    IOV method hits with thousands of segments per epoch).
+    compaction every :data:`INTERVAL_COMPACT_AT` additions, recording N
+    operations in one epoch costs O(N log N) total instead of the O(N^2)
+    a naive check-against-every-previous-op scan would (the regime the
+    batched IOV method hits with thousands of segments per epoch).
+
+    Single-interval additions and queries — the contiguous put/get/acc
+    mix that dominates Fig. 3 and the CCSD workload — take scalar fast
+    paths: a bounding-box reject plus unsorted vectorised compares, no
+    argsort or concatenation.
     """
 
-    __slots__ = ("_cov_off", "_cov_len", "_pending", "count")
+    __slots__ = ("_cov_off", "_cov_len", "_pending", "count", "_lo", "_hi")
 
-    _COMPACT_AT = 8
+    _COMPACT_AT = INTERVAL_COMPACT_AT
 
     def __init__(self) -> None:
         self._cov_off = np.empty(0, dtype=np.int64)
         self._cov_len = np.empty(0, dtype=np.int64)
         self._pending: list[tuple[np.ndarray, np.ndarray]] = []
         self.count = 0
+        #: bounding box over everything ever added (cheap O(1) reject)
+        self._lo = np.iinfo(np.int64).max
+        self._hi = np.iinfo(np.int64).min
 
     def add(self, offsets: np.ndarray, lengths: np.ndarray) -> None:
         if len(offsets) == 0:
             return
+        if len(offsets) == 1:
+            off = int(offsets[0])
+            end = off + int(lengths[0])
+        else:
+            off = int(offsets.min())
+            end = int((offsets + lengths).max())
+        self._lo = min(self._lo, off)
+        self._hi = max(self._hi, end)
         self._pending.append((offsets, lengths))
         self.count += 1
         if len(self._pending) >= self._COMPACT_AT:
@@ -130,6 +150,25 @@ class _IntervalSet:
 
     def overlaps(self, offsets: np.ndarray, lengths: np.ndarray) -> bool:
         if self.count == 0 or len(offsets) == 0:
+            return False
+        # bounding-box reject: O(1) for the single-interval query
+        if len(offsets) == 1:
+            q_lo = int(offsets[0])
+            q_hi = q_lo + int(lengths[0])
+        else:
+            q_lo = int(offsets.min())
+            q_hi = int((offsets + lengths).max())
+        if q_lo >= self._hi or q_hi <= self._lo:
+            return False
+        if len(offsets) == 1:
+            # scalar query: unsorted vectorised compare, no argsort needed
+            if len(self._cov_off) and bool(
+                np.any((self._cov_off < q_hi) & (self._cov_off + self._cov_len > q_lo))
+            ):
+                return True
+            for p_off, p_len in self._pending:
+                if bool(np.any((p_off < q_hi) & (p_off + p_len > q_lo))):
+                    return True
             return False
         if _segments_overlap(offsets, lengths, self._cov_off, self._cov_len):
             return True
@@ -557,7 +596,7 @@ class Win:
         origin_count: int = 1,
     ) -> None:
         """One-sided put (MPI_Put); completes at unlock."""
-        data = self._gather_origin(origin, origin_datatype, origin_count)
+        data = self._gather_origin(origin, origin_datatype, origin_count, target_rank)
         segmap = self._target_segmap(
             origin, target_rank, target_offset, target_datatype, target_count, len(data)
         )
@@ -591,8 +630,7 @@ class Win:
         else:
             origin_segmap = origin_datatype.segment_map(origin_count)
             if origin_segmap.nsegments:
-                lo = int(origin_segmap.offsets.min())
-                hi = int((origin_segmap.offsets + origin_segmap.lengths).max())
+                lo, hi = origin_segmap.bounds()
                 if lo < 0 or hi > origin_view.nbytes:
                     raise ArgumentError(
                         f"get: origin datatype accesses [{lo},{hi}) outside "
@@ -635,7 +673,7 @@ class Win:
         (or the origin array's dtype when no datatype is given).
         """
         op = mpi_ops.lookup(op)
-        data = self._gather_origin(origin, origin_datatype, origin_count)
+        data = self._gather_origin(origin, origin_datatype, origin_count, target_rank)
         segmap = self._target_segmap(
             origin, target_rank, target_offset, target_datatype, target_count, len(data)
         )
@@ -774,8 +812,7 @@ class Win:
                 )
         buf = self._buffers[target_rank]
         if segmap.nsegments:
-            lo = int(segmap.offsets.min())
-            hi = int((segmap.offsets + segmap.lengths).max())
+            lo, hi = segmap.bounds()
             if lo < 0 or hi > buf.nbytes:
                 raise RMARangeError(
                     f"access [{lo},{hi}) outside window of {buf.nbytes}B "
@@ -783,30 +820,39 @@ class Win:
                 )
         return segmap
 
-    @staticmethod
     def _gather_origin(
-        origin: np.ndarray, origin_datatype: "dt.Datatype | None", count: int
+        self,
+        origin: np.ndarray,
+        origin_datatype: "dt.Datatype | None",
+        count: int,
+        target_rank: "int | None" = None,
     ) -> np.ndarray:
+        """Serialise the origin contribution; zero-copy when possible.
+
+        Contiguous origins (no datatype, or a single-segment one) are
+        returned as views — the data is consumed before the call returns,
+        so no copy is needed *unless* the origin aliases the target's
+        exposed memory, where the scatter/accumulate loop could otherwise
+        read bytes it already wrote.
+        """
         view = _byte_view(origin)
         if origin_datatype is None:
-            return view.copy()
-        return origin_datatype.pack(view, count)
+            data = view
+        else:
+            data = origin_datatype.pack(view, count, copy=False)
+        if target_rank is not None and data.base is not None:
+            self._check_target(target_rank)
+            if np.may_share_memory(data, self._buffers[target_rank]):
+                data = data.copy()
+        return data
 
     def _scatter_target(self, target_rank: int, segmap: dt.SegmentMap, data: np.ndarray) -> None:
-        buf = self._buffers[target_rank]
-        pos = 0
-        for off, ln in zip(segmap.offsets.tolist(), segmap.lengths.tolist()):
-            buf[off : off + ln] = data[pos : pos + ln]
-            pos += ln
+        segmap.scatter(self._buffers[target_rank], data)
 
     def _gather_target(self, target_rank: int, segmap: dt.SegmentMap) -> np.ndarray:
-        buf = self._buffers[target_rank]
-        out = np.empty(segmap.total_bytes, dtype=np.uint8)
-        pos = 0
-        for off, ln in zip(segmap.offsets.tolist(), segmap.lengths.tolist()):
-            out[pos : pos + ln] = buf[off : off + ln]
-            pos += ln
-        return out
+        # staged until unlock, so the gather must copy (gather() copies
+        # for every multi-segment map; copy=True forces it for one segment)
+        return segmap.gather(self._buffers[target_rank], copy=True)
 
     def _accumulate_target(
         self,
@@ -818,13 +864,33 @@ class Win:
     ) -> None:
         buf = self._buffers[target_rank]
         itemsize = base.itemsize
+        if itemsize > 1 and (
+            np.any(segmap.offsets % itemsize) or np.any(segmap.lengths % itemsize)
+        ):
+            pos = 0
+            for off, ln in zip(segmap.offsets.tolist(), segmap.lengths.tolist()):
+                if off % itemsize or ln % itemsize:
+                    raise ArgumentError(
+                        f"accumulate segment [{off},{off + ln}) not aligned to "
+                        f"{base} elements"
+                    )
+                pos += ln
+        if segmap.nsegments == 1:
+            off = int(segmap.offsets[0])
+            ln = int(segmap.lengths[0])
+            op.apply(buf[off : off + ln].view(base), data.view(base))
+            return
+        if not segmap.overlaps_self():
+            # gather-modify-scatter through the flat index: safe because
+            # no target byte appears twice in the index
+            idx = segmap.flat_index()
+            tview = buf[idx]
+            op.apply(tview.view(base), data.view(base))
+            buf[idx] = tview
+            return
+        # overlapping same-op accumulates must apply in traversal order
         pos = 0
         for off, ln in zip(segmap.offsets.tolist(), segmap.lengths.tolist()):
-            if off % itemsize or ln % itemsize:
-                raise ArgumentError(
-                    f"accumulate segment [{off},{off + ln}) not aligned to "
-                    f"{base} elements"
-                )
             tview = buf[off : off + ln].view(base)
             sview = data[pos : pos + ln].view(base)
             op.apply(tview, sview)
@@ -835,9 +901,13 @@ class Win:
     ) -> None:
         if not self.strict:
             return
-        order = np.argsort(segmap.offsets, kind="stable")
-        new_off = segmap.offsets[order]
-        new_len = segmap.lengths[order]
+        if segmap.nsegments <= 1:
+            # contiguous fast path: nothing to sort
+            new_off, new_len = segmap.offsets, segmap.lengths
+        else:
+            order = np.argsort(segmap.offsets, kind="stable")
+            new_off = segmap.offsets[order]
+            new_len = segmap.lengths[order]
         if segmap.overlaps_self() and kind != "acc":
             raise RMAConflictError(
                 f"{kind} with self-overlapping target segments within one operation"
@@ -864,12 +934,7 @@ class Win:
 
     def _deliver_gets(self, epoch: _Epoch) -> None:
         for staged, user_view, origin_segmap in epoch.pending_gets:
-            pos = 0
-            for off, ln in zip(
-                origin_segmap.offsets.tolist(), origin_segmap.lengths.tolist()
-            ):
-                user_view[off : off + ln] = staged[pos : pos + ln]
-                pos += ln
+            origin_segmap.scatter(user_view, staged)
         epoch.pending_gets.clear()
 
     # -- modeled time --------------------------------------------------------------------

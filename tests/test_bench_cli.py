@@ -95,3 +95,44 @@ def test_cli_module_entrypoint():
     )
     assert proc.returncode == 0
     assert "Blue Gene/P" in proc.stdout
+
+
+def test_parser_hotpath_subcommand():
+    p = build_parser()
+    args = p.parse_args(["hotpath", "--smoke"])
+    assert args.command == "hotpath" and args.smoke
+    args = p.parse_args(["hotpath", "--fast", "--write", "--baseline", "x.json"])
+    assert args.fast and args.write and args.baseline == "x.json"
+
+
+def test_hotpath_smoke_alias_passes(capsys, monkeypatch):
+    from repro.bench import cli
+
+    monkeypatch.setattr(cli.hotpath, "smoke", lambda baseline=None: (True, "ok"))
+    assert main(["--hotpath-smoke"]) == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_hotpath_smoke_failure_exits_nonzero(capsys, monkeypatch):
+    from repro.bench import cli
+
+    monkeypatch.setattr(
+        cli.hotpath, "smoke", lambda baseline=None: (False, "REGRESSED")
+    )
+    assert main(["hotpath", "--smoke"]) == 1
+    assert "REGRESSED" in capsys.readouterr().out
+
+
+def test_hotpath_measure_and_write(tmp_path, capsys, monkeypatch):
+    from repro.bench import cli
+
+    fake = {
+        "pack_uniform_1024": {
+            "optimized_s": 1e-6, "baseline_s": 1e-5, "speedup": 10.0
+        }
+    }
+    monkeypatch.setattr(cli.hotpath, "measure", lambda fast=False: fake)
+    out_file = tmp_path / "BENCH.json"
+    assert main(["hotpath", "--write", "--baseline", str(out_file)]) == 0
+    assert out_file.exists()
+    assert "pack_uniform_1024" in capsys.readouterr().out

@@ -1,0 +1,171 @@
+"""Cache-invalidation regression tests for the vectorized datapath.
+
+Every cache added for the hot path must also be *safe*: freeing a
+datatype drops its per-count segment maps, freeing an allocation never
+leaves a stale translation-table entry behind (even when a later
+allocation reuses the virtual address range), and the datatype memos
+stay bounded under churn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.armci import Armci
+from repro.armci.gmr import GmrTable
+from repro.armci.iov import (
+    IOV_DATATYPE_CACHE_MAX,
+    _hindexed_cached,
+    iov_datatype_cache_clear,
+    iov_datatype_cache_len,
+)
+from repro.armci.strided import (
+    STRIDED_DATATYPE_CACHE_MAX,
+    strided_datatype,
+    strided_datatype_cache_clear,
+    strided_datatype_cache_len,
+)
+from repro.bench.hotpath import _BenchGmr
+from repro.mpi import datatypes as dt
+
+from conftest import spmd
+
+
+# ---------------------------------------------------------------------------
+# Datatype per-count segment-map cache
+# ---------------------------------------------------------------------------
+
+
+def test_datatype_free_drops_count_map_cache():
+    t = dt.vector(4, 2, 3, dt.INT).commit()
+    for c in (1, 2, 3):
+        t.segment_map(c)
+    # count=1 is served by the dedicated _segmap slot; 2 and 3 land here
+    assert len(t._count_maps) == 2
+    t.free()
+    assert len(t._count_maps) == 0
+    with pytest.raises(dt.DatatypeError):
+        t.segment_map(2)
+
+
+def test_count_map_cache_hits_and_bound():
+    t = dt.vector(8, 1, 2, dt.BYTE).commit()
+    assert t.segment_map(3) is t.segment_map(3)  # cached object reused
+    for c in range(1, dt.Datatype._COUNT_CACHE_MAX + 2):
+        t.segment_map(c)
+    assert len(t._count_maps) <= dt.Datatype._COUNT_CACHE_MAX
+    # evicted entries are rebuilt correctly, not served stale
+    rebuilt = t.segment_map(3)
+    assert rebuilt.total_bytes == 3 * t.size
+
+
+def test_recommit_after_free_rebuilds_segment_maps():
+    t = dt.vector(4, 2, 3, dt.INT).commit()
+    before = t.segment_map(2)
+    t.free()
+    t.commit()
+    after = t.segment_map(2)
+    np.testing.assert_array_equal(before.offsets, after.offsets)
+    np.testing.assert_array_equal(before.lengths, after.lengths)
+
+
+# ---------------------------------------------------------------------------
+# GmrTable last-hit cache vs. free + re-malloc at a reused address
+# ---------------------------------------------------------------------------
+
+
+def test_gmr_hot_entry_dropped_on_unregister():
+    table = GmrTable()
+    old = _BenchGmr(0x1000, 0x100)
+    table.register(old)
+    assert table.lookup(0, 0x1040) is old  # primes the hot entry
+    table.unregister(old)
+    assert table.lookup(0, 0x1040) is None
+    # a new allocation at the *same* base must resolve to the new GMR
+    new = _BenchGmr(0x1000, 0x100)
+    table.register(new)
+    assert table.lookup(0, 0x1040) is new
+
+
+def test_gmr_hot_entry_survives_unrelated_unregister():
+    table = GmrTable()
+    a = _BenchGmr(0x1000, 0x100)
+    b = _BenchGmr(0x9000, 0x100)
+    table.register(a)
+    table.register(b)
+    assert table.lookup(0, 0x1010) is a
+    table.unregister(b)
+    assert table.lookup(0, 0x1010) is a
+
+
+def test_armci_free_then_remalloc_at_reused_va():
+    """ARMCI_Free + re-ARMCI_Malloc landing on the same virtual range
+    (forced by rewinding the simulated VA cursor) must translate to the
+    fresh GMR, never the freed one."""
+
+    def main(comm):
+        a = Armci.init(comm)
+        p1 = a.malloc(64)
+        gmr1 = a.table.require(p1[0])
+        # hammer the lookup so the hot entry points at gmr1 on every rank
+        for _ in range(4):
+            assert a.table.lookup(0, p1[0].addr + 8) is gmr1
+        cursor = dict(a.table._next_va)
+        a.barrier()
+        a.free(p1[a.my_id])
+        assert a.table.lookup(0, p1[0].addr + 8) is None
+        # rewind the VA allocator so the next malloc reuses the range
+        a.table._next_va.clear()
+        a.table._next_va.update({r: c - 64 for r, c in cursor.items()})
+        p2 = a.malloc(64)
+        assert p2[0].addr == p1[0].addr
+        gmr2 = a.table.require(p2[0])
+        assert gmr2 is not gmr1
+        assert a.table.lookup(0, p1[0].addr + 8) is gmr2
+        a.barrier()
+        a.free(p2[a.my_id])
+        a.finalize()
+
+    spmd(2, main)
+
+
+# ---------------------------------------------------------------------------
+# strided / IOV datatype LRUs: bounded, and safe against caller free()
+# ---------------------------------------------------------------------------
+
+
+def test_strided_datatype_lru_is_bounded():
+    strided_datatype_cache_clear()
+    try:
+        for i in range(STRIDED_DATATYPE_CACHE_MAX + 40):
+            strided_datatype((8 + i,), (4, 3))
+        assert strided_datatype_cache_len() <= STRIDED_DATATYPE_CACHE_MAX
+    finally:
+        strided_datatype_cache_clear()
+
+
+def test_strided_datatype_cache_hit_recommits_freed_entry():
+    strided_datatype_cache_clear()
+    try:
+        t1 = strided_datatype((16,), (8, 4))
+        t1.free()  # a rogue caller frees the shared entry
+        t2 = strided_datatype((16,), (8, 4))
+        assert t2 is t1 and t2.committed
+        assert t2.segment_map().nsegments == 4
+    finally:
+        strided_datatype_cache_clear()
+
+
+def test_iov_datatype_lru_is_bounded_and_keyed_by_displacements():
+    iov_datatype_cache_clear()
+    try:
+        d = np.arange(4, dtype=np.int64) * 32
+        t1 = _hindexed_cached(8, d, dt.BYTE)
+        assert _hindexed_cached(8, d.copy(), dt.BYTE) is t1  # value-keyed
+        assert _hindexed_cached(8, d + 1, dt.BYTE) is not t1
+        for i in range(IOV_DATATYPE_CACHE_MAX + 20):
+            _hindexed_cached(8, d + i, dt.BYTE)
+        assert iov_datatype_cache_len() <= IOV_DATATYPE_CACHE_MAX
+    finally:
+        iov_datatype_cache_clear()

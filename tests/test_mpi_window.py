@@ -686,3 +686,73 @@ def test_get_origin_datatype_out_of_bounds_raises():
         win.free()
 
     spmd(1, main)
+
+
+# ---------------------------------------------------------------------------
+# _IntervalSet: compaction threshold and single-interval fast paths
+# ---------------------------------------------------------------------------
+
+
+def test_interval_set_compaction_threshold_is_named_constant():
+    """The class compacts at the module constant (docstring/constant drift
+    regression: the docstring used to claim 32 while the code used 8)."""
+    from repro.mpi.window import INTERVAL_COMPACT_AT, _IntervalSet
+
+    assert _IntervalSet._COMPACT_AT == INTERVAL_COMPACT_AT
+    assert "INTERVAL_COMPACT_AT" in _IntervalSet.__doc__
+    assert "every 32" not in _IntervalSet.__doc__
+
+    one = np.array([5], dtype=np.int64)
+    iset = _IntervalSet()
+    for i in range(INTERVAL_COMPACT_AT - 1):
+        iset.add(np.array([i * 10], dtype=np.int64), one)
+    assert len(iset._pending) == INTERVAL_COMPACT_AT - 1
+    assert len(iset._cov_off) == 0
+    iset.add(np.array([INTERVAL_COMPACT_AT * 10], dtype=np.int64), one)
+    assert len(iset._pending) == 0  # folded into the compacted coverage
+    assert len(iset._cov_off) > 0
+    assert iset.count == INTERVAL_COMPACT_AT
+
+
+def test_interval_set_single_interval_queries():
+    """The scalar fast path must agree with interval semantics exactly:
+    touching intervals do not overlap, one-byte intrusions do."""
+    from repro.mpi.window import _IntervalSet
+
+    iset = _IntervalSet()
+    iset.add(np.array([100], dtype=np.int64), np.array([50], dtype=np.int64))
+
+    def q(off, ln):
+        return iset.overlaps(
+            np.array([off], dtype=np.int64), np.array([ln], dtype=np.int64)
+        )
+
+    assert not q(0, 100)    # ends exactly at the start
+    assert not q(150, 10)   # begins exactly at the end
+    assert q(99, 2)         # one byte inside from the left
+    assert q(149, 1)        # last byte
+    assert q(0, 1000)       # engulfing
+    # after compaction the same answers must hold against the coverage array
+    for i in range(20):
+        iset.add(np.array([1000 + 64 * i], dtype=np.int64),
+                 np.array([32], dtype=np.int64))
+    assert not q(150, 10)
+    assert q(100, 1)
+    assert q(1000 + 64 * 7, 5)
+    assert not q(1000 + 64 * 7 + 32, 32)
+
+
+def test_interval_set_multi_interval_query_against_pending():
+    """Multi-segment queries still take the sorted path over pending
+    batches; bounding-box rejection must not produce false negatives."""
+    from repro.mpi.window import _IntervalSet
+
+    iset = _IntervalSet()
+    # an unsorted pending batch (traversal order != address order)
+    iset.add(np.array([500, 100], dtype=np.int64),
+             np.array([10, 10], dtype=np.int64))
+    offs = np.array([700, 505], dtype=np.int64)
+    lens = np.array([5, 2], dtype=np.int64)
+    assert iset.overlaps(offs, lens)
+    assert not iset.overlaps(np.array([200, 600], dtype=np.int64),
+                             np.array([10, 10], dtype=np.int64))
