@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import enum
 
+__all__ = ["AccessMode"]
+
 
 class AccessMode(enum.Enum):
     """Per-GMR access-mode hint (§VIII-A)."""

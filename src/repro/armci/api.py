@@ -252,13 +252,21 @@ class Armci:
         return self._gmr_mutexes[gmr.gmr_id]
 
     # -- contiguous one-sided operations (§V-C, §V-F) ---------------------------------
+    def _check_mode(self, gmr: Gmr, kind: str) -> None:
+        """§VIII-A access-mode gate, sanitizer-aware."""
+        if gmr.access_mode.allows(kind):
+            return
+        san = self.world.runtime.sanitizer
+        if san is not None:
+            san.on_mode_violation(self.my_id, kind, gmr)
+        raise ArgumentError(
+            f"{kind} on GMR {gmr.gmr_id} violates access mode "
+            f"{gmr.access_mode.value} (§VIII-A)"
+        )
+
     def _target(self, ptr: GlobalPtr, kind: str) -> tuple[Gmr, int, int, str]:
         gmr = self.table.require(ptr)
-        if not gmr.access_mode.allows(kind):
-            raise ArgumentError(
-                f"{kind} on GMR {gmr.gmr_id} violates access mode "
-                f"{gmr.access_mode.value} (§VIII-A)"
-            )
+        self._check_mode(gmr, kind)
         win_rank, disp = gmr.displacement(ptr)
         return gmr, win_rank, disp, gmr.access_mode.lock_mode(kind)
 
@@ -468,11 +476,7 @@ class Armci:
             return
         # direct method: one subarray/hindexed datatype per side (§VI-C)
         gmr = self.table.require(remote)
-        if not gmr.access_mode.allows(kind):
-            raise ArgumentError(
-                f"{kind} on GMR {gmr.gmr_id} violates access mode "
-                f"{gmr.access_mode.value}"
-            )
+        self._check_mode(gmr, kind)
         win_rank, disp = gmr.displacement(remote)
         origin_t = strided.strided_datatype(list(local_strides), list(count))
         target_t = strided.strided_datatype(list(remote_strides), list(count))

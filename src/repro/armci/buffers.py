@@ -34,6 +34,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from .gmr import GlobalPtr, Gmr
 
 
+__all__ = ["LocalBuffer", "resolve_local"]
+
+
 @dataclass
 class LocalBuffer:
     """A resolved local-side buffer for one communication operation.

@@ -34,6 +34,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from .api import Armci
     from .gmr import GlobalPtr
 
+__all__ = ["DlaState", "access_begin", "access_end"]
+
 
 class DlaState:
     """Per-process bookkeeping of open DLA epochs (keyed by GMR id)."""
@@ -84,12 +86,21 @@ def access_begin(
         raise ArgumentError(
             f"access_begin: {nbytes} bytes is not a whole number of {dtype}"
         )
+    san = gmr.win.runtime.sanitizer
+    if san is not None:
+        with gmr.win.runtime.cond:
+            san.on_dla_begin_attempt(me, gmr)
     armci._dla.begin(me, gmr.gmr_id)
     try:
         gmr.win.lock(win_rank, LOCK_EXCLUSIVE)
     except BaseException:
         armci._dla.end(me, gmr.gmr_id)
         raise
+    if san is not None:
+        # registered only after the lock succeeds, so the DLA's own lock
+        # is never mistaken for a lock-while-DLA violation
+        with gmr.win.runtime.cond:
+            san.on_dla_begin(me, gmr)
     slab = gmr.win.local_view()  # checked: we hold the exclusive self-lock
     return slab[disp : disp + nbytes].view(dtype)
 
@@ -98,5 +109,12 @@ def access_end(armci: "Armci", ptr: "GlobalPtr") -> None:
     """End the direct-access epoch opened by :func:`access_begin`."""
     me = armci.my_id
     gmr = armci.table.require(ptr)
+    san = gmr.win.runtime.sanitizer
+    if san is not None:
+        with gmr.win.runtime.cond:
+            san.on_dla_end_attempt(me, gmr)
     armci._dla.end(me, gmr.gmr_id)
+    if san is not None:
+        with gmr.win.runtime.cond:
+            san.on_dla_end(me, gmr)
     gmr.win.unlock(gmr.group.rank)

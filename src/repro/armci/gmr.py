@@ -35,6 +35,8 @@ from ..mpi.group import UNDEFINED
 from .access_modes import AccessMode
 from .groups import ArmciGroup
 
+__all__ = ["GlobalPtr", "Gmr", "GmrTable", "NULL_ADDR"]
+
 #: the NULL global address (returned for zero-size allocation slices)
 NULL_ADDR = 0
 #: base of the simulated per-process virtual address space (nonzero so

@@ -26,6 +26,8 @@ from ..mpi.errors import ArgumentError
 from ..mpi.p2p import ANY_SOURCE
 from ..mpi.window import LOCK_EXCLUSIVE, Win
 
+__all__ = ["MutexSet"]
+
 #: tag space for mutex handoff notifications (one tag per mutex index)
 _HANDOFF_TAG_BASE = 800_000
 

@@ -27,6 +27,17 @@ if TYPE_CHECKING:  # pragma: no cover
     from .api import Armci
     from .gmr import GlobalPtr, Gmr
 
+
+__all__ = [
+    "FETCH_AND_ADD",
+    "FETCH_AND_ADD_LONG",
+    "SWAP",
+    "SWAP_LONG",
+    "rmw_dtype",
+    "rmw_mutex_based",
+    "rmw_mpi3",
+]
+
 #: ARMCI RMW operation names
 FETCH_AND_ADD = "fetch_and_add"
 FETCH_AND_ADD_LONG = "fetch_and_add_long"

@@ -9,6 +9,7 @@ Examples::
     python -m repro.bench fig6 --platform xe6 --kind triples
     python -m repro.bench hotpath              # vectorized-datapath microbenches
     python -m repro.bench --hotpath-smoke      # fast regression gate (<60 s)
+    python -m repro.bench --sanitize-smoke     # fuzzed-schedule RMA gate (<60 s)
     python -m repro.bench all            # everything (slow: full Fig. 4 grid)
 
 The same series the pytest benches persist are printed to stdout.
@@ -105,6 +106,15 @@ def cmd_hotpath(args) -> int:
     return 0
 
 
+def cmd_sanitize(_args) -> int:
+    """Sanitizer + schedule-fuzzer smoke gate (mutex and RMW protocols)."""
+    from . import sanitize_smoke
+
+    ok, report = sanitize_smoke.smoke()
+    print(report)
+    return 0 if ok else 1
+
+
 def cmd_all(args) -> None:
     cmd_table2(args)
     print()
@@ -155,16 +165,24 @@ def build_parser() -> argparse.ArgumentParser:
     ph.add_argument("--baseline", default=None,
                     help="override the baseline JSON path")
 
+    sub.add_parser(
+        "sanitize", help="fuzzed-schedule RMA sanitizer gate over the "
+        "mutex and RMW protocols (<60 s)"
+    )
+
     sub.add_parser("all", help="everything (slow)")
     return parser
 
 
 def main(argv: "list[str] | None" = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
-    # convenience alias: `python -m repro.bench --hotpath-smoke`
+    # convenience aliases: `python -m repro.bench --hotpath-smoke` etc.
     if "--hotpath-smoke" in argv:
         argv = [a for a in argv if a != "--hotpath-smoke"]
         argv = ["hotpath", "--smoke"] + argv
+    if "--sanitize-smoke" in argv:
+        argv = [a for a in argv if a != "--sanitize-smoke"]
+        argv = ["sanitize"] + argv
     args = build_parser().parse_args(argv)
     rv = {
         "table2": cmd_table2,
@@ -173,6 +191,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "fig5": cmd_fig5,
         "fig6": cmd_fig6,
         "hotpath": cmd_hotpath,
+        "sanitize": cmd_sanitize,
         "all": cmd_all,
     }[args.command](args)
     return int(rv or 0)

@@ -17,6 +17,24 @@ can prove that the ARMCI-MPI layer is conflict-free by construction.
 
 from __future__ import annotations
 
+__all__ = [
+    "MPIError",
+    "ArgumentError",
+    "RankError",
+    "CountError",
+    "DatatypeError",
+    "TruncationError",
+    "CommError",
+    "GroupError",
+    "TagError",
+    "WinError",
+    "RMASyncError",
+    "RMAConflictError",
+    "RMARangeError",
+    "ProgressDeadlockError",
+    "InternalError",
+]
+
 
 class MPIError(Exception):
     """Base class for every error raised by the simulated MPI runtime."""

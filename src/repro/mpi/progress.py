@@ -1,4 +1,5 @@
-"""Asynchronous-progress accounting (the CHT question, §IV-A / §V-F).
+"""Asynchronous-progress accounting (the CHT question, §IV-A) and the
+deterministic schedule fuzzer built on the same runtime hooks.
 
 Native ARMCI implementations usually run a *communication helper thread*
 (CHT) on every node so one-sided operations progress even while the
@@ -13,11 +14,29 @@ implement a helper thread; it provides the accounting object that the
 performance model uses to charge the *cost* of progress options
 (dedicated-core loss for a CHT, interrupt overhead for MPI async
 progress), so application-level models (Fig. 6) can include it.
+
+The second half of the module is :class:`DeterministicSchedule`: a
+seeded, token-passing rank scheduler.  Every blocking MPI primitive
+funnels through ``Runtime.wait_for`` and every RMA operation boundary
+calls ``Runtime.fuzz_point``, so by parking all ranks except one and
+drawing each dispatch decision from a seeded PRNG, the simulator can
+explore *legal* interleavings of the paper's protocols (mutex handoff
+§V-D, the two-epoch RMW, GMR free's leader election §V-B) and replay
+any of them bit-identically from the seed alone.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
+
+__all__ = [
+    "ProgressConfig",
+    "DeterministicSchedule",
+    "NATIVE_CHT",
+    "MPI_ASYNC",
+    "MPI_POLLING",
+]
 
 
 @dataclass(frozen=True)
@@ -52,6 +71,180 @@ class ProgressConfig:
             raise ValueError("core_fraction_lost must be in [0, 1)")
         if self.target_delay_factor < 1.0:
             raise ValueError("target_delay_factor must be >= 1")
+
+
+class DeterministicSchedule:
+    """Seeded token-passing scheduler over the SPMD rank threads.
+
+    Exactly one rank holds the *token* (is running) at any moment; the
+    others are parked on the runtime condition variable.  The token
+    changes hands only at well-defined points:
+
+    * ``block`` — the running rank entered ``Runtime.wait_for`` with a
+      false predicate;
+    * ``yield_point`` — the running rank crossed an operation boundary
+      (``Runtime.fuzz_point``) and a seeded coin chose to preempt it;
+    * ``thread_finished`` — the running rank's SPMD body returned.
+
+    Every dispatch decision is drawn from one ``random.Random(seed)``;
+    because execution between decisions is fully serialised, the decision
+    sequence — and therefore the entire interleaving — is a pure function
+    of the seed.  ``trace`` records it, so two runs with the same seed
+    can be compared event-for-event (the fuzzer hashes this).
+
+    Deadlock detection is deterministic too: when no rank is eligible
+    (all blocked with no progress since they blocked) the schedule marks
+    the runtime deadlocked and every rank raises — no wall-clock
+    watchdog involved.
+
+    Optional ``jitter_frac`` injects seeded delivery delays into each
+    rank's :class:`~repro.simtime.clock.SimClock` (scaled fractions of
+    each charged cost), modeling variable message-delivery timing.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        switch_prob: float = 0.25,
+        jitter_frac: float = 0.0,
+        trace_limit: int = 250_000,
+    ):
+        if not 0.0 <= switch_prob <= 1.0:
+            raise ValueError(f"switch_prob must be in [0, 1], got {switch_prob}")
+        if jitter_frac < 0.0:
+            raise ValueError(f"jitter_frac must be >= 0, got {jitter_frac}")
+        self.seed = seed
+        self.switch_prob = switch_prob
+        self.jitter_frac = jitter_frac
+        self.rng = random.Random(seed)
+        #: serialized event log: tuples like ("run", rank), ("yield", rank, kind)
+        self.trace: list[tuple] = []
+        self._trace_limit = trace_limit
+        self.runtime = None
+        self.nproc = 0
+        self._running: "int | None" = None
+        self._started: set[int] = set()
+        self._ready: set[int] = set()
+        #: rank -> runtime.progress_counter observed when it blocked
+        self._blocked: dict[int, int] = {}
+        self._finished: set[int] = set()
+
+    # -- wiring ---------------------------------------------------------------
+    def begin_run(self, runtime) -> None:
+        """Attach to a runtime (called by ``Runtime.spmd``)."""
+        if self.runtime is not None and self.runtime is not runtime:
+            raise RuntimeError("a DeterministicSchedule is single-use")
+        self.runtime = runtime
+        self.nproc = runtime.nproc
+        if self.jitter_frac > 0.0:
+            for p in runtime.procs:
+                p.clock.jitter = self._jitter
+        runtime.schedule = self
+
+    def _jitter(self, kind: str, seconds: float) -> float:
+        # consumed only by the token-holding rank => deterministic order
+        return seconds * self.jitter_frac * self.rng.random()
+
+    def _event(self, *ev) -> None:
+        rt = self.runtime
+        if rt is not None and (rt.failed is not None or rt._deadlocked):
+            # the failure/deadlock point is deterministic; the teardown
+            # stampede after it (ranks waking to raise) is OS-ordered —
+            # keep it out of the replayable trace
+            return
+        if len(self.trace) < self._trace_limit:
+            self.trace.append(ev)
+
+    # -- thread lifecycle (all called with runtime.cond held) ------------------
+    def thread_started(self, rank: int) -> None:
+        self._started.add(rank)
+        self._ready.add(rank)
+        self._event("start", rank)
+        if len(self._started) == self.nproc:
+            # all ranks registered: the token regime begins
+            self._dispatch()
+        self._park(rank)
+
+    def thread_finished(self, rank: int) -> None:
+        self._finished.add(rank)
+        self._ready.discard(rank)
+        self._blocked.pop(rank, None)
+        self._event("finish", rank)
+        if self._running == rank:
+            self._running = None
+        if len(self._started) == self.nproc:
+            self._dispatch()
+
+    # -- scheduling points -----------------------------------------------------
+    def block(self, rank: int) -> None:
+        """The running rank's wait predicate is false; park it."""
+        self._blocked[rank] = self.runtime.progress_counter
+        self._ready.discard(rank)
+        self._event("block", rank)
+        if self._running == rank:
+            self._running = None
+        self._dispatch()
+        self._park(rank)
+        # re-dispatched: wait_for re-evaluates the predicate
+        self._blocked.pop(rank, None)
+        self._ready.add(rank)
+
+    def yield_point(self, rank: int, kind: str) -> None:
+        """Operation boundary: seeded coin decides whether to preempt."""
+        if self._running != rank:
+            return  # pre-token registration phase
+        if self.rng.random() >= self.switch_prob:
+            return
+        self._event("yield", rank, kind)
+        self._ready.add(rank)
+        self._running = None
+        self._dispatch()
+        self._park(rank)
+
+    # -- internals -------------------------------------------------------------
+    def _eligible(self) -> list[int]:
+        counter = self.runtime.progress_counter
+        elig = set(self._ready)
+        for rank, seen in self._blocked.items():
+            if counter > seen:
+                elig.add(rank)
+        return sorted(elig)
+
+    def _dispatch(self) -> None:
+        if self._running is not None or self.runtime.failed is not None:
+            # on failure, wake everyone so parked ranks can raise
+            self.runtime.cond.notify_all()
+            return
+        elig = self._eligible()
+        if not elig:
+            live = [r for r in self._started if r not in self._finished]
+            if live:
+                # deterministic deadlock: nobody can make progress
+                self._event("deadlock",)
+                self.runtime._deadlocked = True
+            self.runtime.cond.notify_all()
+            return
+        choice = self.rng.choice(elig)
+        self._running = choice
+        self._event("run", choice)
+        self.runtime.cond.notify_all()
+
+    def _park(self, rank: int) -> None:
+        from .errors import ProgressDeadlockError
+        from .runtime import RankFailedError
+
+        rt = self.runtime
+        while self._running != rank:
+            if rt.failed is not None:
+                raise RankFailedError(f"rank failed elsewhere: {rt.failed!r}")
+            if rt._deadlocked:
+                raise ProgressDeadlockError(
+                    "deterministic schedule: all ranks blocked "
+                    f"(seed {self.seed})"
+                )
+            # the timeout is a lost-wakeup safety net only; scheduling
+            # decisions never depend on it, so determinism is preserved
+            rt.cond.wait(timeout=1.0)
 
 
 #: native ARMCI: helper thread consumes a share of a core, fully async

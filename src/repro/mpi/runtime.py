@@ -36,6 +36,20 @@ from typing import Any, Callable, Sequence
 from ..simtime.clock import SimClock
 from .errors import InternalError, ProgressDeadlockError
 
+__all__ = [
+    "Proc",
+    "RankFailedError",
+    "Runtime",
+    "RUNTIME_CREATION_HOOKS",
+    "current_proc",
+    "spmd_run",
+]
+
+#: callables invoked with each freshly constructed :class:`Runtime`.
+#: Used by the sanitizer/fuzzer layers to install themselves ambiently
+#: (e.g. ``pytest --sanitize``) without the runtime importing them.
+RUNTIME_CREATION_HOOKS: "list[Callable[[Runtime], None]]" = []
+
 
 class RankFailedError(ProgressDeadlockError):
     """Raised in surviving ranks after another rank failed."""
@@ -99,6 +113,12 @@ class Runtime:
         #: registry used by collective-matching and window creation;
         #: maps arbitrary keys to in-flight collective state.
         self.shared: dict[Any, Any] = {}
+        #: optional RMA sanitizer (``repro.sanitizer``) consulted by windows
+        self.sanitizer = None
+        #: optional deterministic schedule (``repro.mpi.progress``)
+        self.schedule = None
+        for hook in RUNTIME_CREATION_HOOKS:
+            hook(self)
 
     # -- scheduling -----------------------------------------------------------
     def notify_progress(self) -> None:
@@ -125,6 +145,12 @@ class Runtime:
                 raise ProgressDeadlockError("deadlock detected among all ranks")
             if pred():
                 return
+            if self.schedule is not None:
+                # deterministic mode: hand the token back to the scheduler
+                # instead of sleeping on the watchdog; re-check pred when
+                # (deterministically) re-dispatched.
+                self.schedule.block(proc.rank)
+                continue
             proc.blocked = True
             seen = self.progress_counter
             try:
@@ -147,6 +173,23 @@ class Runtime:
         self._next_context_id += 1
         return self._next_context_id
 
+    def fuzz_point(self, kind: str) -> None:
+        """A legal preemption point for the deterministic schedule fuzzer.
+
+        Communication layers call this at operation boundaries (never
+        with :attr:`cond` held).  Without a schedule installed it is a
+        cheap no-op; with one, the scheduler may hand the token to
+        another rank here, exercising a legal reordering.
+        """
+        sched = self.schedule
+        if sched is None:
+            return
+        proc = getattr(_tls, "proc", None)
+        if proc is None:
+            return  # helper threads are not scheduled ranks
+        with self.cond:
+            sched.yield_point(proc.rank, kind)
+
     # -- execution ------------------------------------------------------------
     def spmd(
         self,
@@ -164,10 +207,15 @@ class Runtime:
 
         world = Comm._world(self)
         results: list[Any] = [None] * self.nproc
+        if self.schedule is not None:
+            self.schedule.begin_run(self)
 
         def body(proc: Proc) -> None:
             _tls.proc = proc
             try:
+                if self.schedule is not None:
+                    with self.cond:
+                        self.schedule.thread_started(proc.rank)
                 results[proc.rank] = fn(world, *args)
             except BaseException as exc:  # noqa: BLE001 - propagated to caller
                 with self.cond:
@@ -178,6 +226,8 @@ class Runtime:
             finally:
                 with self.cond:
                     proc.finished = True
+                    if self.schedule is not None:
+                        self.schedule.thread_finished(proc.rank)
                     self.notify_progress()
                 _tls.proc = None
 

@@ -48,6 +48,13 @@ from .errors import (
 )
 from .runtime import current_proc
 
+__all__ = [
+    "Win",
+    "LOCK_SHARED",
+    "LOCK_EXCLUSIVE",
+    "INTERVAL_COMPACT_AT",
+]
+
 LOCK_SHARED = "shared"
 LOCK_EXCLUSIVE = "exclusive"
 
@@ -248,7 +255,14 @@ class _LockState:
 
 
 class Win:
-    """An RMA window: one memory region per rank of a communicator."""
+    """An RMA window: one memory region per rank of a communicator.
+
+    When ``runtime.sanitizer`` is set (see :mod:`repro.sanitizer`), every
+    synchronisation and data-movement entry point reports to it *before*
+    performing the window's own checks, so the sanitizer can raise
+    structured :class:`~repro.sanitizer.RmaViolationError` subclasses of
+    the plain MPI errors this module would raise.
+    """
 
     def __init__(
         self,
@@ -275,6 +289,16 @@ class Win:
         #: active-target state: ranks currently inside a fence epoch
         self._fence_members: set[int] = set()
         self._freed = False
+        # per-runtime ids (not process-global) so a replayed run labels
+        # its windows identically — violation text feeds the fuzz digest
+        rt = self.runtime
+        with rt.cond:
+            self.win_id = getattr(rt, "_next_win_id", 0)
+            rt._next_win_id = self.win_id + 1
+
+    def _san(self):
+        """The installed sanitizer, or None (hot-path one-liner)."""
+        return self.runtime.sanitizer
 
     # -- construction ----------------------------------------------------------
     @classmethod
@@ -358,6 +382,9 @@ class Win:
             )
         with rt.cond:
             self._check_alive()
+            san = self._san()
+            if san is not None:
+                san.on_lock(self, origin, target_rank, mode)
             if origin in self._held:
                 raise RMASyncError(
                     f"origin {origin} already holds a lock on target "
@@ -396,6 +423,9 @@ class Win:
         origin = current_proc().rank
         with rt.cond:
             self._check_alive()
+            san = self._san()
+            if san is not None:
+                san.on_unlock(self, origin, target_rank)
             epoch = self._epochs.pop((origin, target_rank), None)
             if epoch is None or self._held.get(origin) != target_rank:
                 raise RMASyncError(
@@ -526,6 +556,9 @@ class Win:
             self._deliver_gets(epoch)
             # flushed ops no longer conflict with later ops of this epoch
             epoch.clear_accesses()
+            san = self._san()
+            if san is not None:
+                san.on_flush(self, origin, target_rank)
             self.runtime.notify_progress()
         self._charge_sync("flush")
 
@@ -533,10 +566,13 @@ class Win:
         self._require_mpi3("flush_all")
         origin = current_proc().rank
         with self.runtime.cond:
-            for (o, _t), epoch in self._epochs.items():
+            san = self._san()
+            for (o, t), epoch in self._epochs.items():
                 if o == origin:
                     self._deliver_gets(epoch)
                     epoch.clear_accesses()
+                    if san is not None:
+                        san.on_flush(self, origin, t)
             self.runtime.notify_progress()
         self._charge_sync("flush")
 
@@ -553,6 +589,9 @@ class Win:
         op = mpi_ops.lookup(op)
         origin = current_proc().rank
         with self.runtime.cond:
+            san = self._san()
+            if san is not None:
+                san.on_rmw(self, origin, target_rank, target_offset, datatype)
             self._require_epoch(origin, target_rank)
             buf = self._typed_view(target_rank, target_offset, datatype, 1)
             old = buf[0].item()
@@ -575,6 +614,9 @@ class Win:
         self._require_mpi3("compare_and_swap")
         origin = current_proc().rank
         with self.runtime.cond:
+            san = self._san()
+            if san is not None:
+                san.on_rmw(self, origin, target_rank, target_offset, datatype)
             self._require_epoch(origin, target_rank)
             buf = self._typed_view(target_rank, target_offset, datatype, 1)
             old = buf[0].item()
@@ -598,10 +640,14 @@ class Win:
         """One-sided put (MPI_Put); completes at unlock."""
         data = self._gather_origin(origin, origin_datatype, origin_count, target_rank)
         segmap = self._target_segmap(
-            origin, target_rank, target_offset, target_datatype, target_count, len(data)
+            origin, target_rank, target_offset, target_datatype, target_count,
+            len(data), kind="put",
         )
         with self.runtime.cond:
             o = current_proc().rank
+            san = self._san()
+            if san is not None:
+                san.on_op(self, o, "put", None, segmap, origin, target_rank)
             epoch = self._require_epoch(o, target_rank)
             self._record_access(epoch, "put", None, segmap)
             self._scatter_target(target_rank, segmap, data)
@@ -643,9 +689,13 @@ class Win:
             target_datatype,
             target_count,
             origin_segmap.total_bytes,
+            kind="get",
         )
         with self.runtime.cond:
             o = current_proc().rank
+            san = self._san()
+            if san is not None:
+                san.on_op(self, o, "get", None, segmap, origin, target_rank)
             epoch = self._require_epoch(o, target_rank)
             self._record_access(epoch, "get", None, segmap)
             staged = self._gather_target(target_rank, segmap)
@@ -675,7 +725,8 @@ class Win:
         op = mpi_ops.lookup(op)
         data = self._gather_origin(origin, origin_datatype, origin_count, target_rank)
         segmap = self._target_segmap(
-            origin, target_rank, target_offset, target_datatype, target_count, len(data)
+            origin, target_rank, target_offset, target_datatype, target_count,
+            len(data), kind="acc",
         )
         base = (
             target_datatype.base
@@ -686,6 +737,9 @@ class Win:
             raise ArgumentError("accumulate: cannot infer element type")
         with self.runtime.cond:
             o = current_proc().rank
+            san = self._san()
+            if san is not None:
+                san.on_op(self, o, "acc", op.name, segmap, origin, target_rank)
             epoch = self._require_epoch(o, target_rank)
             self._record_access(epoch, "acc", op.name, segmap)
             self._accumulate_target(target_rank, segmap, data, base, op)
@@ -729,17 +783,21 @@ class Win:
         """
         me = self.comm.rank
         origin = current_proc().rank
-        if self.strict:
+        san = self._san()
+        if self.strict or san is not None:
             with self.runtime.cond:
                 epoch = self._epochs.get((origin, me))
                 ok = epoch is not None and epoch.mode == LOCK_EXCLUSIVE
                 if not ok and origin in self._lock_all:
                     ok = True  # MPI-3 unified-model relaxation
                 if not ok:
-                    raise RMASyncError(
-                        "direct local access requires an exclusive self-lock "
-                        "(use ARMCI access_begin/access_end)"
-                    )
+                    if san is not None:
+                        san.on_bare_local_access(self, origin)
+                    if self.strict:
+                        raise RMASyncError(
+                            "direct local access requires an exclusive self-lock "
+                            "(use ARMCI access_begin/access_end)"
+                        )
         return self._buffers[me].view(np.dtype(dtype))
 
     def exposed_buffer(self, target_rank: int) -> np.ndarray:
@@ -771,6 +829,12 @@ class Win:
         nbytes = datatype.size * count
         buf = self._buffers[target_rank]
         if disp < 0 or disp + nbytes > buf.nbytes:
+            san = self._san()
+            if san is not None:
+                san.on_range(
+                    self, current_proc().rank, "rmw",
+                    disp, disp + nbytes, buf.nbytes, target_rank,
+                )
             raise RMARangeError(
                 f"atomic access [{disp},{disp + nbytes}) outside window of "
                 f"{buf.nbytes}B at target {target_rank}"
@@ -795,6 +859,7 @@ class Win:
         target_datatype: "dt.Datatype | None",
         target_count: int,
         origin_nbytes: int,
+        kind: str = "op",
     ) -> dt.SegmentMap:
         self._check_target(target_rank)
         disp = target_offset * self._disp_units[target_rank]
@@ -814,6 +879,12 @@ class Win:
         if segmap.nsegments:
             lo, hi = segmap.bounds()
             if lo < 0 or hi > buf.nbytes:
+                san = self._san()
+                if san is not None:
+                    san.on_range(
+                        self, current_proc().rank, kind,
+                        int(lo), int(hi), buf.nbytes, target_rank,
+                    )
                 raise RMARangeError(
                     f"access [{lo},{hi}) outside window of {buf.nbytes}B "
                     f"at target {target_rank}"
@@ -942,11 +1013,13 @@ class Win:
         if self.runtime.timing is not None:
             cost = self.runtime.timing.rma_sync_cost(kind)
             current_proc().clock.advance(cost, kind=f"rma:{kind}")
+        self.runtime.fuzz_point(f"rma:{kind}")
 
     def _charge_op(self, kind: str, nbytes: int, nsegments: int, op_index: int = 0) -> None:
         if self.runtime.timing is not None:
             cost = self.runtime.timing.rma_op_cost(kind, nbytes, nsegments, op_index)
             current_proc().clock.advance(cost, kind=f"rma:{kind}", nbytes=nbytes)
+        self.runtime.fuzz_point(f"rma:{kind}")
 
 
 class _DoneRequest:

@@ -171,7 +171,7 @@ def stack_for(
     ``progress`` overrides the default progress mechanism (native: CHT;
     MPI: interrupt-driven async).  Passing
     :data:`~repro.mpi.progress.MPI_POLLING` models an MPI library with
-    asynchronous progress disabled — the runtime option §V-F notes some
+    asynchronous progress disabled — the runtime option §IV-A notes some
     implementers hide it behind: remote operations stall until the busy
     target re-enters the MPI library, inflating communication latency.
     """
@@ -249,7 +249,7 @@ def _compose(
     rate = platform.core_gflops * 1e9 * efficiency
     p_eff = ncores * (1.0 - stack.progress.core_fraction_lost)
     t_flop = flops / (p_eff * rate)
-    # polling-only progress stalls remote ops on busy targets (§V-F)
+    # polling-only progress stalls remote ops on busy targets (§IV-A)
     delay = stack.progress.target_delay_factor
     t_comm = (ntasks / ncores) * t_task_comm * stack.comm_inflation(ncores) * delay
     t_nxtval = (ntasks / ncores) * stack.rmw_time() * delay

@@ -1,0 +1,12 @@
+"""``python -m repro.sanitize <script.py> [--seed N --schedules K]``.
+
+Thin entry point for :mod:`repro.sanitizer.cli` matching the spelling
+used throughout the docs.
+"""
+
+from .sanitizer.cli import main
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

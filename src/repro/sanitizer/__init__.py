@@ -1,0 +1,81 @@
+"""``repro.sanitizer``: dynamic RMA rule checking + schedule fuzzing.
+
+The paper's core tension is that MPI-2 declares conflicting RMA accesses
+*erroneous* without requiring detection — real MPI silently corrupts
+memory, and ARMCI-MPI survives only through the §V disciplines (one
+exclusive epoch per op, staged global buffers, queueing mutexes).  This
+package turns the simulated substrate into a correctness oracle:
+
+* :class:`RmaSanitizer` interposes on every window synchronisation and
+  data-movement event and raises a structured
+  :class:`~repro.sanitizer.violations.RmaViolationError` (also an
+  instance of the plain MPI error class) describing rank, op, byte
+  ranges, and the paper section the access violates;
+* :func:`run_schedule` / :func:`fuzz_schedules` execute an SPMD body
+  under seeded deterministic schedules (see
+  :class:`~repro.mpi.progress.DeterministicSchedule`), replaying any
+  failure bit-identically from its seed;
+* :func:`install_ambient` hooks runtime creation so *every* runtime a
+  test builds gets a sanitizer — this is what ``pytest --sanitize`` and
+  the ``sanitize`` marker use.
+
+CLI: ``python -m repro.sanitize examples/quickstart.py --seed 0
+--schedules 8`` fuzzes an example script's ``main(comm)``.
+"""
+
+from __future__ import annotations
+
+from ..mpi import runtime as _runtime
+from .fuzz import ScheduleReport, format_reports, fuzz_schedules, run_schedule
+from .sanitizer import RmaSanitizer
+from .violations import (
+    CATALOG,
+    CatalogEntry,
+    ConflictViolationError,
+    ModeViolationError,
+    RangeViolationError,
+    RmaViolation,
+    RmaViolationError,
+    SyncViolationError,
+    ViolationKind,
+)
+
+__all__ = [
+    "CATALOG",
+    "CatalogEntry",
+    "ConflictViolationError",
+    "ModeViolationError",
+    "RangeViolationError",
+    "RmaSanitizer",
+    "RmaViolation",
+    "RmaViolationError",
+    "ScheduleReport",
+    "SyncViolationError",
+    "ViolationKind",
+    "format_reports",
+    "fuzz_schedules",
+    "install_ambient",
+    "run_schedule",
+    "uninstall_ambient",
+]
+
+
+def install_ambient(mode: str = "raise", check_nonstrict: bool = False):
+    """Sanitize every :class:`~repro.mpi.runtime.Runtime` created from now on.
+
+    Returns an opaque token for :func:`uninstall_ambient`.
+    """
+
+    def hook(rt) -> None:
+        rt.sanitizer = RmaSanitizer(mode=mode, check_nonstrict=check_nonstrict)
+
+    _runtime.RUNTIME_CREATION_HOOKS.append(hook)
+    return hook
+
+
+def uninstall_ambient(token) -> None:
+    """Remove a hook installed by :func:`install_ambient`."""
+    try:
+        _runtime.RUNTIME_CREATION_HOOKS.remove(token)
+    except ValueError:
+        pass

@@ -1,0 +1,7 @@
+"""``python -m repro.sanitizer`` — same entry as ``python -m repro.sanitize``."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

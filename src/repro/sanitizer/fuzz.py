@@ -1,0 +1,132 @@
+"""Deterministic schedule fuzzing: run an SPMD body under seeded schedules.
+
+Each :func:`run_schedule` call builds a fresh :class:`~repro.mpi.runtime.
+Runtime`, installs a :class:`~repro.mpi.progress.DeterministicSchedule`
+seeded with ``seed`` (and, by default, an :class:`~repro.sanitizer.
+RmaSanitizer`), runs the body, and condenses the outcome into a
+:class:`ScheduleReport` whose ``digest`` hashes the full scheduling
+trace, final simulated clocks, recorded violations, and the error (if
+any).  Because the schedule serialises execution and draws every
+decision from the seed, re-running the same seed reproduces the same
+digest bit-for-bit — a failing seed IS the reproducer.
+
+:func:`fuzz_schedules` sweeps ``nschedules`` consecutive seeds and
+reports each; callers filter for failures and replay the seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..mpi.errors import MPIError
+from ..mpi.progress import DeterministicSchedule
+from ..mpi.runtime import Runtime
+from .sanitizer import RmaSanitizer
+
+__all__ = ["ScheduleReport", "run_schedule", "fuzz_schedules", "format_reports"]
+
+
+@dataclass
+class ScheduleReport:
+    """Outcome of one seeded schedule."""
+
+    seed: int
+    ok: bool
+    digest: str
+    error: "str | None" = None  # repr of the raised MPIError, if any
+    violations: list = field(default_factory=list)  # str(RmaViolation)
+    events: int = 0  # schedule trace length
+    yields: int = 0  # preemptions taken at fuzz points
+    max_clock: float = 0.0
+    results: "list | None" = None  # per-rank return values on success
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else f"FAIL {self.error}"
+        return (
+            f"seed {self.seed:>4}  digest {self.digest[:12]}  "
+            f"events {self.events:>5}  yields {self.yields:>4}  {status}"
+        )
+
+
+def run_schedule(
+    fn: Callable[..., Any],
+    nproc: int,
+    seed: int,
+    *,
+    args: Sequence[Any] = (),
+    switch_prob: float = 0.25,
+    jitter_frac: float = 0.0,
+    sanitize: bool = True,
+    check_nonstrict: bool = False,
+    timing=None,
+) -> ScheduleReport:
+    """Run ``fn(comm, *args)`` on ``nproc`` ranks under one seeded schedule."""
+    rt = Runtime(nproc)
+    if timing is not None:
+        rt.timing = timing
+    sched = DeterministicSchedule(seed, switch_prob=switch_prob,
+                                  jitter_frac=jitter_frac)
+    sched.begin_run(rt)
+    san = None
+    if sanitize:
+        san = rt.sanitizer = RmaSanitizer(check_nonstrict=check_nonstrict)
+    error: "Exception | None" = None
+    results = None
+    try:
+        results = rt.spmd(fn, *args)
+    except Exception as exc:  # noqa: BLE001 - any failure is a fuzz finding
+        error = exc
+    violations = [str(v) for v in san.violations] if san is not None else []
+    digest = _digest(sched, rt, violations, error)
+    return ScheduleReport(
+        seed=seed,
+        ok=error is None,
+        digest=digest,
+        error=repr(error) if error is not None else None,
+        violations=violations,
+        events=len(sched.trace),
+        yields=sum(1 for ev in sched.trace if ev[0] == "yield"),
+        max_clock=rt.max_clock(),
+        results=results,
+    )
+
+
+def _digest(sched: DeterministicSchedule, rt: Runtime,
+            violations: list, error) -> str:
+    payload = repr((
+        sched.seed,
+        sched.trace,
+        [repr(c) for c in rt.clocks()],
+        violations,
+        repr(error) if error is not None else None,
+    ))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def fuzz_schedules(
+    fn: Callable[..., Any],
+    nproc: int,
+    *,
+    nschedules: int = 16,
+    base_seed: int = 0,
+    **kw: Any,
+) -> list[ScheduleReport]:
+    """Run ``fn`` under ``nschedules`` consecutive seeds; report each."""
+    return [
+        run_schedule(fn, nproc, seed, **kw)
+        for seed in range(base_seed, base_seed + nschedules)
+    ]
+
+
+def format_reports(reports: Sequence[ScheduleReport]) -> str:
+    lines = [str(r) for r in reports]
+    failed = [r for r in reports if not r.ok]
+    lines.append(
+        f"{len(reports)} schedule(s): {len(reports) - len(failed)} ok, "
+        f"{len(failed)} failed"
+    )
+    for r in failed:
+        lines.append(f"  replay with --seed {r.seed} --schedules 1")
+    return "\n".join(lines)

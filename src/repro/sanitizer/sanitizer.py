@@ -1,0 +1,314 @@
+"""The dynamic RMA rule checker (see :mod:`repro.sanitizer`).
+
+:class:`RmaSanitizer` is installed on a runtime as
+``runtime.sanitizer``; :class:`~repro.mpi.window.Win` and the ARMCI
+layers report every synchronisation and data-movement event to it
+*before* executing their own checks.  The sanitizer therefore sees the
+same state the window does, plus shadow state of its own for the two
+things the window never tracks:
+
+* byte coverage of epochs on ``strict=False`` windows (checked only
+  when ``check_nonstrict=True``, because relaxed windows are entitled
+  to conflicting access — the coherent-shortcut model relies on it);
+* the footprints of MPI-3 atomics (``fetch_and_op`` /
+  ``compare_and_swap``), which the window treats as self-contained and
+  never conflict-checks.  The sanitizer models them as one mutually
+  atomic accumulate class (``rmw``), so mixed atomics on one counter
+  are clean but an atomic racing a put/get in the same epoch is not.
+
+In ``mode="raise"`` (default) a violation raises the structured
+exception immediately — and because every structured exception is also
+the plain MPI error the window would have raised, programs and tests
+written against the plain classes behave identically.  In
+``mode="record"`` violations accumulate in :attr:`violations` and the
+underlying layer's own error (if any) still fires.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..mpi.window import LOCK_EXCLUSIVE, LOCK_SHARED, _Epoch
+from .violations import (
+    ConflictViolationError,
+    ModeViolationError,
+    RangeViolationError,
+    RmaViolation,
+    SyncViolationError,
+    ViolationKind,
+)
+
+__all__ = ["RmaSanitizer"]
+
+
+class RmaSanitizer:
+    """Dynamic checker for the MPI-2 RMA rules of §III / §V.
+
+    Parameters
+    ----------
+    mode:
+        ``"raise"`` — raise the structured violation error at the point
+        of detection; ``"record"`` — append to :attr:`violations` and
+        let the underlying layer decide (its own plain error still
+        applies where one exists).
+    check_nonstrict:
+        Also apply the conflict-class rules (conflicts, accumulate
+        interleaving, buffer aliasing, bare local access) to
+        ``strict=False`` windows.  Off by default: relaxed windows model
+        cache-coherent shortcuts that deliberately permit these.
+    """
+
+    def __init__(self, mode: str = "raise", check_nonstrict: bool = False):
+        if mode not in ("raise", "record"):
+            raise ValueError(f"unknown sanitizer mode {mode!r}")
+        self.mode = mode
+        self.check_nonstrict = check_nonstrict
+        self.violations: list[RmaViolation] = []
+        self._mu = threading.Lock()
+        #: (win_id, origin, target) -> (real epoch object, shadow _Epoch)
+        self._extra: dict[tuple, tuple] = {}
+        #: origin -> open DLA gmr ids / window ids
+        self._dla_open: dict[int, set[int]] = {}
+        self._dla_wins: dict[int, set[int]] = {}
+
+    # -- reporting ------------------------------------------------------------
+    def _report(self, exc_cls, kind, rank, op, target, win_id, detail, ranges=()):
+        v = RmaViolation(kind, rank, op, target, win_id, detail, tuple(ranges))
+        with self._mu:
+            self.violations.append(v)
+        if self.mode == "raise":
+            raise exc_cls(v)
+
+    def _checks_conflicts(self, win) -> bool:
+        return win.strict or self.check_nonstrict
+
+    # -- lock discipline (called with runtime.cond held) ------------------------
+    def on_lock(self, win, origin: int, target: int, mode: str) -> None:
+        if origin in win._held:
+            if win.win_id in self._dla_wins.get(origin, ()):
+                self._report(
+                    SyncViolationError, ViolationKind.LOCK_WHILE_DLA,
+                    origin, "lock", target, win.win_id,
+                    "lock attempt while a direct-local-access epoch is "
+                    "open on the same window (the §V-C double-lock hazard)",
+                )
+            else:
+                self._report(
+                    SyncViolationError, ViolationKind.LOCK_NESTING,
+                    origin, "lock", target, win.win_id,
+                    f"already holds a lock on target {win._held[origin]} "
+                    "of this window (one lock per window per process)",
+                )
+        elif origin in win._lock_all:
+            self._report(
+                SyncViolationError, ViolationKind.LOCK_NESTING,
+                origin, "lock", target, win.win_id,
+                "lock() inside a lock_all epoch",
+            )
+        elif origin in win._fence_members:
+            self._report(
+                SyncViolationError, ViolationKind.LOCK_NESTING,
+                origin, "lock", target, win.win_id,
+                "lock() inside an active-target fence epoch",
+            )
+
+    def on_unlock(self, win, origin: int, target: int) -> None:
+        if win._held.get(origin) != target or (origin, target) not in win._epochs:
+            self._report(
+                SyncViolationError, ViolationKind.LOCK_UNMATCHED,
+                origin, "unlock", target, win.win_id,
+                "unlock without a matching lock by this origin",
+            )
+        self._extra.pop((win.win_id, origin, target), None)
+
+    # -- data movement (called with runtime.cond held) ---------------------------
+    def on_op(self, win, origin, kind, opname, segmap, origin_arr, target) -> None:
+        real = self._require_epoch(win, origin, kind, target)
+        if real is None:
+            return
+        offs, lens = segmap.offsets, segmap.lengths
+        if segmap.nsegments > 1:
+            order = np.argsort(offs, kind="stable")
+            offs, lens = offs[order], lens[order]
+        if self._checks_conflicts(win):
+            if segmap.nsegments > 1 and kind != "acc" and segmap.overlaps_self():
+                self._report(
+                    ConflictViolationError, ViolationKind.CONFLICT,
+                    origin, kind, target, win.win_id,
+                    f"{kind} with self-overlapping target segments within "
+                    "one operation",
+                )
+            self._check_local_alias(win, origin, kind, origin_arr, real, target)
+            self._check_conflicts(win, origin, kind, opname, offs, lens, target)
+        if not win.strict and self.check_nonstrict:
+            # the relaxed window will not record this op; shadow it
+            self._shadow(win, origin, target, real).record(kind, opname, offs, lens)
+
+    def on_rmw(self, win, origin, target, target_offset, datatype) -> None:
+        real = self._require_epoch(win, origin, "rmw", target)
+        if real is None:
+            return
+        disp = target_offset * win._disp_units[target]
+        offs = np.array([disp], dtype=np.int64)
+        lens = np.array([datatype.size], dtype=np.int64)
+        if self._checks_conflicts(win):
+            self._check_conflicts(win, origin, "acc", "rmw", offs, lens, target,
+                                  opdesc="rmw")
+        # the window never records atomics; always shadow them so a later
+        # put/get overlapping the counter is caught even on strict windows
+        self._shadow(win, origin, target, real).record("acc", "rmw", offs, lens)
+
+    def on_range(self, win, origin, kind, lo, hi, win_nbytes, target) -> None:
+        self._report(
+            RangeViolationError, ViolationKind.RANGE,
+            origin, kind, target, win.win_id,
+            f"datatype footprint exceeds the {win_nbytes}-byte window "
+            "region at the target",
+            ranges=((lo, hi),),
+        )
+
+    def on_bare_local_access(self, win, origin) -> None:
+        if not self._checks_conflicts(win):
+            return
+        self._report(
+            SyncViolationError, ViolationKind.LOCAL_LOAD_STORE,
+            origin, "local_view", win.comm.rank, win.win_id,
+            "direct load/store of exposed memory without an exclusive "
+            "self-lock",
+        )
+
+    def on_flush(self, win, origin, target) -> None:
+        ent = self._extra.get((win.win_id, origin, target))
+        if ent is not None:
+            ent[1].clear_accesses()
+
+    # -- ARMCI-level hooks ------------------------------------------------------
+    def on_mode_violation(self, origin, kind, gmr) -> None:
+        self._report(
+            ModeViolationError, ViolationKind.ACCESS_MODE,
+            origin, kind, -1, gmr.win.win_id,
+            f"{kind} on GMR {gmr.gmr_id} violates declared access mode "
+            f"{gmr.access_mode.value}",
+        )
+
+    def on_dla_begin_attempt(self, origin, gmr) -> None:
+        if gmr.gmr_id in self._dla_open.get(origin, ()):
+            self._report(
+                SyncViolationError, ViolationKind.DLA,
+                origin, "access_begin", -1, gmr.win.win_id,
+                f"nested access_begin on GMR {gmr.gmr_id}: direct-access "
+                "epochs do not nest",
+            )
+
+    def on_dla_begin(self, origin, gmr) -> None:
+        self._dla_open.setdefault(origin, set()).add(gmr.gmr_id)
+        self._dla_wins.setdefault(origin, set()).add(gmr.win.win_id)
+
+    def on_dla_end_attempt(self, origin, gmr) -> None:
+        if gmr.gmr_id not in self._dla_open.get(origin, ()):
+            self._report(
+                SyncViolationError, ViolationKind.DLA,
+                origin, "access_end", -1, gmr.win.win_id,
+                f"access_end on GMR {gmr.gmr_id} without access_begin",
+            )
+
+    def on_dla_end(self, origin, gmr) -> None:
+        self._dla_open.get(origin, set()).discard(gmr.gmr_id)
+        self._dla_wins.get(origin, set()).discard(gmr.win.win_id)
+
+    # -- internals ---------------------------------------------------------------
+    def _require_epoch(self, win, origin, op, target):
+        """The real epoch for (origin, target), or report EPOCH and return None."""
+        real = win._epochs.get((origin, target))
+        if real is None:
+            real = win._fence_epoch(origin, target)
+        if real is None:
+            self._report(
+                SyncViolationError, ViolationKind.EPOCH,
+                origin, op, target, win.win_id,
+                "RMA operation outside any access epoch",
+            )
+        return real
+
+    def _shadow(self, win, origin, target, real) -> _Epoch:
+        """Shadow epoch tied to the identity of the window's real epoch."""
+        key = (win.win_id, origin, target)
+        ent = self._extra.get(key)
+        if ent is not None and ent[0] is real:
+            return ent[1]
+        sh = _Epoch(origin, target, real.mode)
+        self._extra[key] = (real, sh)
+        return sh
+
+    def _check_local_alias(self, win, origin, kind, origin_arr, real, target):
+        if real.mode not in (LOCK_SHARED, LOCK_EXCLUSIVE):
+            return  # fence / lock_all epochs cover the whole window
+        if not isinstance(origin_arr, np.ndarray):
+            return
+        my_wr = win.comm.group.rank_of_world(origin)
+        if my_wr < 0 or my_wr == target:
+            return  # a self-targeting epoch covers the local slab
+        slab = win._buffers[my_wr]
+        if slab.nbytes and np.shares_memory(origin_arr, slab):
+            self._report(
+                ConflictViolationError, ViolationKind.LOCAL_ALIAS,
+                origin, kind, target, win.win_id,
+                "local buffer aliases this window's exposed memory on the "
+                "origin; accessing it needs a second lock on the same "
+                "window (stage through a private buffer instead)",
+            )
+
+    def _conflict_hit(self, win, origin, kind, opname, offs, lens, target):
+        """First conflicting access class, searching real + shadow epochs."""
+        real = win._epochs.get((origin, target))
+        if real is not None:
+            hit = real.conflict_class(kind, opname, offs, lens)
+            if hit is not None:
+                return hit, origin
+        ent = self._extra.get((win.win_id, origin, target))
+        if ent is not None and ent[0] is real and real is not None:
+            hit = ent[1].conflict_class(kind, opname, offs, lens)
+            if hit is not None:
+                return hit, origin
+        # cross-origin: possible only under shared locks / fence epochs
+        for (o, t), other in win._epochs.items():
+            if t != target or o == origin:
+                continue
+            hit = other.conflict_class(kind, opname, offs, lens)
+            if hit is not None:
+                return hit, o
+            ent = self._extra.get((win.win_id, o, t))
+            if ent is not None and ent[0] is other:
+                hit = ent[1].conflict_class(kind, opname, offs, lens)
+                if hit is not None:
+                    return hit, o
+        return None, origin
+
+    def _check_conflicts(self, win, origin, kind, opname, offs, lens, target,
+                         opdesc: "str | None" = None):
+        hit, other_origin = self._conflict_hit(
+            win, origin, kind, opname, offs, lens, target
+        )
+        if hit is None:
+            return
+        opdesc = opdesc or kind
+        vkind = (
+            ViolationKind.ACC_INTERLEAVE
+            if kind == "acc" and hit.startswith("acc")
+            else ViolationKind.CONFLICT
+        )
+        who = (
+            "in the same epoch"
+            if other_origin == origin
+            else f"in a concurrent epoch of origin {other_origin}"
+        )
+        lo = int(offs[0]) if len(offs) else 0
+        hi = int((offs + lens).max()) if len(offs) else 0
+        self._report(
+            ConflictViolationError, vkind,
+            origin, opdesc, target, win.win_id,
+            f"{opdesc} overlaps an earlier {hit} access {who}",
+            ranges=((lo, hi),),
+        )

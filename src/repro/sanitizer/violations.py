@@ -1,0 +1,204 @@
+"""Structured RMA violation records and their exception hierarchy.
+
+Every rule the sanitizer enforces is one :class:`ViolationKind`; each
+kind maps (via :data:`CATALOG`) to the paper section that motivates it,
+a one-line statement of the rule, and the fix pattern ARMCI-MPI uses.
+``docs/sanitizer.md`` is the human-readable rendering of this table.
+
+The exceptions use multiple inheritance so that code (and the existing
+test-suite) written against the plain MPI error classes keeps working:
+a :class:`ConflictViolationError` *is* an
+:class:`~repro.mpi.errors.RMAConflictError`, it just additionally
+carries a machine-readable :class:`RmaViolation`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..mpi.errors import (
+    ArgumentError,
+    MPIError,
+    RMAConflictError,
+    RMARangeError,
+    RMASyncError,
+)
+
+__all__ = [
+    "ViolationKind",
+    "CatalogEntry",
+    "CATALOG",
+    "RmaViolation",
+    "RmaViolationError",
+    "SyncViolationError",
+    "ConflictViolationError",
+    "RangeViolationError",
+    "ModeViolationError",
+]
+
+
+class ViolationKind(enum.Enum):
+    """The rule classes the sanitizer checks (see docs/sanitizer.md)."""
+
+    EPOCH = "epoch"
+    LOCK_NESTING = "lock-nesting"
+    LOCK_UNMATCHED = "lock-unmatched"
+    LOCK_WHILE_DLA = "lock-while-dla"
+    CONFLICT = "conflict"
+    ACC_INTERLEAVE = "acc-interleave"
+    LOCAL_ALIAS = "local-alias"
+    LOCAL_LOAD_STORE = "local-load-store"
+    ACCESS_MODE = "access-mode"
+    RANGE = "range"
+    DLA = "dla"
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """Catalog metadata for one violation kind."""
+
+    section: str  # paper section the rule comes from
+    rule: str  # one-line statement of the rule
+    fix: str  # the fix pattern ARMCI-MPI applies
+
+
+#: kind -> (paper section, rule, fix pattern); rendered in docs/sanitizer.md
+CATALOG: dict[ViolationKind, CatalogEntry] = {
+    ViolationKind.EPOCH: CatalogEntry(
+        section="§III",
+        rule="every RMA operation must execute inside an access epoch "
+        "(lock/unlock, lock_all, or fence)",
+        fix="wrap the operation in MPI_Win_lock/unlock — ARMCI-MPI gives "
+        "every op its own exclusive epoch (§V-C)",
+    ),
+    ViolationKind.LOCK_NESTING: CatalogEntry(
+        section="§III, §V-E.1",
+        rule="a process may hold at most one lock per window at a time",
+        fix="close the first epoch before opening the second, or stage "
+        "through a private buffer so only one lock is needed",
+    ),
+    ViolationKind.LOCK_UNMATCHED: CatalogEntry(
+        section="§III",
+        rule="unlock must match a lock held by the caller on that target",
+        fix="pair every MPI_Win_lock with exactly one MPI_Win_unlock on "
+        "the same target rank",
+    ),
+    ViolationKind.LOCK_WHILE_DLA: CatalogEntry(
+        section="§V-E",
+        rule="communication through a window is erroneous while the caller "
+        "has a direct-local-access epoch open on it",
+        fix="call ARMCI_Access_end before communicating through the GMR",
+    ),
+    ViolationKind.CONFLICT: CatalogEntry(
+        section="§III",
+        rule="overlapping put/get accesses within an epoch, or between "
+        "concurrent shared-lock epochs, are erroneous",
+        fix="split the accesses into separate epochs (ARMCI-MPI's "
+        "one-exclusive-epoch-per-op discipline, §V-C)",
+    ),
+    ViolationKind.ACC_INTERLEAVE: CatalogEntry(
+        section="§III",
+        rule="overlapping accumulates are permitted only with the same "
+        "reduction op; interleaving different ops is erroneous",
+        fix="use one op per epoch per region, or split epochs per op",
+    ),
+    ViolationKind.LOCAL_ALIAS: CatalogEntry(
+        section="§V-E.1",
+        rule="a local communication buffer that aliases the same window's "
+        "exposed memory needs its own lock — a second lock the MPI-2 "
+        "one-lock-per-window rule forbids",
+        fix="stage the transfer through a private intermediate buffer "
+        "(ARMCI-MPI's global-buffer staging protocol)",
+    ),
+    ViolationKind.LOCAL_LOAD_STORE: CatalogEntry(
+        section="§III, §V-E",
+        rule="direct load/store of window memory requires an exclusive "
+        "self-lock (the public/private window-copy rule)",
+        fix="wrap direct access in ARMCI_Access_begin/ARMCI_Access_end",
+    ),
+    ViolationKind.ACCESS_MODE: CatalogEntry(
+        section="§VIII-A",
+        rule="an operation class the GMR's declared access mode excludes "
+        "was issued (e.g. put on a read-only allocation)",
+        fix="declare the correct mode with ARMCI_Access_mode, or reset "
+        "the allocation to the default mode before mutating it",
+    ),
+    ViolationKind.RANGE: CatalogEntry(
+        section="§V-A",
+        rule="the operation's datatype footprint must fall inside the "
+        "target's exposed window region",
+        fix="check the GMR translation (base + displacement + extent) "
+        "against the allocation size",
+    ),
+    ViolationKind.DLA: CatalogEntry(
+        section="§V-E",
+        rule="direct-local-access epochs do not nest and must be closed "
+        "by the process that opened them",
+        fix="pair each ARMCI_Access_begin with exactly one "
+        "ARMCI_Access_end on the same GMR",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class RmaViolation:
+    """One detected violation, with everything needed to diagnose it.
+
+    ``ranges`` holds target-window byte intervals ``(lo, hi)`` when the
+    rule is about byte overlap; it is empty for pure discipline rules.
+    """
+
+    kind: ViolationKind
+    rank: int  # origin (world) rank that performed the erroneous action
+    op: str  # operation name at the point of detection
+    target: int  # target rank within the window, or -1 if n/a
+    win_id: int  # Win.win_id, or -1 if n/a
+    detail: str  # human-oriented specifics
+    ranges: tuple = field(default_factory=tuple)
+
+    @property
+    def section(self) -> str:
+        return CATALOG[self.kind].section
+
+    def __str__(self) -> str:
+        where = f" target {self.target}" if self.target >= 0 else ""
+        win = f" win {self.win_id}" if self.win_id >= 0 else ""
+        rng = ""
+        if self.ranges:
+            rng = " bytes " + ",".join(f"[{lo},{hi})" for lo, hi in self.ranges)
+        return (
+            f"RMA violation [{self.kind.value}] ({self.section}): rank "
+            f"{self.rank} op {self.op}{where}{win}{rng}: {self.detail}"
+        )
+
+
+class RmaViolationError(MPIError):
+    """Base of all sanitizer-raised errors; carries the violation record.
+
+    Deliberately defines no ``error_class`` of its own: each concrete
+    subclass also inherits a plain MPI error class (e.g.
+    :class:`RMAConflictError`), whose ``error_class`` the MRO supplies —
+    so handlers keyed on either the legacy class or its symbolic name
+    observe no change.
+    """
+
+    def __init__(self, violation: RmaViolation):
+        super().__init__(str(violation))
+        self.violation = violation
+
+
+class SyncViolationError(RmaViolationError, RMASyncError):
+    """Structured synchronisation-discipline violation (is-a RMASyncError)."""
+
+
+class ConflictViolationError(RmaViolationError, RMAConflictError):
+    """Structured conflicting-access violation (is-a RMAConflictError)."""
+
+
+class RangeViolationError(RmaViolationError, RMARangeError):
+    """Structured out-of-bounds violation (is-a RMARangeError)."""
+
+
+class ModeViolationError(RmaViolationError, ArgumentError):
+    """Structured access-mode violation (is-a ArgumentError)."""

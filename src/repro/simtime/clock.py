@@ -29,19 +29,28 @@ class TimedEvent:
 
 
 class SimClock:
-    """Monotone simulated clock, charged in seconds."""
+    """Monotone simulated clock, charged in seconds.
 
-    __slots__ = ("now", "_log", "_log_limit")
+    ``jitter`` is an optional ``(kind, seconds) -> extra_seconds`` hook
+    the schedule fuzzer installs to model variable delivery delay; the
+    extra charge is clamped to be non-negative so the clock stays
+    monotone.
+    """
+
+    __slots__ = ("now", "_log", "_log_limit", "jitter")
 
     def __init__(self, log_limit: int = 0):
         self.now = 0.0
         self._log: list[TimedEvent] = []
         self._log_limit = log_limit
+        self.jitter = None
 
     def advance(self, seconds: float, kind: str = "op", nbytes: int = 0) -> float:
         """Charge ``seconds`` to this rank; returns the new time."""
         if seconds < 0:
             raise ValueError(f"negative time charge {seconds} for {kind}")
+        if self.jitter is not None:
+            seconds += max(0.0, self.jitter(kind, seconds))
         self.now += seconds
         if self._log_limit and len(self._log) < self._log_limit:
             self._log.append(TimedEvent(self.now, kind, seconds, nbytes))

@@ -1,10 +1,26 @@
-"""Shared test helpers: SPMD execution with fast deadlock watchdogs."""
+"""Shared test helpers: SPMD execution with fast deadlock watchdogs.
+
+``pytest --sanitize`` (or the ``sanitize`` marker on a test) installs
+the :mod:`repro.sanitizer` ambiently for the covered tests: every
+runtime they create gets an :class:`~repro.sanitizer.RmaSanitizer`, so
+the whole tier-1 suite doubles as the sanitizer's zero-false-positive
+regression gate.
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.mpi.runtime import Runtime
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help="run every test with the RMA sanitizer installed ambiently",
+    )
 
 
 def spmd(nproc, fn, *args, watchdog_s: float = 0.4, **kw):
@@ -21,3 +37,45 @@ def run4():
         return spmd(4, fn, *args, **kw)
 
     return _run
+
+
+@pytest.fixture(autouse=True)
+def _ambient_sanitize(request):
+    """Install the ambient sanitizer for --sanitize runs / marked tests."""
+    if not (
+        request.config.getoption("--sanitize")
+        or request.node.get_closest_marker("sanitize") is not None
+    ):
+        yield
+        return
+    from repro.sanitizer import install_ambient, uninstall_ambient
+
+    token = install_ambient()
+    try:
+        yield
+    finally:
+        uninstall_ambient(token)
+
+
+@pytest.fixture
+def sanitize():
+    """Explicit form: yields a fresh ambient RmaSanitizer installer.
+
+    The fixture value is a callable ``install(mode=..., check_nonstrict=...)``
+    that (re)installs the ambient sanitizer with those options for the
+    remainder of the test and returns nothing; runtimes created afterwards
+    carry a sanitizer configured that way.
+    """
+    from repro.sanitizer import install_ambient, uninstall_ambient
+
+    tokens = [install_ambient()]
+
+    def install(mode: str = "raise", check_nonstrict: bool = False):
+        uninstall_ambient(tokens.pop())
+        tokens.append(install_ambient(mode=mode, check_nonstrict=check_nonstrict))
+
+    try:
+        yield install
+    finally:
+        for t in tokens:
+            uninstall_ambient(t)

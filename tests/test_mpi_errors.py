@@ -1,0 +1,175 @@
+"""Error-path tests for :mod:`repro.mpi.errors`.
+
+The simulated runtime behaves like ``MPI_ERRORS_RETURN`` lifted into
+Python exceptions: every error carries a symbolic ``MPI_ERR_*`` class and
+formats as ``[{error_class}] {message}``.  These tests pin the hierarchy,
+the formatting contract, a representative raise-site for each class, and
+the invariant the sanitizer's structured exceptions rely on: each
+``*ViolationError`` is-a plain MPI error with the same ``error_class``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi import errors
+from repro.mpi.errors import (
+    ArgumentError,
+    CommError,
+    CountError,
+    DatatypeError,
+    GroupError,
+    InternalError,
+    MPIError,
+    ProgressDeadlockError,
+    RankError,
+    RMAConflictError,
+    RMARangeError,
+    RMASyncError,
+    TagError,
+    TruncationError,
+    WinError,
+)
+from repro.mpi.runtime import RankFailedError, Runtime
+from repro.mpi.window import Win
+from repro.sanitizer.violations import (
+    ConflictViolationError,
+    ModeViolationError,
+    RangeViolationError,
+    RmaViolationError,
+    SyncViolationError,
+)
+
+EXPECTED_CLASSES = {
+    MPIError: "MPI_ERR_OTHER",
+    ArgumentError: "MPI_ERR_ARG",
+    RankError: "MPI_ERR_RANK",
+    CountError: "MPI_ERR_COUNT",
+    DatatypeError: "MPI_ERR_TYPE",
+    TruncationError: "MPI_ERR_TRUNCATE",
+    CommError: "MPI_ERR_COMM",
+    GroupError: "MPI_ERR_GROUP",
+    TagError: "MPI_ERR_TAG",
+    WinError: "MPI_ERR_WIN",
+    RMASyncError: "MPI_ERR_RMA_SYNC",
+    RMAConflictError: "MPI_ERR_RMA_CONFLICT",
+    RMARangeError: "MPI_ERR_RMA_RANGE",
+    ProgressDeadlockError: "MPI_ERR_PENDING",
+    InternalError: "MPI_ERR_INTERN",
+}
+
+
+def test_every_exported_error_has_its_mpi_class():
+    for cls, symbolic in EXPECTED_CLASSES.items():
+        assert cls.error_class == symbolic
+        assert issubclass(cls, MPIError)
+    # __all__ is exactly the public hierarchy
+    assert set(errors.__all__) == {c.__name__ for c in EXPECTED_CLASSES}
+
+
+def test_message_formatting_contract():
+    e = ArgumentError("bad displacement")
+    assert str(e) == "[MPI_ERR_ARG] bad displacement"
+    assert e.message == "bad displacement"
+    # empty message degrades to the bare symbolic class
+    assert str(RMASyncError()) == "MPI_ERR_RMA_SYNC"
+    assert RMASyncError().message == ""
+
+
+def test_rank_failed_is_a_deadlock_error():
+    # a rank killed by a peer's failure reports through the same channel
+    # the watchdog uses, so callers need only catch ProgressDeadlockError
+    assert issubclass(RankFailedError, ProgressDeadlockError)
+    assert RankFailedError("x").error_class == "MPI_ERR_PENDING"
+
+
+def test_violation_errors_keep_the_legacy_error_class():
+    pairs = [
+        (SyncViolationError, RMASyncError, "MPI_ERR_RMA_SYNC"),
+        (ConflictViolationError, RMAConflictError, "MPI_ERR_RMA_CONFLICT"),
+        (RangeViolationError, RMARangeError, "MPI_ERR_RMA_RANGE"),
+        (ModeViolationError, ArgumentError, "MPI_ERR_ARG"),
+    ]
+    for structured, legacy, symbolic in pairs:
+        assert issubclass(structured, legacy)
+        assert issubclass(structured, RmaViolationError)
+        assert structured.error_class == symbolic
+    # the shared base adds no class of its own (the MRO supplies it)
+    assert "error_class" not in vars(RmaViolationError)
+
+
+# -- representative raise-sites ----------------------------------------------------
+
+
+def _spmd(nproc, fn):
+    return Runtime(nproc, watchdog_s=0.4).spmd(fn)
+
+
+def test_unknown_lock_mode_is_an_argument_error():
+    def body(comm):
+        win, _ = Win.allocate(comm, 64)
+        comm.barrier()
+        if comm.rank == 0:
+            win.lock(1, "MPI_LOCK_BOGUS")
+
+    with pytest.raises(ArgumentError):
+        _spmd(2, body)
+
+
+def test_target_rank_out_of_range():
+    def body(comm):
+        win, _ = Win.allocate(comm, 64)
+        comm.barrier()
+        if comm.rank == 0:
+            win.lock(5)
+
+    with pytest.raises(RMARangeError):
+        _spmd(2, body)
+
+
+def test_op_outside_epoch_without_sanitizer_is_plain_sync_error():
+    def body(comm):
+        win, _ = Win.allocate(comm, 64)
+        comm.barrier()
+        if comm.rank == 0:
+            win.put(np.ones(8, dtype=np.uint8), 1)
+
+    rt = Runtime(2, watchdog_s=0.4)
+    rt.sanitizer = None  # force the plain path even under `pytest --sanitize`
+    with pytest.raises(RMASyncError) as ei:
+        rt.spmd(body)
+    # no sanitizer installed: the window's own plain error, unstructured
+    assert not isinstance(ei.value, RmaViolationError)
+    assert ei.value.error_class == "MPI_ERR_RMA_SYNC"
+
+
+def test_mpi2_window_rejects_mpi3_calls():
+    def body(comm):
+        win, _ = Win.allocate(comm, 64)  # mpi3=False: the paper's setting
+        comm.barrier()
+        if comm.rank == 0:
+            win.lock_all()
+
+    with pytest.raises(WinError) as ei:
+        _spmd(2, body)
+    assert "mpi3=True" in str(ei.value)
+
+
+def test_operation_on_freed_window():
+    def body(comm):
+        win, _ = Win.allocate(comm, 64)
+        win.free()
+        win.lock(0)
+
+    with pytest.raises(WinError):
+        _spmd(2, body)
+
+
+def test_watchdog_turns_a_real_hang_into_a_deadlock_error():
+    def body(comm):
+        if comm.rank == 0:
+            comm.barrier()  # rank 1 never joins
+
+    with pytest.raises(ProgressDeadlockError):
+        _spmd(2, body)

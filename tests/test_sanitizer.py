@@ -1,0 +1,535 @@
+"""Regression tests for the RMA sanitizer: one seeded violation per rule
+class, each paired with a clean counterpart that must stay silent.
+
+Every violating program asserts three things: the *structured* exception
+type, the machine-readable ``ViolationKind``, and that the exception is
+still an instance of the plain MPI error class existing handlers key on.
+The clean counterparts run the legal version of the same pattern and
+assert the sanitizer recorded nothing — the per-rule half of the
+zero-false-positive guarantee (``pytest --sanitize`` is the suite-wide
+half).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.armci import Armci
+from repro.armci.access_modes import AccessMode
+from repro.mpi.errors import (
+    ArgumentError,
+    RMAConflictError,
+    RMARangeError,
+    RMASyncError,
+)
+from repro.mpi.runtime import Runtime
+from repro.mpi.window import LOCK_EXCLUSIVE, LOCK_SHARED, Win
+from repro.sanitizer import (
+    CATALOG,
+    ConflictViolationError,
+    ModeViolationError,
+    RangeViolationError,
+    RmaSanitizer,
+    SyncViolationError,
+    ViolationKind,
+)
+
+
+def run_san(nproc, fn, *args, mode="raise", check_nonstrict=False):
+    """Run ``fn(comm, *args)`` with a sanitizer installed; return it."""
+    rt = Runtime(nproc, watchdog_s=0.4)
+    rt.sanitizer = RmaSanitizer(mode=mode, check_nonstrict=check_nonstrict)
+    results = rt.spmd(fn, *args)
+    return rt.sanitizer, results
+
+
+def expect_violation(exc_cls, kind, legacy_cls, nproc, fn, *args, **kw):
+    """Assert ``fn`` raises the structured error with the given kind."""
+    with pytest.raises(exc_cls) as ei:
+        run_san(nproc, fn, *args, **kw)
+    v = ei.value.violation
+    assert v.kind is kind
+    assert isinstance(ei.value, legacy_cls)
+    # the catalog covers the kind and the message carries its section
+    assert CATALOG[v.kind].section in str(ei.value)
+    return v
+
+
+# -- EPOCH: RMA op outside any access epoch (§III) --------------------------------
+
+
+def _epoch_violation(comm):
+    win, _ = Win.allocate(comm, 64)
+    comm.barrier()
+    if comm.rank == 0:
+        win.put(np.ones(8, dtype=np.uint8), 1)  # no lock held
+
+
+def _epoch_clean(comm):
+    win, _ = Win.allocate(comm, 64)
+    comm.barrier()
+    if comm.rank == 0:
+        win.lock(1)
+        win.put(np.ones(8, dtype=np.uint8), 1)
+        win.unlock(1)
+
+
+def test_epoch_violation_detected():
+    v = expect_violation(
+        SyncViolationError, ViolationKind.EPOCH, RMASyncError, 2, _epoch_violation
+    )
+    assert v.rank == 0 and v.op == "put" and v.target == 1
+
+
+def test_epoch_clean_counterpart():
+    san, _ = run_san(2, _epoch_clean)
+    assert san.violations == []
+
+
+# -- LOCK_NESTING / LOCK_UNMATCHED: lock discipline (§III, §V-E.1) ----------------
+
+
+def _nesting_violation(comm):
+    win, _ = Win.allocate(comm, 64)
+    comm.barrier()
+    if comm.rank == 0:
+        win.lock(0)
+        win.lock(1)  # second lock on the same window
+
+
+def _nesting_clean(comm):
+    win, _ = Win.allocate(comm, 64)
+    comm.barrier()
+    if comm.rank == 0:
+        win.lock(0)
+        win.unlock(0)
+        win.lock(1)
+        win.unlock(1)
+
+
+def _unmatched_violation(comm):
+    win, _ = Win.allocate(comm, 64)
+    comm.barrier()
+    if comm.rank == 0:
+        win.unlock(1)  # never locked
+
+
+def test_lock_nesting_violation_detected():
+    v = expect_violation(
+        SyncViolationError, ViolationKind.LOCK_NESTING, RMASyncError,
+        2, _nesting_violation,
+    )
+    assert "one lock per window" in v.detail
+
+
+def test_lock_nesting_clean_counterpart():
+    san, _ = run_san(2, _nesting_clean)
+    assert san.violations == []
+
+
+def test_lock_unmatched_violation_detected():
+    expect_violation(
+        SyncViolationError, ViolationKind.LOCK_UNMATCHED, RMASyncError,
+        2, _unmatched_violation,
+    )
+
+
+# -- CONFLICT: overlapping put/get within one epoch (§III) ------------------------
+
+
+def _conflict_violation(comm):
+    win, _ = Win.allocate(comm, 64)
+    comm.barrier()
+    if comm.rank == 0:
+        win.lock(1)
+        win.put(np.ones(8, dtype=np.uint8), 1)
+        win.put(np.ones(8, dtype=np.uint8), 1, 4)  # overlaps [4, 8)
+
+
+def _conflict_clean(comm):
+    win, _ = Win.allocate(comm, 64)
+    comm.barrier()
+    if comm.rank == 0:
+        win.lock(1)
+        win.put(np.ones(8, dtype=np.uint8), 1)
+        win.put(np.ones(8, dtype=np.uint8), 1, 8)  # disjoint
+        win.unlock(1)
+
+
+def test_conflict_violation_detected():
+    v = expect_violation(
+        ConflictViolationError, ViolationKind.CONFLICT, RMAConflictError,
+        2, _conflict_violation,
+    )
+    assert v.ranges  # byte interval reported
+
+
+def test_conflict_clean_counterpart():
+    san, _ = run_san(2, _conflict_clean)
+    assert san.violations == []
+
+
+# -- ACC_INTERLEAVE: different reduction ops on one region (§III) -----------------
+
+
+def _acc_interleave_violation(comm):
+    win, _ = Win.allocate(comm, 64)
+    comm.barrier()
+    if comm.rank == 0:
+        win.lock(1)
+        win.accumulate(np.ones(4), 1, 0, op="MPI_SUM")
+        win.accumulate(np.ones(4), 1, 0, op="MPI_MAX")  # same bytes, new op
+
+
+def _acc_interleave_clean(comm):
+    win, _ = Win.allocate(comm, 64)
+    comm.barrier()
+    if comm.rank == 0:
+        win.lock(1)
+        win.accumulate(np.ones(4), 1, 0, op="MPI_SUM")
+        win.accumulate(np.ones(4), 1, 0, op="MPI_SUM")  # same op: atomic
+        win.unlock(1)
+
+
+def test_acc_interleave_violation_detected():
+    expect_violation(
+        ConflictViolationError, ViolationKind.ACC_INTERLEAVE, RMAConflictError,
+        2, _acc_interleave_violation,
+    )
+
+
+def test_acc_interleave_clean_counterpart():
+    san, _ = run_san(2, _acc_interleave_clean)
+    assert san.violations == []
+
+
+# -- LOCAL_ALIAS: origin buffer aliases the window's own memory (§V-E.1) ----------
+
+
+def _local_alias_violation(comm):
+    win, local = Win.allocate(comm, 64)
+    comm.barrier()
+    if comm.rank == 0:
+        win.lock(1)
+        win.put(local[:8], 1)  # origin IS this window's exposed memory
+
+
+def _local_alias_clean(comm):
+    win, local = Win.allocate(comm, 64)
+    comm.barrier()
+    if comm.rank == 0:
+        win.lock(1)
+        win.put(local[:8].copy(), 1)  # staged through a private buffer
+        win.unlock(1)
+
+
+def test_local_alias_violation_detected():
+    v = expect_violation(
+        ConflictViolationError, ViolationKind.LOCAL_ALIAS, RMAConflictError,
+        2, _local_alias_violation,
+    )
+    assert "stage" in v.detail
+
+
+def test_local_alias_clean_counterpart():
+    san, _ = run_san(2, _local_alias_clean)
+    assert san.violations == []
+
+
+# -- LOCAL_LOAD_STORE: bare direct access to exposed memory (§III, §V-E) ----------
+
+
+def _bare_local_violation(comm):
+    win, _ = Win.allocate(comm, 64)
+    comm.barrier()
+    if comm.rank == 0:
+        win.local_view()  # no exclusive self-lock
+
+
+def _bare_local_clean(comm):
+    win, _ = Win.allocate(comm, 64)
+    comm.barrier()
+    if comm.rank == 0:
+        win.lock(0, LOCK_EXCLUSIVE)
+        view = win.local_view()
+        view[0] = 7
+        win.unlock(0)
+
+
+def test_local_load_store_violation_detected():
+    expect_violation(
+        SyncViolationError, ViolationKind.LOCAL_LOAD_STORE, RMASyncError,
+        2, _bare_local_violation,
+    )
+
+
+def test_local_load_store_clean_counterpart():
+    san, _ = run_san(2, _bare_local_clean)
+    assert san.violations == []
+
+
+# -- RANGE: datatype footprint outside the target region (§V-A) -------------------
+
+
+def _range_violation(comm):
+    win, _ = Win.allocate(comm, 64)
+    comm.barrier()
+    if comm.rank == 0:
+        win.lock(1)
+        win.put(np.ones(128, dtype=np.uint8), 1)  # 128 B into a 64 B region
+
+
+def _range_clean(comm):
+    win, _ = Win.allocate(comm, 64)
+    comm.barrier()
+    if comm.rank == 0:
+        win.lock(1)
+        win.put(np.ones(64, dtype=np.uint8), 1)
+        win.unlock(1)
+
+
+def test_range_violation_detected():
+    v = expect_violation(
+        RangeViolationError, ViolationKind.RANGE, RMARangeError,
+        2, _range_violation,
+    )
+    assert v.ranges == ((0, 128),)
+
+
+def test_range_clean_counterpart():
+    san, _ = run_san(2, _range_clean)
+    assert san.violations == []
+
+
+# -- rmw atomics vs put/get: the window never checks these itself -----------------
+
+
+def _rmw_conflict_violation(comm):
+    win, _ = Win.allocate(comm, 64, mpi3=True)
+    comm.barrier()
+    if comm.rank == 0:
+        out = np.zeros(1, dtype=np.int64)
+        win.lock(1)
+        win.fetch_and_op(1, 1, 0)
+        win.get(out, 1)  # overlaps the atomic's slot in the same epoch
+
+
+def _rmw_clean(comm):
+    win, _ = Win.allocate(comm, 64, mpi3=True)
+    comm.barrier()
+    if comm.rank == 0:
+        win.lock(1)
+        win.fetch_and_op(1, 1, 0)
+        win.fetch_and_op(2, 1, 0)  # atomics are mutually atomic
+        win.compare_and_swap(3, 9, 1, 0)
+        win.unlock(1)
+
+
+def test_rmw_vs_get_conflict_detected():
+    expect_violation(
+        ConflictViolationError, ViolationKind.CONFLICT, RMAConflictError,
+        2, _rmw_conflict_violation,
+    )
+
+
+def test_rmw_atomics_clean_counterpart():
+    san, _ = run_san(2, _rmw_clean)
+    assert san.violations == []
+
+
+# -- ACCESS_MODE: op excluded by the declared GMR mode (§VIII-A) ------------------
+
+
+def _mode_violation(comm):
+    armci = Armci.init(comm)
+    ptrs = armci.malloc(64)
+    armci.set_access_mode(ptrs[armci.my_id], AccessMode.READ_ONLY)
+    if armci.my_id == 0:
+        armci.put(np.ones(8, dtype=np.uint8), ptrs[1], 8)  # put on read-only
+
+
+def _mode_clean(comm):
+    armci = Armci.init(comm)
+    ptrs = armci.malloc(64)
+    armci.set_access_mode(ptrs[armci.my_id], AccessMode.READ_ONLY)
+    buf = np.zeros(8, dtype=np.uint8)
+    armci.get(ptrs[(armci.my_id + 1) % armci.nproc], buf, 8)  # gets allowed
+    armci.set_access_mode(ptrs[armci.my_id], AccessMode.DEFAULT)
+    armci.finalize()
+
+
+def test_access_mode_violation_detected():
+    v = expect_violation(
+        ModeViolationError, ViolationKind.ACCESS_MODE, ArgumentError,
+        2, _mode_violation,
+    )
+    assert "read_only" in v.detail
+
+
+def test_access_mode_clean_counterpart():
+    san, _ = run_san(2, _mode_clean)
+    assert san.violations == []
+
+
+# -- LOCK_WHILE_DLA and DLA: direct-local-access discipline (§V-E) ----------------
+
+
+def _lock_while_dla_violation(comm):
+    armci = Armci.init(comm)
+    ptrs = armci.malloc(64)
+    armci.barrier()
+    if armci.my_id == 0:
+        armci.access_begin(ptrs[0], 8, np.int64)
+        # communicating through the same window while DLA is open
+        armci.put(np.ones(8, dtype=np.uint8), ptrs[1], 8)
+
+
+def _lock_while_dla_clean(comm):
+    armci = Armci.init(comm)
+    ptrs = armci.malloc(64)
+    armci.barrier()
+    if armci.my_id == 0:
+        view = armci.access_begin(ptrs[0], 8, np.int64)
+        view[0] = 42
+        armci.access_end(ptrs[0])
+        armci.put(np.ones(8, dtype=np.uint8), ptrs[1], 8)
+    armci.barrier()
+    armci.finalize()
+
+
+def test_lock_while_dla_violation_detected():
+    v = expect_violation(
+        SyncViolationError, ViolationKind.LOCK_WHILE_DLA, RMASyncError,
+        2, _lock_while_dla_violation,
+    )
+    assert "direct-local-access" in v.detail
+
+
+def test_lock_while_dla_clean_counterpart():
+    san, _ = run_san(2, _lock_while_dla_clean)
+    assert san.violations == []
+
+
+def _dla_nested_violation(comm):
+    armci = Armci.init(comm)
+    ptrs = armci.malloc(64)
+    armci.barrier()
+    if armci.my_id == 0:
+        armci.access_begin(ptrs[0], 8, np.int64)
+        armci.access_begin(ptrs[0], 8, np.int64)  # DLA epochs do not nest
+
+
+def _dla_unmatched_violation(comm):
+    armci = Armci.init(comm)
+    ptrs = armci.malloc(64)
+    armci.barrier()
+    if armci.my_id == 0:
+        armci.access_end(ptrs[0])  # never began
+
+
+def _dla_clean(comm):
+    armci = Armci.init(comm)
+    ptrs = armci.malloc(64)
+    armci.barrier()
+    for _ in range(2):  # sequential epochs are fine, only nesting is not
+        view = armci.access_begin(ptrs[armci.my_id], 8, np.int64)
+        view[0] += 1
+        armci.access_end(ptrs[armci.my_id])
+    armci.barrier()
+    armci.finalize()
+
+
+def test_dla_nesting_violation_detected():
+    expect_violation(
+        SyncViolationError, ViolationKind.DLA, RMASyncError,
+        2, _dla_nested_violation,
+    )
+
+
+def test_dla_unmatched_end_violation_detected():
+    expect_violation(
+        SyncViolationError, ViolationKind.DLA, RMASyncError,
+        2, _dla_unmatched_violation,
+    )
+
+
+def test_dla_clean_counterpart():
+    san, _ = run_san(2, _dla_clean)
+    assert san.violations == []
+
+
+# -- modes and gating --------------------------------------------------------------
+
+
+def _nonstrict_conflict(comm):
+    win, _ = Win.allocate(comm, 64, strict=False)
+    comm.barrier()
+    if comm.rank == 0:
+        win.lock(1)
+        win.put(np.ones(8, dtype=np.uint8), 1)
+        win.put(np.full(8, 2, dtype=np.uint8), 1)  # overlap; relaxed window
+        win.unlock(1)
+    comm.barrier()
+
+
+def test_record_mode_collects_without_raising():
+    san, _ = run_san(2, _nonstrict_conflict, mode="record", check_nonstrict=True)
+    kinds = {v.kind for v in san.violations}
+    assert ViolationKind.CONFLICT in kinds
+
+
+def test_check_nonstrict_raises_on_relaxed_window():
+    with pytest.raises(ConflictViolationError) as ei:
+        run_san(2, _nonstrict_conflict, check_nonstrict=True)
+    assert ei.value.violation.kind is ViolationKind.CONFLICT
+
+
+def test_nonstrict_windows_exempt_by_default():
+    # relaxed windows model coherent shortcuts: conflicts are their right
+    san, _ = run_san(2, _nonstrict_conflict)
+    assert san.violations == []
+
+
+def test_catalog_covers_every_kind():
+    assert set(CATALOG) == set(ViolationKind)
+    for entry in CATALOG.values():
+        assert entry.section.startswith("§")
+        assert entry.rule and entry.fix
+
+
+def test_violation_str_mentions_kind_and_section():
+    v = expect_violation(
+        ConflictViolationError, ViolationKind.CONFLICT, RMAConflictError,
+        2, _conflict_violation,
+    )
+    s = str(v)
+    assert "[conflict]" in s and "§III" in s and "rank 0" in s
+
+
+# -- zero-false-positive representative: a real staged workload, sanitized --------
+
+
+@pytest.mark.sanitize
+def test_staged_armci_workload_is_sanitizer_clean(run4):
+    """ARMCI-MPI's own protocols must never trip the checker (marker form)."""
+
+    def body(comm):
+        armci = Armci.init(comm)
+        ptrs = armci.malloc(64)
+        counters = armci.malloc(8 if armci.my_id == 0 else 0)
+        right = (armci.my_id + 1) % armci.nproc
+        armci.put(np.full(8, 1.0), ptrs[right])
+        armci.barrier()
+        out = np.zeros(8)
+        armci.get(ptrs[armci.my_id], out)
+        armci.barrier()
+        armci.acc(out, ptrs[0], scale=0.5)
+        task = armci.rmw("fetch_and_add_long", counters[0], 1)
+        armci.barrier()
+        armci.finalize()
+        return float(out.sum()), task
+
+    results = run4(body)
+    assert sorted(t for _, t in results) == [0, 1, 2, 3]
+    assert all(s == 8.0 for s, _ in results)
