@@ -235,16 +235,18 @@ class Armci:
                 f"ARMCI_Free: {ptr} does not belong to the allocation being "
                 f"freed (GMR {gmr.gmr_id})"
             )
-        gmr.win.free()
-        mutex = None
-
-        def drop(_c) -> None:
+        # Abort consistency: the window free and the translation-table
+        # unregister commit in ONE collective compute step (Win.free_with).
+        # If a member dies before the rendezvous completes, the collective
+        # fails typed on every survivor and *neither* happens — the GMR
+        # stays registered, the window stays usable, and a later retry or
+        # finalize sees consistent state.
+        def drop():
             self.table.unregister(gmr)
             gmr.freed = True
             return self._gmr_mutexes.pop(gmr.gmr_id, None)
 
-        with self.world.runtime.cond:
-            mutex = group.comm._coll.run(group.rank, "armci_free", None, drop)
+        mutex = gmr.win.free_with(drop)
         if mutex is not None:
             mutex.destroy()
 

@@ -251,6 +251,33 @@ class GmrTable:
                 return gmr
         return None
 
+    def check_consistent(self) -> None:
+        """Assert table invariants (used by fault-injection tests).
+
+        After any sequence of registers/unregisters — including an abort
+        path taken mid-free — the table must hold: every live GMR is
+        indexed under each nonzero base exactly once, no per-rank entry
+        refers to a freed GMR, and no hot entry points outside ``_all``.
+        Raises :class:`AssertionError` on violation.
+        """
+        live = set(id(g) for g in self._all)
+        for g in self._all:
+            assert not g.freed, f"freed GMR {g.gmr_id} still registered"
+        for absolute, entries in self._by_rank.items():
+            bases = [b for b, _ in entries]
+            assert bases == sorted(bases), f"unsorted bases for rank {absolute}"
+            for base, gmr in entries:
+                assert base != NULL_ADDR, "NULL base indexed"
+                assert id(gmr) in live, (
+                    f"rank {absolute} entry {base:#x} refers to "
+                    f"unregistered GMR {gmr.gmr_id}"
+                )
+        for rank, gmr in self._hot.items():
+            assert id(gmr) in live, (
+                f"hot entry for rank {rank} refers to unregistered "
+                f"GMR {gmr.gmr_id}"
+            )
+
     @property
     def gmrs(self) -> list[Gmr]:
         return list(self._all)

@@ -22,14 +22,42 @@ import numpy as np
 
 from ..mpi import datatypes as dt
 from ..mpi.comm import Comm
-from ..mpi.errors import ArgumentError
+from ..mpi.errors import ArgumentError, OpTimeoutError, TargetFailedError
 from ..mpi.p2p import ANY_SOURCE
 from ..mpi.window import LOCK_EXCLUSIVE, Win
 
-__all__ = ["MutexSet"]
+__all__ = ["MutexHolderFailed", "MutexSet"]
 
 #: tag space for mutex handoff notifications (one tag per mutex index)
 _HANDOFF_TAG_BASE = 800_000
+
+#: handoff payload marker: the previous holder died mid-critical-section
+_HOLDER_DIED = "MUTEX_HOLDER_DIED"
+
+
+class MutexHolderFailed(TargetFailedError):
+    """The previous holder of a mutex died inside its critical section.
+
+    Raised by :meth:`MutexSet.lock` in the *next waiter* after the
+    runtime's recovery hook repaired the Latham byte vector and forwarded
+    the handoff on the dead holder's behalf.  The catching rank **owns
+    the mutex** when this is raised: the protected state may be
+    inconsistent (the holder died mid-update), so the waiter must decide
+    — re-validate and continue, or unlock and give up — but either way
+    it must eventually call :meth:`MutexSet.unlock`.
+
+    Attributes: ``mutex``/``host`` identify the mutex, ``dead_rank`` is
+    the failed holder's rank in the mutex communicator.
+    """
+
+    def __init__(self, mutex: int, host: int, dead_rank: int):
+        super().__init__(
+            f"holder (rank {dead_rank}) of mutex {mutex} hosted on {host} "
+            "died in its critical section; you now hold the repaired mutex"
+        )
+        self.mutex = mutex
+        self.host = host
+        self.dead_rank = dead_rank
 
 
 class MutexSet:
@@ -40,6 +68,60 @@ class MutexSet:
         self.count = count
         self._win = win
         self._destroyed = False
+        # Holder tracking for death recovery: (host, mutex) -> holder's
+        # comm rank.  Lives in runtime.shared keyed by the window id
+        # because each rank constructs its own MutexSet around the ONE
+        # shared window — state and the death hook must be per-window,
+        # not per-instance.
+        rt = comm.runtime
+        key = ("mutex_holders", win.win_id)
+        with rt.cond:
+            if key not in rt.shared:
+                rt.shared[key] = {}
+                rt.add_death_hook(self._on_rank_death)
+            self._holders: dict[tuple[int, int], int] = rt.shared[key]
+
+    def _on_rank_death(self, world_rank: int) -> None:
+        """Latham byte-vector repair for a failed rank (under runtime cond).
+
+        Models a surviving recovery agent: clears every bit the dead
+        rank set (its queue entries and, if it held a mutex, its holder
+        bit), then — for each mutex it held — rescans the vector from
+        the dead rank's successor and forwards the handoff with a
+        :data:`_HOLDER_DIED` payload so the next waiter wakes with a
+        structured :class:`MutexHolderFailed` diagnosis.
+        """
+        if self._destroyed:
+            return
+        group = self.comm.group
+        if not group.contains_world(world_rank):
+            return
+        dead = group.rank_of_world(world_rank)
+        n = self.comm.size
+        # 1. clear every bit the dead rank set, on every host's vector
+        for host in range(n):
+            vec = self._win.exposed_buffer(host)
+            for mutex in range(self.count):
+                vec[mutex * n + dead] = 0
+        # 2. forward each mutex the dead rank held to its next waiter
+        for (host, mutex), holder in list(self._holders.items()):
+            if holder != dead:
+                continue
+            vec = self._win.exposed_buffer(host)
+            base = mutex * n
+            for step in range(1, n):
+                j = (dead + step) % n
+                if vec[base + j]:
+                    self._holders[(host, mutex)] = j
+                    self.comm._p2p.post_send(
+                        world_rank,
+                        group.world_rank(j),
+                        _HANDOFF_TAG_BASE + host * self.count + mutex,
+                        (_HOLDER_DIED, dead),
+                    )
+                    break
+            else:
+                del self._holders[(host, mutex)]
 
     @classmethod
     def create(cls, comm: Comm, count: int) -> "MutexSet":
@@ -75,12 +157,46 @@ class MutexSet:
             return None
         return dt.indexed_block(1, disps, dt.BYTE).commit()
 
+    def _await_handoff(self, req, mutex: int, host: int) -> None:
+        """Wait for the handoff message with per-op timeout + bounded retry.
+
+        Each attempt waits up to the runtime's ``op_timeout_s`` (when
+        configured), then sleeps a seeded exponential backoff before
+        re-waiting; after ``op_retries`` attempts the final
+        :class:`OpTimeoutError` propagates to the caller, which
+        withdraws the queued request.
+        """
+        rt = self.comm.runtime
+        attempt = 0
+        with rt.cond:
+            while True:
+                try:
+                    rt.wait_for(
+                        lambda: req._done,
+                        timeout_s=rt.op_timeout_s,
+                        what=f"mutex {mutex}@{host} handoff",
+                    )
+                    return
+                except OpTimeoutError:
+                    if attempt >= rt.op_retries:
+                        raise
+                    rt.backoff(attempt)
+                    attempt += 1
+
     def lock(self, mutex: int, host: int) -> None:
-        """Acquire mutex ``mutex`` hosted on process ``host`` (blocking)."""
+        """Acquire mutex ``mutex`` hosted on process ``host`` (blocking).
+
+        May raise :class:`MutexHolderFailed` — the calling rank then
+        *owns* the repaired mutex and must still unlock it — or
+        :class:`~repro.mpi.errors.OpTimeoutError` after the bounded
+        retry budget, in which case the request has been withdrawn and
+        nothing is owned.
+        """
         self._check(mutex, host)
         me = self.comm.rank
         n = self.comm.size
         base = mutex * n
+        rt = self.comm.runtime
         others_t = self._others_datatype(me)
         waiting = np.zeros(max(n - 1, 1), dtype=np.uint8)
         # one exclusive epoch: B[me] <- 1, fetch all other entries
@@ -93,11 +209,31 @@ class MutexSet:
             )
         self._win.unlock(host)
         if others_t is not None and waiting[: n - 1].any():
-            # enqueued: wait locally for the zero-byte handoff (§V-D)
-            _, status = self.comm.recv(
-                source=ANY_SOURCE, tag=_HANDOFF_TAG_BASE + host * self.count + mutex
-            )
-            assert status.count == 0
+            # enqueued: wait locally for the handoff (§V-D), bounded by
+            # the per-op timeout and seeded-backoff retry budget
+            tag = _HANDOFF_TAG_BASE + host * self.count + mutex
+            req = self.comm.irecv(tag=tag)
+            try:
+                self._await_handoff(req, mutex, host)
+            except OpTimeoutError:
+                # withdraw (trylock-style): clear our bit, then check
+                # whether a handoff won the race — the posted receive
+                # would already have matched it
+                self._win.lock(host, LOCK_EXCLUSIVE)
+                self._win.put(np.zeros(1, dtype=np.uint8), host, base + me)
+                self._win.unlock(host)
+                done, _ = req.test()
+                if not done:
+                    raise
+            status = req.wait()
+            with rt.cond:
+                self._holders[(host, mutex)] = me
+            payload = status.payload
+            if isinstance(payload, tuple) and payload and payload[0] == _HOLDER_DIED:
+                raise MutexHolderFailed(mutex, host, payload[1])
+            return
+        with rt.cond:
+            self._holders[(host, mutex)] = me
 
     def trylock(self, mutex: int, host: int) -> bool:
         """Nonblocking acquire; on failure the request is *withdrawn*.
@@ -123,6 +259,8 @@ class MutexSet:
             self._win.get(waiting[: n - 1], host, base, target_datatype=others_t)
         self._win.unlock(host)
         if others_t is None or not waiting[: n - 1].any():
+            with self.comm.runtime.cond:
+                self._holders[(host, mutex)] = me
             return True
         # Withdraw: clear our bit under an exclusive epoch, THEN check for
         # a handoff.  A handoff can only have been sent by an unlocker
@@ -135,6 +273,8 @@ class MutexSet:
         self._win.unlock(host)
         if self.comm.iprobe(tag=tag) is not None:
             self.comm.recv(source=ANY_SOURCE, tag=tag)
+            with self.comm.runtime.cond:
+                self._holders[(host, mutex)] = me
             return True  # the handoff won the race: we own the mutex
         return False
 
@@ -144,6 +284,7 @@ class MutexSet:
         me = self.comm.rank
         n = self.comm.size
         base = mutex * n
+        rt = self.comm.runtime
         others_t = self._others_datatype(me)
         waiting = np.zeros(max(n - 1, 1), dtype=np.uint8)
         self._win.lock(host, LOCK_EXCLUSIVE)
@@ -152,6 +293,8 @@ class MutexSet:
             self._win.get(waiting[: n - 1], host, base, target_datatype=others_t)
         self._win.unlock(host)
         if others_t is None:
+            with rt.cond:
+                self._holders.pop((host, mutex), None)
             return
         # reconstruct the full vector (entry `me` removed by the datatype)
         full = np.zeros(n, dtype=np.uint8)
@@ -161,9 +304,15 @@ class MutexSet:
         for step in range(1, n):
             j = (me + step) % n
             if full[j]:
+                # the handoff message IS the lock transfer: ownership
+                # moves to j at send time (recovery relies on this)
+                with rt.cond:
+                    self._holders[(host, mutex)] = j
                 self.comm.send(
                     b"",
                     dest=j,
                     tag=_HANDOFF_TAG_BASE + host * self.count + mutex,
                 )
                 return
+        with rt.cond:
+            self._holders.pop((host, mutex), None)

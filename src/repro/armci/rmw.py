@@ -22,6 +22,7 @@ import numpy as np
 
 from ..mpi.errors import ArgumentError
 from ..mpi.window import LOCK_EXCLUSIVE
+from .mutexes import MutexHolderFailed
 
 if TYPE_CHECKING:  # pragma: no cover
     from .api import Armci
@@ -78,7 +79,15 @@ def rmw_mutex_based(armci: "Armci", op: str, ptr: "GlobalPtr", value: int) -> in
     mutex = armci._gmr_mutex(gmr)
     # the GMR's single mutex is hosted on group rank 0 of its group
     host = 0
-    mutex.lock(0, host)
+    try:
+        mutex.lock(0, host)
+    except MutexHolderFailed:
+        # The previous holder died mid-RMW and recovery handed us the
+        # repaired mutex.  The torn update (if any) is confined to the
+        # dead rank's own operation, but this caller cannot know that a
+        # priori — release the mutex and surface the typed diagnosis.
+        mutex.unlock(0, host)
+        raise
     try:
         old = np.zeros(1, dtype=dtype)
         # epoch 1: read

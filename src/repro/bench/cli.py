@@ -10,6 +10,7 @@ Examples::
     python -m repro.bench hotpath              # vectorized-datapath microbenches
     python -m repro.bench --hotpath-smoke      # fast regression gate (<60 s)
     python -m repro.bench --sanitize-smoke     # fuzzed-schedule RMA gate (<60 s)
+    python -m repro.bench --sanitize-ablation  # dynamic-checking overhead table
     python -m repro.bench all            # everything (slow: full Fig. 4 grid)
 
 The same series the pytest benches persist are printed to stdout.
@@ -115,6 +116,18 @@ def cmd_sanitize(_args) -> int:
     return 0 if ok else 1
 
 
+def cmd_sanitize_ablation(args) -> int:
+    """Overhead ablation: schedule vs +sanitizer vs +faults vs both."""
+    from . import sanitize_ablation
+
+    results = sanitize_ablation.measure(fast=args.fast)
+    print(sanitize_ablation.format_results(results))
+    if args.write:
+        path = sanitize_ablation.write_baseline(results, args.baseline)
+        print(f"\nwrote {path}")
+    return 0
+
+
 def cmd_all(args) -> None:
     cmd_table2(args)
     print()
@@ -170,6 +183,17 @@ def build_parser() -> argparse.ArgumentParser:
         "mutex and RMW protocols (<60 s)"
     )
 
+    pa = sub.add_parser(
+        "sanitize-ablation", help="dynamic-checking overhead ablation: bare "
+        "schedule vs +sanitizer vs +fault plumbing vs both"
+    )
+    pa.add_argument("--fast", action="store_true",
+                    help="shorter measurement windows")
+    pa.add_argument("--write", action="store_true",
+                    help="rewrite benchmarks/BENCH_sanitize_ablation.json")
+    pa.add_argument("--baseline", default=None,
+                    help="override the baseline JSON path")
+
     sub.add_parser("all", help="everything (slow)")
     return parser
 
@@ -183,6 +207,9 @@ def main(argv: "list[str] | None" = None) -> int:
     if "--sanitize-smoke" in argv:
         argv = [a for a in argv if a != "--sanitize-smoke"]
         argv = ["sanitize"] + argv
+    if "--sanitize-ablation" in argv:
+        argv = [a for a in argv if a != "--sanitize-ablation"]
+        argv = ["sanitize-ablation"] + argv
     args = build_parser().parse_args(argv)
     rv = {
         "table2": cmd_table2,
@@ -192,6 +219,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "fig6": cmd_fig6,
         "hotpath": cmd_hotpath,
         "sanitize": cmd_sanitize,
+        "sanitize-ablation": cmd_sanitize_ablation,
         "all": cmd_all,
     }[args.command](args)
     return int(rv or 0)

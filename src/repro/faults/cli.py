@@ -1,0 +1,168 @@
+"""CLI: run a script (or built-in scenario) under an injected fault plan.
+
+::
+
+    # kill rank 1 at its 5th op boundary while fuzzing 8 schedules
+    python -m repro.faults examples/quickstart.py --kill 1@5 --schedules 8
+
+    # replay a corpus entry bit-identically
+    python -m repro.faults scenario:mutex --plan plan.json --seed 41 \\
+        --schedules 1
+
+    # drop the 3rd RMA op and degrade the path 4x
+    python -m repro.faults scenario:gmr_free --drop 3 --degrade 4:0.5
+
+The positional argument is either a script path defining ``main(comm)``
+(the ``examples/*.py`` convention) or ``scenario:NAME`` naming a
+built-in §V protocol body from :mod:`repro.faults.scenarios`.  Exit
+status is 0 iff every schedule ended *gracefully*: clean, or with a
+typed failure diagnosis (:class:`~repro.mpi.errors.TargetFailedError`,
+including :class:`~repro.armci.mutexes.MutexHolderFailed`) when the
+plan killed a rank.  An untyped error or deadlock is a robustness bug.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from .plan import FaultPlan
+from .scenarios import SCENARIOS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Run a script's main(comm) under seeded deterministic "
+        "schedules with an injected fault plan.",
+    )
+    parser.add_argument(
+        "script",
+        help="path to a script defining main(comm), or scenario:NAME "
+        f"(one of {sorted(SCENARIOS)})",
+    )
+    parser.add_argument("--nproc", type=int, default=4,
+                        help="number of simulated ranks (default 4)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="first schedule seed; also the plan seed unless "
+                        "a --plan file provides one (default 0)")
+    parser.add_argument("--schedules", type=int, default=4, metavar="K",
+                        help="number of consecutive seeds to run (default 4)")
+    parser.add_argument("--switch-prob", type=float, default=0.25,
+                        help="preemption probability at each fuzz point")
+    parser.add_argument("--plan", metavar="FILE", default=None,
+                        help="JSON fault plan (FaultPlan.to_json); inline "
+                        "fault flags below are added on top of it")
+    parser.add_argument("--kill", action="append", default=[],
+                        metavar="RANK@POINT[:KIND]",
+                        help="kill RANK at its POINT-th fuzz point")
+    parser.add_argument("--stall", action="append", default=[],
+                        metavar="RANK@POINT[:STEPS]",
+                        help="stall RANK for STEPS scheduler steps (default 1)")
+    parser.add_argument("--corrupt", action="append", default=[], type=int,
+                        metavar="OP", help="flip one seeded bit in RMA op #OP")
+    parser.add_argument("--drop", action="append", default=[], type=int,
+                        metavar="OP", help="silently drop RMA op #OP")
+    parser.add_argument("--jitter", type=float, default=0.0,
+                        help="seeded delivery-delay jitter fraction")
+    parser.add_argument("--degrade", metavar="LAT[:BW]", default=None,
+                        help="degrade the network path: latency factor and "
+                        "optional bandwidth factor (e.g. 4:0.5)")
+    parser.add_argument("--no-sanitize", action="store_true",
+                        help="skip the RMA sanitizer")
+    return parser
+
+
+def _parse_at(spec: str, what: str) -> tuple:
+    """Parse RANK@POINT[:EXTRA] into (rank, point, extra-or-None)."""
+    try:
+        head, _, extra = spec.partition(":")
+        rank_s, _, point_s = head.partition("@")
+        return int(rank_s), int(point_s), extra or None
+    except ValueError:
+        raise SystemExit(f"bad --{what} spec {spec!r}: expected RANK@POINT[:X]")
+
+
+def build_plan(args) -> FaultPlan:
+    """Compose the plan from --plan (if any) plus inline fault flags."""
+    if args.plan is not None:
+        plan = FaultPlan.from_json(pathlib.Path(args.plan).read_text())
+    else:
+        plan = FaultPlan(seed=args.seed)
+    for spec in args.kill:
+        rank, point, kind = _parse_at(spec, "kill")
+        plan = plan.kill(rank, point, kind)
+    for spec in args.stall:
+        rank, point, steps = _parse_at(spec, "stall")
+        plan = plan.stall(rank, point, int(steps or 1))
+    for op in args.corrupt:
+        plan = plan.corrupt(op)
+    for op in args.drop:
+        plan = plan.drop(op)
+    jitter, lat, bw = args.jitter, 1.0, 1.0
+    if args.degrade is not None:
+        lat_s, _, bw_s = args.degrade.partition(":")
+        lat, bw = float(lat_s), float(bw_s) if bw_s else 1.0
+    if jitter > 0.0 or lat > 1.0 or bw < 1.0:
+        plan = plan.delay(jitter_frac=jitter, latency_factor=lat, bw_factor=bw)
+    return plan
+
+
+def load_body(script: str):
+    if script.startswith("scenario:"):
+        name = script[len("scenario:"):]
+        try:
+            return SCENARIOS[name]
+        except KeyError:
+            raise SystemExit(
+                f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+            )
+    from ..sanitizer.cli import load_entry
+
+    return load_entry(script)
+
+
+#: error classes that count as a *typed* failure diagnosis (report.error
+#: is a repr, so the class name is its prefix)
+_TYPED = ("TargetFailedError", "MutexHolderFailed", "RankKilledError",
+          "OpTimeoutError")
+
+
+def graceful(report) -> bool:
+    """A run is graceful iff clean, or typed-failure after injected faults."""
+    if report.ok:
+        return True
+    if report.fault_events == 0:
+        return False  # failed with no fault executed: a real finding
+    err = report.error or ""
+    return any(err.startswith(name) for name in _TYPED)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    from ..sanitizer.fuzz import format_reports, fuzz_schedules
+
+    args = build_parser().parse_args(argv)
+    plan = build_plan(args)
+    fn = load_body(args.script)
+    print(f"fault plan: {plan.describe()}")
+    reports = fuzz_schedules(
+        fn,
+        args.nproc,
+        nschedules=args.schedules,
+        base_seed=args.seed,
+        switch_prob=args.switch_prob,
+        sanitize=not args.no_sanitize,
+        plan=plan,
+    )
+    print(format_reports(reports))
+    bad = [r for r in reports if not graceful(r) or r.violations]
+    for r in bad:
+        print(f"  seed {r.seed}: NOT graceful — {r.error}")
+        for v in r.violations:
+            print(f"  seed {r.seed}: {v}")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Canonical fault-injection scenarios: the §V protocols under fire.
+
+These are the SPMD bodies the fault-matrix tests, the seed-sweep gate,
+and ``python -m repro.faults`` exercise.  Each follows the examples'
+``main(comm)`` convention and demonstrates *graceful degradation*: a
+rank receiving :class:`~repro.armci.mutexes.MutexHolderFailed` owns the
+repaired mutex, releases it, and skips the torn round instead of
+crashing; survivors of an injected death either finish or raise a typed
+:class:`~repro.mpi.errors.TargetFailedError` from the next collective —
+never an untyped hang.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..armci.mutexes import MutexHolderFailed
+
+__all__ = ["SCENARIOS", "mutex_counter", "rmw_counter", "gmr_free_null"]
+
+#: per-rank rounds in the counter scenarios (small: fuzz points multiply)
+ROUNDS = 4
+
+
+def mutex_counter(comm):
+    """§V-D queueing-mutex handoff protecting a non-atomic counter."""
+    from ..armci import Armci
+
+    armci = Armci.init(comm)
+    ptrs = armci.malloc(8 if armci.my_id == 0 else 0)
+    mutexes = armci.create_mutexes(1)
+    armci.barrier()
+    buf = np.zeros(1, dtype=np.int64)
+    done = 0
+    for _ in range(ROUNDS):
+        try:
+            mutexes.lock(0, 0)
+        except MutexHolderFailed:
+            # we own the repaired mutex; the previous holder died
+            # mid-update, so skip the (possibly torn) round
+            mutexes.unlock(0, 0)
+            continue
+        armci.get(ptrs[0], buf, 8)
+        buf[0] += 1
+        armci.put(buf, ptrs[0], 8)
+        mutexes.unlock(0, 0)
+        done += 1
+    armci.barrier()
+    total = None
+    if armci.my_id == 0:
+        view = armci.access_begin(ptrs[0], 8, np.int64)
+        total = int(view[0])
+        armci.access_end(ptrs[0])
+    armci.barrier()
+    mutexes.destroy()
+    armci.finalize()
+    return (done, total)
+
+
+def rmw_counter(comm):
+    """ARMCI_Rmw's two-epoch mutex-based fetch-and-add (§V-D)."""
+    from ..armci import Armci
+
+    armci = Armci.init(comm)
+    ptrs = armci.malloc(8 if armci.my_id == 0 else 0)
+    armci.barrier()
+    done = 0
+    for _ in range(ROUNDS):
+        try:
+            armci.rmw("fetch_and_add_long", ptrs[0], 1)
+        except MutexHolderFailed:
+            continue  # rmw released the repaired mutex before raising
+        done += 1
+    armci.barrier()
+    total = None
+    if armci.my_id == 0:
+        view = armci.access_begin(ptrs[0], 8, np.int64)
+        total = int(view[0])
+        armci.access_end(ptrs[0])
+    armci.barrier()
+    armci.finalize()
+    return (done, total)
+
+
+def gmr_free_null(comm):
+    """§V-B leader-election free with NULL (zero-size) slices.
+
+    Each round allocates on one owner only — every other rank holds a
+    NULL slice and must pass ``None`` to free — so the leader-election
+    path runs every time.  The translation table is invariant-checked
+    after each free (abort-consistency: a fault either leaves the GMR
+    fully registered or fully gone).
+    """
+    from ..armci import Armci
+
+    armci = Armci.init(comm)
+    freed = 0
+    for owner in range(comm.size):
+        ptrs = armci.malloc(64 if armci.my_id == owner else 0)
+        armci.barrier()
+        if armci.my_id == (owner + 1) % comm.size:
+            armci.put(np.arange(8, dtype=np.int64), ptrs[owner], 64)
+        armci.barrier()
+        mine = ptrs[armci.my_id]
+        armci.free(None if mine.is_null else mine)
+        armci.table.check_consistent()
+        freed += 1
+    remaining = len(armci.table)
+    armci.finalize()
+    return (freed, remaining)
+
+
+#: name -> SPMD body, for the CLI and the fault-matrix tests
+SCENARIOS = {
+    "mutex": mutex_counter,
+    "rmw": rmw_counter,
+    "gmr_free": gmr_free_null,
+}

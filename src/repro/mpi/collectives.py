@@ -25,7 +25,7 @@ from typing import Any, Callable
 import numpy as np
 
 from . import ops as mpi_ops
-from .errors import ArgumentError, InternalError, RankError
+from .errors import ArgumentError, InternalError, RankError, TargetFailedError
 
 
 class _CollectiveContext:
@@ -60,6 +60,38 @@ class CollectiveEngine:
         self.comm = comm
         self._contexts: dict[int, _CollectiveContext] = {}
         self._counters: list[int] = [0] * comm.size
+        comm.runtime.add_death_hook(self._on_rank_death)
+
+    # -- fault handling ---------------------------------------------------------
+    def _dead_members(self) -> list[int]:
+        """Comm ranks of this communicator's failed members."""
+        rt = self.comm.runtime
+        group = self.comm.group
+        return [
+            group.rank_of_world(w)
+            for w in rt.dead_ranks
+            if group.contains_world(w)
+        ]
+
+    def _poison(self, ctx: _CollectiveContext, dead: list[int]) -> bool:
+        """Fail ``ctx`` if a dead member has not deposited; returns True if so."""
+        missing = [r for r in dead if r not in ctx.contributions]
+        if not missing or ctx.ready:
+            return False
+        ctx.error = TargetFailedError(
+            f"collective {ctx.kind} on {self.comm} cannot complete: "
+            f"failed member rank(s) {missing} never arrived"
+        )
+        ctx.ready = True
+        return True
+
+    def _on_rank_death(self, world_rank: int) -> None:
+        """Death hook: fail every in-flight collective missing the dead rank."""
+        if not self.comm.group.contains_world(world_rank):
+            return
+        dead_rank = self.comm.group.rank_of_world(world_rank)
+        for ctx in self._contexts.values():
+            self._poison(ctx, [dead_rank])
 
     def _enter(self, rank: int, kind: str) -> tuple[int, _CollectiveContext]:
         idx = self._counters[rank]
@@ -88,6 +120,7 @@ class CollectiveEngine:
         shared result object; per-rank extraction is the caller's job.
         """
         rt = self.comm.runtime
+        rt.check_self_alive()
         idx, ctx = self._enter(rank, kind)
         ctx.contributions[rank] = contribution
         ctx.arrived += 1
@@ -99,6 +132,10 @@ class CollectiveEngine:
             ctx.ready = True
             rt.notify_progress()
         else:
+            # quarantine: a failed member can never deposit, so fail the
+            # whole collective with a typed error instead of hanging
+            if rt.dead_ranks and self._poison(ctx, self._dead_members()):
+                rt.notify_progress()
             rt.wait_for(lambda: ctx.ready)
         result, error = ctx.result, ctx.error
         ctx.departed += 1

@@ -71,6 +71,8 @@ class Comm:
 
     def send(self, payload: Any, dest: int, tag: int = 0) -> None:
         """Blocking (eager) send of a NumPy buffer or Python object."""
+        self.runtime.check_self_alive()
+        self.runtime.fuzz_point("p2p:send")
         dst_world = self.group.world_rank(dest)
         nbytes = payload.nbytes if isinstance(payload, np.ndarray) else 0
         with self.runtime.cond:
@@ -79,6 +81,8 @@ class Comm:
 
     def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
         """Nonblocking send (eager: completes immediately)."""
+        self.runtime.check_self_alive()
+        self.runtime.fuzz_point("p2p:isend")
         dst_world = self.group.world_rank(dest)
         with self.runtime.cond:
             self._p2p.post_send(current_proc().rank, dst_world, tag, payload)
@@ -93,6 +97,8 @@ class Comm:
         self, buf: "np.ndarray | None" = None, source: int = ANY_SOURCE, tag: int = ANY_TAG
     ) -> Request:
         """Nonblocking receive; ``buf=None`` selects object mode."""
+        self.runtime.check_self_alive()
+        self.runtime.fuzz_point("p2p:recv")
         src_world = (
             source if source == ANY_SOURCE else self.group.world_rank(source)
         )
@@ -139,6 +145,7 @@ class Comm:
         return status
 
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> "Status | None":
+        self.runtime.check_self_alive()
         src_world = (
             source if source == ANY_SOURCE else self.group.world_rank(source)
         )
@@ -150,46 +157,57 @@ class Comm:
 
     # -- collectives ---------------------------------------------------------------
     def barrier(self) -> None:
+        self.runtime.fuzz_point("coll:barrier")
         with self.runtime.cond:
             coll.barrier(self, self.rank)
 
     def bcast(self, buf: np.ndarray, root: int = 0) -> None:
+        self.runtime.fuzz_point("coll:bcast")
         with self.runtime.cond:
             coll.bcast(self, self.rank, buf, root)
 
     def bcast_obj(self, obj: Any = None, root: int = 0) -> Any:
+        self.runtime.fuzz_point("coll:bcast_obj")
         with self.runtime.cond:
             return coll.bcast_obj(self, self.rank, obj, root)
 
     def gather(self, sendobj: Any, root: int = 0) -> "list[Any] | None":
+        self.runtime.fuzz_point("coll:gather")
         with self.runtime.cond:
             return coll.gather(self, self.rank, sendobj, root)
 
     def allgather(self, sendobj: Any) -> list[Any]:
+        self.runtime.fuzz_point("coll:allgather")
         with self.runtime.cond:
             return coll.allgather(self, self.rank, sendobj)
 
     def scatter(self, sendobjs: "list[Any] | None" = None, root: int = 0) -> Any:
+        self.runtime.fuzz_point("coll:scatter")
         with self.runtime.cond:
             return coll.scatter(self, self.rank, sendobjs, root)
 
     def alltoall(self, sendobjs: list[Any]) -> list[Any]:
+        self.runtime.fuzz_point("coll:alltoall")
         with self.runtime.cond:
             return coll.alltoall(self, self.rank, sendobjs)
 
     def reduce(self, send: np.ndarray, op="MPI_SUM", root: int = 0) -> "np.ndarray | None":
+        self.runtime.fuzz_point("coll:reduce")
         with self.runtime.cond:
             return coll.reduce(self, self.rank, send, op, root)
 
     def allreduce(self, send: np.ndarray, op="MPI_SUM") -> np.ndarray:
+        self.runtime.fuzz_point("coll:allreduce")
         with self.runtime.cond:
             return coll.allreduce(self, self.rank, send, op)
 
     def scan(self, send: np.ndarray, op="MPI_SUM") -> np.ndarray:
+        self.runtime.fuzz_point("coll:scan")
         with self.runtime.cond:
             return coll.scan(self, self.rank, send, op)
 
     def exscan(self, send: np.ndarray, op="MPI_SUM") -> "np.ndarray | None":
+        self.runtime.fuzz_point("coll:exscan")
         with self.runtime.cond:
             return coll.exscan(self, self.rank, send, op)
 

@@ -33,6 +33,9 @@ __all__ = [
     "RMARangeError",
     "ProgressDeadlockError",
     "InternalError",
+    "OpTimeoutError",
+    "RankKilledError",
+    "TargetFailedError",
 ]
 
 
@@ -147,3 +150,41 @@ class InternalError(MPIError):
     """Invariant violation inside the simulated runtime itself."""
 
     error_class = "MPI_ERR_INTERN"
+
+
+class TargetFailedError(MPIError):
+    """An operation required a rank that has failed (MPI_ERR_PROC_FAILED).
+
+    Mirrors the ULFM fault-tolerance proposal's error class: once a rank
+    is marked dead (see :meth:`~repro.mpi.runtime.Runtime.mark_dead`),
+    operations that need it — locking its window, sending to it, a
+    collective it never joined — raise this typed error instead of
+    hanging until the watchdog declares global deadlock.
+    """
+
+    error_class = "MPI_ERR_PROC_FAILED"
+
+
+class RankKilledError(TargetFailedError):
+    """Raised *inside* a rank killed by a fault plan (``repro.faults``).
+
+    The dying rank unwinds with this exception; any further MPI call it
+    makes while unwinding re-raises it, so ``finally`` blocks cannot
+    resurrect the rank (a dead process releases no locks by itself —
+    recovery is the runtime's job).  ``Runtime.spmd`` treats it as an
+    injected death, not a test failure: it is never propagated to the
+    caller and never poisons surviving ranks on its own.
+    """
+
+
+class OpTimeoutError(MPIError):
+    """A per-operation timeout expired before the operation completed.
+
+    Distinct from :class:`ProgressDeadlockError` (the global watchdog):
+    a timed-out operation may be retried with backoff while the rest of
+    the system keeps making progress.  Configured per-runtime via
+    ``op_timeout_s`` / ``REPRO_OP_TIMEOUT_S`` (see
+    :class:`~repro.mpi.runtime.Runtime`).
+    """
+
+    error_class = "MPI_ERR_PENDING"

@@ -19,7 +19,7 @@ from typing import Any
 
 import numpy as np
 
-from .errors import TagError, TruncationError
+from .errors import TagError, TargetFailedError, TruncationError
 from .runtime import Runtime, current_proc
 
 ANY_SOURCE = -1
@@ -55,13 +55,14 @@ class _Envelope:
 class Request:
     """Handle for a nonblocking operation (MPI_Request)."""
 
-    __slots__ = ("_engine", "_done", "_status", "_complete_cb")
+    __slots__ = ("_engine", "_done", "_status", "_complete_cb", "_error")
 
     def __init__(self, engine: "P2PEngine"):
         self._engine = engine
         self._done = False
         self._status: Status | None = None
         self._complete_cb = None
+        self._error: BaseException | None = None
 
     def _finish(self, status: Status | None) -> None:
         self._done = True
@@ -69,10 +70,19 @@ class Request:
         if self._complete_cb is not None:
             self._complete_cb()
 
+    def _fail(self, exc: BaseException) -> None:
+        """Complete the request with an error (dead-source quarantine)."""
+        self._done = True
+        self._error = exc
+        if self._complete_cb is not None:
+            self._complete_cb()
+
     def test(self) -> tuple[bool, Status | None]:
         """Nonblocking completion check."""
         with self._engine.runtime.cond:
             self._engine._drain()
+            if self._done and self._error is not None:
+                raise self._error
             return self._done, self._status
 
     def wait(self) -> Status | None:
@@ -80,6 +90,8 @@ class Request:
         rt = self._engine.runtime
         with rt.cond:
             rt.wait_for(lambda: self._engine._drain() or self._done)
+            if self._error is not None:
+                raise self._error
             return self._status
 
 
@@ -104,6 +116,24 @@ class P2PEngine:
         self._unexpected: dict[int, list[_Envelope]] = {}
         self._posted: dict[int, list[_PendingRecv]] = {}
         self._seq = 0
+        runtime.add_death_hook(self._on_rank_death)
+
+    # -- fault handling -------------------------------------------------------
+    def _on_rank_death(self, world_rank: int) -> None:
+        """Fail posted receives that only the dead rank could satisfy.
+
+        ``ANY_SOURCE`` receives are left posted: another rank — or a
+        recovery hook acting for the dead one, as the mutex layer's
+        handoff forwarding does — may still complete them.
+        """
+        for posted in self._posted.values():
+            for pr in [p for p in posted if p.source == world_rank]:
+                posted.remove(pr)
+                pr.request._fail(
+                    TargetFailedError(
+                        f"receive matched only by failed rank {world_rank}"
+                    )
+                )
 
     # -- internal -----------------------------------------------------------
     def _next_seq(self) -> int:
@@ -148,6 +178,9 @@ class P2PEngine:
     def post_send(self, src_world: int, dst_world: int, tag: int, payload: Any) -> None:
         if tag < 0:
             raise TagError(f"send tag must be >= 0, got {tag}")
+        if dst_world in self.runtime.dead_ranks:
+            # quarantine: typed failure instead of buffering into a void
+            raise TargetFailedError(f"send to failed rank {dst_world}")
         if isinstance(payload, np.ndarray):
             payload = np.ascontiguousarray(payload).copy()
         env = _Envelope(src_world, tag, payload, self._next_seq())
@@ -171,6 +204,11 @@ class P2PEngine:
                 self._deliver(pr, env)
                 self.runtime.notify_progress()
                 return req
+        if source != ANY_SOURCE and source in self.runtime.dead_ranks:
+            # nothing buffered and the only legal sender is dead: the
+            # receive can never complete — fail it now, typed.
+            req._fail(TargetFailedError(f"receive from failed rank {source}"))
+            return req
         self._posted.setdefault(dst_world, []).append(pr)
         return req
 

@@ -138,7 +138,7 @@ class DeterministicSchedule:
         self.nproc = runtime.nproc
         if self.jitter_frac > 0.0:
             for p in runtime.procs:
-                p.clock.jitter = self._jitter
+                p.clock.add_jitter(self._jitter)
         runtime.schedule = self
 
     def _jitter(self, kind: str, seconds: float) -> float:
@@ -147,7 +147,7 @@ class DeterministicSchedule:
 
     def _event(self, *ev) -> None:
         rt = self.runtime
-        if rt is not None and (rt.failed is not None or rt._deadlocked):
+        if rt is not None and (rt.failed is not None or rt._deadlocked or rt._dead_stall):
             # the failure/deadlock point is deterministic; the teardown
             # stampede after it (ranks waking to raise) is OS-ordered —
             # keep it out of the replayable trace
@@ -201,6 +201,22 @@ class DeterministicSchedule:
         self._dispatch()
         self._park(rank)
 
+    def forced_yield(self, rank: int, kind: str) -> None:
+        """Unconditional preemption (fault-injected stall): no coin toss.
+
+        Used by ``repro.faults`` to take the token away from a stalled
+        rank for one scheduler step.  If no other rank is eligible the
+        dispatcher simply hands the token back, so a stall can never
+        manufacture a deadlock on its own.
+        """
+        if self._running != rank:
+            return
+        self._event("stall", rank, kind)
+        self._ready.add(rank)
+        self._running = None
+        self._dispatch()
+        self._park(rank)
+
     # -- internals -------------------------------------------------------------
     def _eligible(self) -> list[int]:
         counter = self.runtime.progress_counter
@@ -211,18 +227,27 @@ class DeterministicSchedule:
         return sorted(elig)
 
     def _dispatch(self) -> None:
-        if self._running is not None or self.runtime.failed is not None:
+        rt = self.runtime
+        if self._running is not None or rt.failed is not None or rt._dead_stall:
             # on failure, wake everyone so parked ranks can raise
-            self.runtime.cond.notify_all()
+            rt.cond.notify_all()
             return
         elig = self._eligible()
         if not elig:
             live = [r for r in self._started if r not in self._finished]
             if live:
-                # deterministic deadlock: nobody can make progress
-                self._event("deadlock",)
-                self.runtime._deadlocked = True
-            self.runtime.cond.notify_all()
+                if rt.dead_ranks:
+                    # survivors are stuck *because* of dead ranks: the
+                    # deterministic analogue of the wall-clock watchdog's
+                    # dead-stall verdict — typed TargetFailedError, not a
+                    # deadlock diagnosis.
+                    self._event("dead_stall")
+                    rt._dead_stall = True
+                else:
+                    # deterministic deadlock: nobody can make progress
+                    self._event("deadlock",)
+                    rt._deadlocked = True
+            rt.cond.notify_all()
             return
         choice = self.rng.choice(elig)
         self._running = choice
@@ -230,13 +255,18 @@ class DeterministicSchedule:
         self.runtime.cond.notify_all()
 
     def _park(self, rank: int) -> None:
-        from .errors import ProgressDeadlockError
+        from .errors import ProgressDeadlockError, TargetFailedError
         from .runtime import RankFailedError
 
         rt = self.runtime
         while self._running != rank:
             if rt.failed is not None:
                 raise RankFailedError(f"rank failed elsewhere: {rt.failed!r}")
+            if rt._dead_stall:
+                raise TargetFailedError(
+                    "deterministic schedule: no rank can make progress while "
+                    f"rank(s) {sorted(rt.dead_ranks)} are failed (seed {self.seed})"
+                )
             if rt._deadlocked:
                 raise ProgressDeadlockError(
                     "deterministic schedule: all ranks blocked "

@@ -30,15 +30,25 @@ Design notes
 
 from __future__ import annotations
 
+import os
+import random
 import threading
+import time
 from typing import Any, Callable, Sequence
 
 from ..simtime.clock import SimClock
-from .errors import InternalError, ProgressDeadlockError
+from .errors import (
+    InternalError,
+    OpTimeoutError,
+    ProgressDeadlockError,
+    RankKilledError,
+    TargetFailedError,
+)
 
 __all__ = [
     "Proc",
     "RankFailedError",
+    "RankKilledError",
     "Runtime",
     "RUNTIME_CREATION_HOOKS",
     "current_proc",
@@ -58,7 +68,7 @@ class RankFailedError(ProgressDeadlockError):
 class Proc:
     """Per-rank context: identity, simulated clock, and scheduler state."""
 
-    __slots__ = ("rank", "runtime", "clock", "blocked", "finished", "exception")
+    __slots__ = ("rank", "runtime", "clock", "blocked", "finished", "dead", "exception")
 
     def __init__(self, rank: int, runtime: "Runtime"):
         self.rank = rank
@@ -66,6 +76,8 @@ class Proc:
         self.clock = SimClock()
         self.blocked = False
         self.finished = False
+        #: set by :meth:`Runtime.mark_dead`; a dead rank's MPI calls raise
+        self.dead = False
         self.exception: BaseException | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -94,14 +106,46 @@ class Runtime:
         Seconds a blocked rank waits before checking the all-blocked
         deadlock condition.  Small values make deadlock tests fast; the
         check never fires spuriously because it also requires the global
-        progress counter to be unchanged.
+        progress counter to be unchanged.  ``None`` reads the
+        ``REPRO_WATCHDOG_S`` environment variable (default 2.0).
+    op_timeout_s:
+        Optional per-operation timeout, *independent* of the watchdog:
+        blocking waits passed a timeout raise :class:`OpTimeoutError`
+        after this many seconds even while other ranks keep making
+        progress (the watchdog only fires on *global* no-progress).
+        ``None`` reads ``REPRO_OP_TIMEOUT_S`` (default: disabled).
+        Ignored under a deterministic schedule, which has no wall clock.
+    op_retries:
+        Bounded retry budget used by lock acquisition paths after an
+        :class:`OpTimeoutError` (``REPRO_OP_RETRIES``, default 3).
+    seed:
+        Seed for the runtime's backoff RNG (exponential backoff between
+        lock retries is seeded so retry timing is reproducible).
     """
 
-    def __init__(self, nproc: int, watchdog_s: float = 2.0):
+    def __init__(
+        self,
+        nproc: int,
+        watchdog_s: "float | None" = None,
+        op_timeout_s: "float | None" = None,
+        op_retries: "int | None" = None,
+        seed: int = 0,
+    ):
         if nproc < 1:
             raise InternalError(f"nproc must be >= 1, got {nproc}")
         self.nproc = nproc
+        if watchdog_s is None:
+            watchdog_s = float(os.environ.get("REPRO_WATCHDOG_S", "2.0"))
         self.watchdog_s = watchdog_s
+        if op_timeout_s is None:
+            env = os.environ.get("REPRO_OP_TIMEOUT_S", "")
+            op_timeout_s = float(env) if env else None
+        self.op_timeout_s = op_timeout_s
+        if op_retries is None:
+            op_retries = int(os.environ.get("REPRO_OP_RETRIES", "3"))
+        self.op_retries = op_retries
+        self.seed = seed
+        self._backoff_rng = random.Random(0x5DEECE66D ^ (seed << 16))
         self.cond = threading.Condition()
         self.procs = [Proc(r, self) for r in range(nproc)]
         self.progress_counter = 0
@@ -117,6 +161,20 @@ class Runtime:
         self.sanitizer = None
         #: optional deterministic schedule (``repro.mpi.progress``)
         self.schedule = None
+        #: optional fault injector (``repro.faults``) consulted at fuzz points
+        self.faults = None
+        #: world ranks that have failed (fault injection / injected death)
+        self.dead_ranks: set[int] = set()
+        #: true once the runtime concluded no progress is possible *because*
+        #: of dead ranks; blocked survivors then raise TargetFailedError
+        self._dead_stall = False
+        #: callbacks ``hook(world_rank)`` run under :attr:`cond` when a rank
+        #: dies; communication layers register repair actions here (prune
+        #: lock queues, fail matching receives, forward orphaned mutexes).
+        self._death_hooks: list[Callable[[int], None]] = []
+        #: exceptions raised by death hooks (recovery must not re-kill the
+        #: runtime; tests assert this stays empty)
+        self.death_hook_errors: list[BaseException] = []
         for hook in RUNTIME_CREATION_HOOKS:
             hook(self)
 
@@ -129,22 +187,46 @@ class Runtime:
         self.progress_counter += 1
         self.cond.notify_all()
 
-    def wait_for(self, pred: Callable[[], bool]) -> None:
+    def wait_for(
+        self,
+        pred: Callable[[], bool],
+        timeout_s: "float | None" = None,
+        what: str = "operation",
+    ) -> None:
         """Block the calling rank until ``pred()`` is true.
 
         Must be called with :attr:`cond` held.  Raises
         :class:`ProgressDeadlockError` if the runtime concludes that no
-        rank can make progress, and :class:`RankFailedError` if another
-        rank failed while we waited.
+        rank can make progress, :class:`RankFailedError` if another
+        rank failed while we waited, :class:`TargetFailedError` if dead
+        ranks make progress impossible, and :class:`OpTimeoutError` if
+        ``timeout_s`` elapses first (wall-clock mode only — a
+        deterministic schedule has no wall clock, so per-op timeouts are
+        disabled under it and the deterministic dead-stall detection
+        takes over).
         """
         proc = current_proc()
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
         while True:
+            if proc.dead:
+                raise RankKilledError(f"rank {proc.rank} was killed by fault injection")
             if self.failed is not None:
                 raise RankFailedError(f"rank failed elsewhere: {self.failed!r}")
+            if self._dead_stall:
+                raise TargetFailedError(
+                    f"no rank can make progress while rank(s) "
+                    f"{sorted(self.dead_ranks)} are failed"
+                )
             if self._deadlocked:
                 raise ProgressDeadlockError("deadlock detected among all ranks")
             if pred():
                 return
+            if (
+                deadline is not None
+                and self.schedule is None
+                and time.monotonic() >= deadline
+            ):
+                raise OpTimeoutError(f"{what} timed out after {timeout_s}s")
             if self.schedule is not None:
                 # deterministic mode: hand the token back to the scheduler
                 # instead of sleeping on the watchdog; re-check pred when
@@ -153,11 +235,25 @@ class Runtime:
                 continue
             proc.blocked = True
             seen = self.progress_counter
+            wait_s = self.watchdog_s
+            if deadline is not None:
+                wait_s = min(wait_s, max(deadline - time.monotonic(), 0.001))
             try:
-                timed_out = not self.cond.wait(timeout=self.watchdog_s)
+                timed_out = not self.cond.wait(timeout=wait_s)
             finally:
                 proc.blocked = False
-            if timed_out and self.progress_counter == seen and self._all_stuck():
+            # The watchdog verdict is only valid after a *full* watchdog
+            # interval: a wait shortened by a per-op deadline must not be
+            # allowed to declare global deadlock early.
+            full_wait = deadline is None or wait_s >= self.watchdog_s
+            if timed_out and full_wait and self.progress_counter == seen and self._all_stuck():
+                if self.dead_ranks:
+                    self._dead_stall = True
+                    self.cond.notify_all()
+                    raise TargetFailedError(
+                        f"no progress for {self.watchdog_s}s while rank(s) "
+                        f"{sorted(self.dead_ranks)} are failed (watchdog)"
+                    )
                 self._deadlocked = True
                 self.cond.notify_all()
                 raise ProgressDeadlockError(
@@ -173,22 +269,80 @@ class Runtime:
         self._next_context_id += 1
         return self._next_context_id
 
+    # -- fault handling --------------------------------------------------------
+    def mark_dead(self, world_rank: int) -> None:
+        """Mark ``world_rank`` failed and run registered recovery hooks.
+
+        Must be called with :attr:`cond` held.  Idempotent.  Hooks repair
+        shared state orphaned by the death (window lock queues, pending
+        receives, mutex byte vectors); a hook raising is a recovery bug,
+        recorded in :attr:`death_hook_errors` rather than re-killing the
+        runtime.
+        """
+        proc = self.procs[world_rank]
+        if proc.dead:
+            return
+        proc.dead = True
+        self.dead_ranks.add(world_rank)
+        for hook in list(self._death_hooks):
+            try:
+                hook(world_rank)
+            except BaseException as exc:  # noqa: BLE001 - recovery must not cascade
+                self.death_hook_errors.append(exc)
+        self.notify_progress()
+
+    def add_death_hook(self, hook: Callable[[int], None]) -> None:
+        """Register ``hook(world_rank)`` to run (under :attr:`cond`) on death."""
+        self._death_hooks.append(hook)
+
+    def check_self_alive(self) -> None:
+        """Raise :class:`RankKilledError` if the calling rank was killed.
+
+        Called at MPI entry points so a killed rank unwinding through
+        ``finally`` blocks cannot keep communicating (a crashed process
+        releases no locks — recovery belongs to the runtime's death
+        hooks, not the corpse).  No-op outside an SPMD region.
+        """
+        proc = getattr(_tls, "proc", None)
+        if proc is not None and proc.dead:
+            raise RankKilledError(f"rank {proc.rank} was killed by fault injection")
+
+    def backoff(self, attempt: int) -> float:
+        """Seeded exponential backoff before retry ``attempt`` (from 0).
+
+        Returns the chosen delay.  In wall-clock mode the calling rank
+        sleeps on :attr:`cond` for that long (must hold :attr:`cond`);
+        under a deterministic schedule no wall sleep happens — the delay
+        is only reported so callers can charge it to simulated time.
+        """
+        with_jitter = self._backoff_rng.uniform(0.5, 1.0) * (2.0**attempt)
+        delay = min(0.05 * with_jitter, 1.0)
+        if self.schedule is None:
+            self.cond.wait(timeout=delay)
+        return delay
+
     def fuzz_point(self, kind: str) -> None:
         """A legal preemption point for the deterministic schedule fuzzer.
 
         Communication layers call this at operation boundaries (never
         with :attr:`cond` held).  Without a schedule installed it is a
         cheap no-op; with one, the scheduler may hand the token to
-        another rank here, exercising a legal reordering.
+        another rank here, exercising a legal reordering.  An installed
+        fault injector (``repro.faults``) is also consulted here — this
+        is where a plan kills or stalls a rank.
         """
         sched = self.schedule
-        if sched is None:
+        faults = self.faults
+        if sched is None and faults is None:
             return
         proc = getattr(_tls, "proc", None)
         if proc is None:
             return  # helper threads are not scheduled ranks
-        with self.cond:
-            sched.yield_point(proc.rank, kind)
+        if faults is not None:
+            faults.at_point(self, proc, kind)  # may raise RankKilledError
+        if sched is not None:
+            with self.cond:
+                sched.yield_point(proc.rank, kind)
 
     # -- execution ------------------------------------------------------------
     def spmd(
@@ -209,6 +363,8 @@ class Runtime:
         results: list[Any] = [None] * self.nproc
         if self.schedule is not None:
             self.schedule.begin_run(self)
+        if self.faults is not None:
+            self.faults.begin_run(self)
 
         def body(proc: Proc) -> None:
             _tls.proc = proc
@@ -217,6 +373,13 @@ class Runtime:
                     with self.cond:
                         self.schedule.thread_started(proc.rank)
                 results[proc.rank] = fn(world, *args)
+            except RankKilledError as exc:
+                # injected death: record it on the proc but do not poison
+                # the run — survivors must be able to finish (or raise
+                # their own typed TargetFailedError).
+                with self.cond:
+                    proc.exception = exc
+                    self.mark_dead(proc.rank)
             except BaseException as exc:  # noqa: BLE001 - propagated to caller
                 with self.cond:
                     proc.exception = exc
@@ -252,7 +415,7 @@ class Runtime:
         if self.failed is not None:
             raise self.failed
         for p in self.procs:
-            if p.exception is not None:
+            if p.exception is not None and not isinstance(p.exception, RankKilledError):
                 raise p.exception
         return results
 

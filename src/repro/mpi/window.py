@@ -41,9 +41,11 @@ from . import ops as mpi_ops
 from .comm import Comm
 from .errors import (
     ArgumentError,
+    OpTimeoutError,
     RMAConflictError,
     RMARangeError,
     RMASyncError,
+    TargetFailedError,
     WinError,
 )
 from .runtime import current_proc
@@ -295,10 +297,47 @@ class Win:
         with rt.cond:
             self.win_id = getattr(rt, "_next_win_id", 0)
             rt._next_win_id = self.win_id + 1
+        rt.add_death_hook(self._on_rank_death)
 
     def _san(self):
         """The installed sanitizer, or None (hot-path one-liner)."""
         return self.runtime.sanitizer
+
+    # -- fault handling --------------------------------------------------------
+    def _on_rank_death(self, world_rank: int) -> None:
+        """Repair lock/epoch state orphaned by a failed rank.
+
+        Runs under the runtime lock via the death-hook registry.  A
+        crashed origin releases nothing by itself; this models the
+        target-side RMA agent (which survives the origin process)
+        revoking the dead origin's epochs and queued lock requests so
+        waiters can be granted instead of deadlocking.
+        """
+        for key in [k for k in self._epochs if k[0] == world_rank]:
+            del self._epochs[key]
+            ls = self._locks[key[1]]
+            ls.holders.discard(world_rank)
+            if not ls.holders:
+                ls.mode = None
+        self._held.pop(world_rank, None)
+        self._lock_all.discard(world_rank)
+        self._fence_members.discard(world_rank)
+        for ls in self._locks:
+            ls.queue[:] = [(o, m) for (o, m) in ls.queue if o != world_rank]
+
+    def _target_world(self, target_rank: int) -> int:
+        return self.comm.group.world_rank(target_rank)
+
+    def _fault_filter(self, kind: str, data: np.ndarray) -> "np.ndarray | None":
+        """Consult the fault injector about one RMA payload.
+
+        Returns the (possibly corrupted) data to apply, or ``None`` if
+        the plan drops this operation on the wire.
+        """
+        fi = self.runtime.faults
+        if fi is None:
+            return data
+        return fi.filter_rma(self, current_proc().rank, kind, data)
 
     # -- construction ----------------------------------------------------------
     @classmethod
@@ -346,16 +385,31 @@ class Win:
 
     def free(self) -> None:
         """Collective window free; erroneous with epochs still open."""
+        self.free_with(None)
+
+    def free_with(self, on_free) -> Any:
+        """Collective free fused with a commit callback (abort consistency).
+
+        ``on_free()`` (no arguments) runs inside the same rendezvous
+        compute step that marks the window freed, so a caller's registry
+        updates and the free itself happen atomically with respect to
+        rank failure: if any member dies before the rendezvous completes,
+        the collective fails with a typed error and *neither* side effect
+        happens on survivors.  The ARMCI layer uses this to keep its GMR
+        translation table consistent through an aborted free.  Returns
+        ``on_free``'s result (shared by every rank).
+        """
         with self.runtime.cond:
             rank = self.comm.rank
 
             def finish(_c):
                 if self._epochs or self._held or self._fence_members:
                     raise RMASyncError("Win.free with access epochs still open")
+                result = on_free() if on_free is not None else None
                 self._freed = True
-                return None
+                return result
 
-            self.comm._coll.run(rank, "win_free", None, finish)
+            return self.comm._coll.run(rank, "win_free", None, finish)
 
     # -- introspection -----------------------------------------------------------
     def size_of(self, target_rank: int) -> int:
@@ -382,6 +436,7 @@ class Win:
             )
         with rt.cond:
             self._check_alive()
+            rt.check_self_alive()
             san = self._san()
             if san is not None:
                 san.on_lock(self, origin, target_rank, mode)
@@ -397,8 +452,12 @@ class Win:
                 raise RMASyncError(
                     "lock() inside an active-target fence epoch"
                 )
+            target_world = self._target_world(target_rank)
+            if target_world in rt.dead_ranks:
+                raise TargetFailedError(
+                    f"lock: target rank {target_rank} of win {self.win_id} has failed"
+                )
             ls = self._locks[target_rank]
-            ls.queue.append((origin, mode))
 
             def grantable() -> bool:
                 if not ls.queue or ls.queue[0][0] != origin:
@@ -407,7 +466,37 @@ class Win:
                     return True
                 return ls.mode == LOCK_SHARED and mode == LOCK_SHARED
 
-            rt.wait_for(grantable)
+            # bounded-retry acquisition: on a per-op timeout, withdraw the
+            # queued request, back off (seeded), and re-enqueue — so a rank
+            # starved by a stuck peer fails with a typed OpTimeoutError
+            # after op_retries attempts instead of hanging forever.
+            attempt = 0
+            while True:
+                ls.queue.append((origin, mode))
+                try:
+                    rt.wait_for(
+                        grantable,
+                        timeout_s=rt.op_timeout_s,
+                        what=f"win {self.win_id} lock(target={target_rank})",
+                    )
+                except OpTimeoutError:
+                    ls.queue.remove((origin, mode))
+                    rt.notify_progress()
+                    if attempt >= rt.op_retries:
+                        raise
+                    rt.backoff(attempt)
+                    attempt += 1
+                    continue
+                break
+            if target_world in rt.dead_ranks:
+                # the target died while we were queued: typed failure, not
+                # a grant on a corpse
+                ls.queue.remove((origin, mode))
+                rt.notify_progress()
+                raise TargetFailedError(
+                    f"lock: target rank {target_rank} of win {self.win_id} "
+                    "failed while the request was queued"
+                )
             ls.queue.pop(0)
             ls.mode = mode
             ls.holders.add(origin)
@@ -423,6 +512,7 @@ class Win:
         origin = current_proc().rank
         with rt.cond:
             self._check_alive()
+            rt.check_self_alive()
             san = self._san()
             if san is not None:
                 san.on_unlock(self, origin, target_rank)
@@ -650,7 +740,9 @@ class Win:
                 san.on_op(self, o, "put", None, segmap, origin, target_rank)
             epoch = self._require_epoch(o, target_rank)
             self._record_access(epoch, "put", None, segmap)
-            self._scatter_target(target_rank, segmap, data)
+            payload = self._fault_filter("put", data)
+            if payload is not None:
+                self._scatter_target(target_rank, segmap, payload)
             op_index = epoch.op_count
             epoch.op_count += 1
             epoch.bytes_moved += len(data)
@@ -699,10 +791,13 @@ class Win:
             epoch = self._require_epoch(o, target_rank)
             self._record_access(epoch, "get", None, segmap)
             staged = self._gather_target(target_rank, segmap)
-            epoch.pending_gets.append((staged, origin_view, origin_segmap))
+            nbytes = len(staged)
+            staged = self._fault_filter("get", staged)
+            if staged is not None:
+                epoch.pending_gets.append((staged, origin_view, origin_segmap))
             op_index = epoch.op_count
             epoch.op_count += 1
-            epoch.bytes_moved += len(staged)
+            epoch.bytes_moved += nbytes
             self.runtime.notify_progress()
         self._charge_op("get", origin_segmap.total_bytes, segmap.nsegments, op_index)
 
@@ -742,7 +837,9 @@ class Win:
                 san.on_op(self, o, "acc", op.name, segmap, origin, target_rank)
             epoch = self._require_epoch(o, target_rank)
             self._record_access(epoch, "acc", op.name, segmap)
-            self._accumulate_target(target_rank, segmap, data, base, op)
+            payload = self._fault_filter("acc", data)
+            if payload is not None:
+                self._accumulate_target(target_rank, segmap, payload, base, op)
             op_index = epoch.op_count
             epoch.op_count += 1
             epoch.bytes_moved += len(data)
@@ -842,6 +939,12 @@ class Win:
         return buf[disp : disp + nbytes].view(datatype.base)
 
     def _require_epoch(self, origin_world: int, target_rank: int) -> _Epoch:
+        self.runtime.check_self_alive()
+        if self._target_world(target_rank) in self.runtime.dead_ranks:
+            raise TargetFailedError(
+                f"RMA operation on failed target rank {target_rank} "
+                f"of win {self.win_id}"
+            )
         epoch = self._epochs.get((origin_world, target_rank))
         if epoch is None:
             epoch = self._fence_epoch(origin_world, target_rank)

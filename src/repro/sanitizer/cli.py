@@ -5,10 +5,17 @@
     python -m repro.sanitize examples/quickstart.py --schedules 8
     python -m repro.sanitize examples/dynamic_load_balance.py \\
         --nproc 6 --seed 41 --schedules 1        # replay one seed
+    python -m repro.sanitize --sweep --schedules 16   # CI seed-sweep gate
 
 The script must define ``main(comm)`` — the SPMD body convention every
-``examples/*.py`` file follows.  Exit status is 0 iff every schedule
-completed without an MPI error or recorded violation.
+``examples/*.py`` file follows; ``scenario:NAME`` names a canonical
+:data:`repro.faults.SCENARIOS` body instead.  ``--sweep`` runs the
+seed range over all three §V-D protocol scenarios (mutex handoff,
+mutex-based RMW, GMR free with NULL slices) and then replays the
+checked-in ``tests/corpus/failing_seeds.json`` regression corpus, each
+entry twice with digest-identity checking.  Exit status is 0 iff every
+schedule completed without an MPI error or recorded violation and every
+corpus entry reproduced its recorded outcome.
 """
 
 from __future__ import annotations
@@ -27,7 +34,16 @@ def build_parser() -> argparse.ArgumentParser:
         description="Run a script's main(comm) under the RMA sanitizer and "
         "seeded deterministic schedules.",
     )
-    parser.add_argument("script", help="path to a script defining main(comm)")
+    parser.add_argument("script", nargs="?", default=None,
+                        help="path to a script defining main(comm), or "
+                        "scenario:NAME for a canonical protocol scenario")
+    parser.add_argument("--sweep", action="store_true",
+                        help="seed-sweep the §V-D protocol scenarios and "
+                        "replay the failing-seeds corpus (no script needed)")
+    parser.add_argument("--corpus", nargs="?", const="", default=None,
+                        metavar="JSON",
+                        help="replay the (seed, plan) regression corpus "
+                        "(default: the checked-in tests/corpus file)")
     parser.add_argument("--nproc", type=int, default=4,
                         help="number of simulated ranks (default 4)")
     parser.add_argument("--seed", type=int, default=0,
@@ -64,24 +80,69 @@ def load_entry(script: str):
     return fn
 
 
+def _resolve_body(script: str):
+    """A script path, or ``scenario:NAME`` from the canonical set."""
+    if script.startswith("scenario:"):
+        from ..faults.scenarios import SCENARIOS
+
+        name = script.split(":", 1)[1]
+        if name not in SCENARIOS:
+            raise SystemExit(
+                f"unknown scenario {name!r}; have {sorted(SCENARIOS)}"
+            )
+        return SCENARIOS[name]
+    return load_entry(script)
+
+
+def _replay_corpus(path: str) -> int:
+    """Replay the regression corpus; returns the number of failures."""
+    from ..faults.corpus import load_corpus, replay_entry
+
+    entries = load_corpus(path or None)
+    failures = 0
+    print(f"corpus: replaying {len(entries)} checked-in (seed, plan) entries")
+    for entry in entries:
+        passed, detail = replay_entry(entry)
+        print(f"  {'PASS' if passed else 'FAIL'} {entry['name']}: {detail}")
+        failures += 0 if passed else 1
+    return failures
+
+
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
-    fn = load_entry(args.script)
-    reports = fuzz_schedules(
-        fn,
-        args.nproc,
-        nschedules=args.schedules,
-        base_seed=args.seed,
-        switch_prob=args.switch_prob,
-        jitter_frac=args.jitter,
-        sanitize=not args.no_sanitize,
-        check_nonstrict=args.check_nonstrict,
-    )
-    print(format_reports(reports))
-    bad = [r for r in reports if not r.ok or r.violations]
-    for r in bad:
-        for v in r.violations:
-            print(f"  seed {r.seed}: {v}")
+    bad = 0
+    targets: list = []
+    if args.sweep:
+        from ..faults.scenarios import SCENARIOS
+
+        targets = [(f"scenario:{n}", fn) for n, fn in sorted(SCENARIOS.items())]
+        if args.corpus is None:
+            args.corpus = ""  # --sweep implies the default corpus replay
+    elif args.script is not None:
+        targets = [(args.script, _resolve_body(args.script))]
+    elif args.corpus is None:
+        raise SystemExit("nothing to do: give a script, --sweep, or --corpus")
+    for label, fn in targets:
+        reports = fuzz_schedules(
+            fn,
+            args.nproc,
+            nschedules=args.schedules,
+            base_seed=args.seed,
+            switch_prob=args.switch_prob,
+            jitter_frac=args.jitter,
+            sanitize=not args.no_sanitize,
+            check_nonstrict=args.check_nonstrict,
+        )
+        if len(targets) > 1:
+            print(f"== {label} ==")
+        print(format_reports(reports))
+        failed = [r for r in reports if not r.ok or r.violations]
+        for r in failed:
+            for v in r.violations:
+                print(f"  seed {r.seed}: {v}")
+        bad += len(failed)
+    if args.corpus is not None:
+        bad += _replay_corpus(args.corpus)
     return 1 if bad else 0
 
 

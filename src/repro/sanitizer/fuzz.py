@@ -12,6 +12,12 @@ digest bit-for-bit — a failing seed IS the reproducer.
 
 :func:`fuzz_schedules` sweeps ``nschedules`` consecutive seeds and
 reports each; callers filter for failures and replay the seed.
+
+Passing ``plan=`` (a :class:`~repro.faults.plan.FaultPlan`) installs a
+:class:`~repro.faults.injector.FaultInjector` on the runtime: the fault
+scenario composes with the schedule, and the plan's canonical key plus
+the injector's executed-fault log are folded into the digest — a
+failing ``(seed, plan)`` pair replays bit-identically.
 """
 
 from __future__ import annotations
@@ -41,6 +47,9 @@ class ScheduleReport:
     yields: int = 0  # preemptions taken at fuzz points
     max_clock: float = 0.0
     results: "list | None" = None  # per-rank return values on success
+    plan: "str | None" = None  # FaultPlan.key() when faults were injected
+    fault_events: int = 0  # faults actually executed by the injector
+    dead_ranks: list = field(default_factory=list)  # ranks killed by the plan
 
     def __str__(self) -> str:
         status = "ok" if self.ok else f"FAIL {self.error}"
@@ -61,14 +70,25 @@ def run_schedule(
     sanitize: bool = True,
     check_nonstrict: bool = False,
     timing=None,
+    plan=None,
 ) -> ScheduleReport:
-    """Run ``fn(comm, *args)`` on ``nproc`` ranks under one seeded schedule."""
-    rt = Runtime(nproc)
+    """Run ``fn(comm, *args)`` on ``nproc`` ranks under one seeded schedule.
+
+    ``plan`` (a :class:`~repro.faults.plan.FaultPlan`) additionally
+    installs a fault injector; the plan becomes part of the digest.
+    """
+    rt = Runtime(nproc, seed=seed)
     if timing is not None:
         rt.timing = timing
     sched = DeterministicSchedule(seed, switch_prob=switch_prob,
                                   jitter_frac=jitter_frac)
     sched.begin_run(rt)
+    injector = None
+    if plan is not None:
+        from ..faults.injector import FaultInjector  # deferred: faults ↔ armci
+
+        injector = FaultInjector(plan)
+        rt.faults = injector
     san = None
     if sanitize:
         san = rt.sanitizer = RmaSanitizer(check_nonstrict=check_nonstrict)
@@ -79,7 +99,7 @@ def run_schedule(
     except Exception as exc:  # noqa: BLE001 - any failure is a fuzz finding
         error = exc
     violations = [str(v) for v in san.violations] if san is not None else []
-    digest = _digest(sched, rt, violations, error)
+    digest = _digest(sched, rt, violations, error, injector)
     return ScheduleReport(
         seed=seed,
         ok=error is None,
@@ -90,13 +110,19 @@ def run_schedule(
         yields=sum(1 for ev in sched.trace if ev[0] == "yield"),
         max_clock=rt.max_clock(),
         results=results,
+        plan=plan.key() if plan is not None else None,
+        fault_events=len(injector.events) if injector is not None else 0,
+        dead_ranks=sorted(rt.dead_ranks),
     )
 
 
 def _digest(sched: DeterministicSchedule, rt: Runtime,
-            violations: list, error) -> str:
+            violations: list, error, injector=None) -> str:
     payload = repr((
         sched.seed,
+        None if injector is None else injector.plan.key(),
+        None if injector is None else injector.events,
+        sorted(rt.dead_ranks),
         sched.trace,
         [repr(c) for c in rt.clocks()],
         violations,
@@ -128,5 +154,8 @@ def format_reports(reports: Sequence[ScheduleReport]) -> str:
         f"{len(failed)} failed"
     )
     for r in failed:
-        lines.append(f"  replay with --seed {r.seed} --schedules 1")
+        hint = f"  replay with --seed {r.seed} --schedules 1"
+        if r.plan:
+            hint += " (and the identical --plan / fault flags)"
+        lines.append(hint)
     return "\n".join(lines)

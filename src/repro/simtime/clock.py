@@ -34,7 +34,8 @@ class SimClock:
     ``jitter`` is an optional ``(kind, seconds) -> extra_seconds`` hook
     the schedule fuzzer installs to model variable delivery delay; the
     extra charge is clamped to be non-negative so the clock stays
-    monotone.
+    monotone.  Multiple sources (schedule fuzzer + fault injector) can
+    coexist via :meth:`add_jitter`, which composes hooks additively.
     """
 
     __slots__ = ("now", "_log", "_log_limit", "jitter")
@@ -44,6 +45,17 @@ class SimClock:
         self._log: list[TimedEvent] = []
         self._log_limit = log_limit
         self.jitter = None
+
+    def add_jitter(self, hook) -> None:
+        """Install ``hook(kind, seconds) -> extra``, composing with any
+        existing jitter source (extras add; each clamped by ``advance``)."""
+        prev = self.jitter
+        if prev is None:
+            self.jitter = hook
+        else:
+            self.jitter = lambda kind, seconds: (
+                prev(kind, seconds) + hook(kind, seconds)
+            )
 
     def advance(self, seconds: float, kind: str = "op", nbytes: int = 0) -> float:
         """Charge ``seconds`` to this rank; returns the new time."""

@@ -130,6 +130,27 @@ class PathModel:
         """A copy with some parameters replaced (used by ablations)."""
         return replace(self, **kw)
 
+    def degraded(self, latency_factor: float = 1.0, bw_factor: float = 1.0) -> "PathModel":
+        """A copy modeling a degraded path (fault-plan delay injection).
+
+        ``latency_factor`` multiplies the per-message start-up cost;
+        ``bw_factor`` in (0, 1] scales both bandwidth asymptotes down.
+        Used by ``repro.faults`` to model congested or flaky links
+        without touching the functional datapath.
+        """
+        if latency_factor < 1.0 or not 0.0 < bw_factor <= 1.0:
+            raise ValueError(
+                f"degraded({latency_factor=}, {bw_factor=}): latency_factor "
+                "must be >= 1 and bw_factor in (0, 1]"
+            )
+        return replace(
+            self,
+            name=f"{self.name}-degraded",
+            latency=self.latency * latency_factor,
+            bw_small=self.bw_small * bw_factor,
+            bw_large=self.bw_large * bw_factor,
+        )
+
 
 class MPITimingPolicy:
     """Adapter installing a :class:`PathModel` as the runtime timing policy.

@@ -4,7 +4,10 @@
 the :mod:`repro.sanitizer` ambiently for the covered tests: every
 runtime they create gets an :class:`~repro.sanitizer.RmaSanitizer`, so
 the whole tier-1 suite doubles as the sanitizer's zero-false-positive
-regression gate.
+regression gate.  ``pytest --faults`` (or the ``faults`` marker) does
+the same for :mod:`repro.faults` with a benign empty plan: every fuzz
+point and RMA payload is routed through the fault injector without
+changing any outcome.
 """
 
 from __future__ import annotations
@@ -20,6 +23,14 @@ def pytest_addoption(parser):
         action="store_true",
         default=False,
         help="run every test with the RMA sanitizer installed ambiently",
+    )
+    parser.addoption(
+        "--faults",
+        action="store_true",
+        default=False,
+        help="run every test with the fault-injection plumbing installed "
+        "ambiently (a benign empty plan: exercises the injector hooks on "
+        "every fuzz point and RMA payload without changing outcomes)",
     )
 
 
@@ -49,6 +60,24 @@ def _ambient_sanitize(request):
         yield
         return
     from repro.sanitizer import install_ambient, uninstall_ambient
+
+    token = install_ambient()
+    try:
+        yield
+    finally:
+        uninstall_ambient(token)
+
+
+@pytest.fixture(autouse=True)
+def _ambient_faults(request):
+    """Install the ambient fault plumbing for --faults runs / marked tests."""
+    if not (
+        request.config.getoption("--faults")
+        or request.node.get_closest_marker("faults") is not None
+    ):
+        yield
+        return
+    from repro.faults import install_ambient, uninstall_ambient
 
     token = install_ambient()
     try:

@@ -1,0 +1,318 @@
+"""Fault-injection tests: the §V-D protocols under seeded failures.
+
+Three layers:
+
+* **plan/injector mechanics** — serialization round-trips, the builder
+  API, single-use enforcement, the ambient ``pytest --faults`` hook;
+* **the kill matrix** — rank death injected at *every* fuzz point of the
+  mutex-handoff and GMR-free-with-NULL-slices scenarios (and a sampled
+  stride of the RMW scenario) must end gracefully: either the run
+  completes or it fails with a typed
+  :class:`~repro.mpi.errors.TargetFailedError`, with zero sanitizer
+  violations and bit-identical replay from ``(seed, plan)``;
+* **graceful degradation** — deterministic mutex-holder-death recovery
+  (the next waiter receives :class:`MutexHolderFailed` and owns the
+  repaired mutex) and the watchdog / per-op-timeout independence fixed
+  in this change: a timeout retry in flight must not trip the deadlock
+  watchdog, and both knobs configure independently via constructor or
+  ``REPRO_*`` environment variables.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    Corrupt,
+    Delay,
+    FaultInjector,
+    FaultPlan,
+    Kill,
+    MutexHolderFailed,
+    SCENARIOS,
+    Stall,
+)
+from repro.faults.cli import graceful, main as faults_main
+from repro.armci.mutexes import MutexSet
+from repro.mpi.errors import OpTimeoutError, RankKilledError
+from repro.mpi.progress import DeterministicSchedule
+from repro.mpi.runtime import Runtime
+from repro.sanitizer.fuzz import run_schedule
+
+NPROC = 3
+SEED = 2012
+
+
+# -- plan mechanics ----------------------------------------------------------------
+
+
+def test_plan_builder_is_immutable_and_composable():
+    base = FaultPlan(seed=7)
+    grown = base.kill(1, 5).stall(0, 2, steps=3).corrupt(4).drop(9).delay(
+        jitter_frac=0.1, latency_factor=2.0
+    )
+    assert base.empty and not grown.empty
+    assert grown.kills == (Kill(rank=1, point=5),)
+    assert grown.stalls == (Stall(rank=0, point=2, steps=3),)
+    assert {c.mode for c in grown.corruptions} == {"corrupt", "drop"}
+    assert grown.delays[0].latency_factor == 2.0
+
+
+def test_plan_round_trips_through_json():
+    plan = (
+        FaultPlan(seed=3)
+        .kill(2, 11, kind="rma:put")
+        .stall(1, 4, steps=2)
+        .corrupt(6)
+        .drop(8)
+        .delay(jitter_frac=0.25, bw_factor=0.5)
+    )
+    again = FaultPlan.from_json(plan.to_json())
+    assert again == plan
+    assert again.key() == plan.key()
+    assert "kill" in plan.describe()
+
+
+def test_plan_validates_specs():
+    with pytest.raises(ValueError):
+        Corrupt(op=0, mode="mangle")
+    with pytest.raises(ValueError):
+        Delay(jitter_frac=-0.5)
+
+
+def test_injector_is_single_use():
+    inj = FaultInjector(FaultPlan(seed=0))
+    rt1, rt2 = Runtime(1), Runtime(1)
+    inj.begin_run(rt1)
+    inj.begin_run(rt1)  # idempotent for the same runtime
+    with pytest.raises(RuntimeError):
+        inj.begin_run(rt2)
+
+
+@pytest.mark.faults
+def test_ambient_marker_attaches_a_benign_injector():
+    rt = Runtime(2)
+    assert isinstance(rt.faults, FaultInjector)
+    assert rt.faults.plan.empty
+
+
+# -- the kill matrix ----------------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=None)
+def _fuzz_points(name: str) -> dict[int, int]:
+    """Fuzz points per rank in scenario ``name`` under the pinned seed.
+
+    An empty plan changes nothing but counts every point, so the matrix
+    below provably covers each one.
+    """
+    inj = FaultInjector(FaultPlan(seed=SEED))
+    rt = Runtime(NPROC, seed=SEED)
+    DeterministicSchedule(SEED).begin_run(rt)
+    rt.faults = inj
+    rt.spmd(SCENARIOS[name])
+    counts = inj.point_counts()
+    assert counts and all(counts.get(r, 0) > 0 for r in range(NPROC))
+    return counts
+
+
+def _assert_kill_grid(name: str, victim: int, stride: int = 1) -> None:
+    fn = SCENARIOS[name]
+    failures = []
+    for point in range(0, _fuzz_points(name)[victim], stride):
+        plan = FaultPlan(seed=SEED).kill(victim, point)
+        report = run_schedule(fn, NPROC, SEED, sanitize=True, plan=plan)
+        if not graceful(report):
+            failures.append((point, report.error))
+        elif report.violations:
+            failures.append((point, report.violations))
+        elif not report.ok and victim not in report.dead_ranks:
+            failures.append((point, f"failed without the kill firing: {report.error}"))
+    assert not failures, f"{name}: non-graceful kills at {failures}"
+
+
+@pytest.mark.parametrize("victim", range(NPROC))
+def test_mutex_handoff_survives_death_at_every_fuzz_point(victim):
+    _assert_kill_grid("mutex", victim)
+
+
+@pytest.mark.parametrize("victim", range(NPROC))
+def test_gmr_free_with_null_slices_survives_death_at_every_fuzz_point(victim):
+    _assert_kill_grid("gmr_free", victim)
+
+
+@pytest.mark.parametrize("victim", range(NPROC))
+def test_rmw_survives_death_at_sampled_fuzz_points(victim):
+    _assert_kill_grid("rmw", victim, stride=5)
+
+
+def test_failing_plan_replays_bit_identically():
+    plan = FaultPlan(seed=SEED).kill(1, 3)
+    a = run_schedule(SCENARIOS["mutex"], NPROC, SEED, plan=plan)
+    b = run_schedule(SCENARIOS["mutex"], NPROC, SEED, plan=plan)
+    assert a.digest == b.digest
+    assert a.error == b.error
+    assert a.fault_events == b.fault_events > 0
+    assert a.dead_ranks == [1]
+    # the plan is part of the digest: the same seed without it diverges
+    assert run_schedule(SCENARIOS["mutex"], NPROC, SEED).digest != a.digest
+
+
+def test_stall_and_jitter_perturb_but_complete():
+    plan = FaultPlan(seed=SEED).stall(0, 2, steps=4).delay(jitter_frac=0.2)
+    a = run_schedule(SCENARIOS["rmw"], NPROC, SEED, plan=plan)
+    b = run_schedule(SCENARIOS["rmw"], NPROC, SEED, plan=plan)
+    assert a.ok and not a.violations
+    assert a.fault_events >= 1
+    assert a.digest == b.digest
+
+
+def test_corrupt_and_drop_are_silent_data_faults():
+    for plan in (FaultPlan(seed=SEED).corrupt(2), FaultPlan(seed=SEED).drop(2)):
+        report = run_schedule(SCENARIOS["gmr_free"], NPROC, SEED, plan=plan)
+        # the protocol completes; only payload bits were harmed
+        assert report.ok, report.error
+        assert report.fault_events == 1
+
+
+def test_cli_kill_run_is_graceful(capsys):
+    rc = faults_main(
+        ["scenario:mutex", "--nproc", "3", "--seed", str(SEED),
+         "--schedules", "2", "--kill", "1@3"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "kill" in out
+
+
+# -- graceful degradation ----------------------------------------------------------
+
+
+def test_mutex_holder_death_forwards_structured_failure():
+    """The §V-D recovery path, deterministically staged in wall mode.
+
+    Rank 1 takes the mutex, waits until rank 0 is visibly enqueued in
+    the Latham byte vector, then dies mid-critical-section.  The death
+    hook must repair the vector and forward the handoff, so rank 0's
+    pending receive completes with a structured
+    :class:`MutexHolderFailed` — after which rank 0 *owns* the repaired
+    mutex and can unlock it.
+    """
+    observed = {}
+    rt = Runtime(NPROC, watchdog_s=1.0)
+
+    def body(comm):
+        ms = MutexSet.create(comm, 1)
+        if comm.rank == 1:
+            ms.lock(0, 0)
+            vec = ms._win.exposed_buffer(0)
+            with rt.cond:
+                rt.wait_for(lambda: vec[0] == 1, what="waiter 0 enqueued")
+                rt.mark_dead(comm.world_rank(1))
+            raise RankKilledError("rank 1 dies holding mutex 0")
+        if comm.rank == 0:
+            with rt.cond:
+                rt.wait_for(
+                    lambda: ms._holders.get((0, 0)) == 1,
+                    what="rank 1 holds the mutex",
+                )
+            try:
+                ms.lock(0, 0)
+            except MutexHolderFailed as exc:
+                observed.update(
+                    mutex=exc.mutex, host=exc.host, dead=exc.dead_rank
+                )
+            # we own the repaired mutex either way and must release it
+            ms.unlock(0, 0)
+        return "done"
+        # no destroy: it is collective and rank 1 is dead
+
+    results = rt.spmd(body)
+    assert observed == {"mutex": 0, "host": 0, "dead": 1}
+    assert results[0] == results[2] == "done"
+    assert results[1] is None  # the killed rank produced no result
+    assert rt.dead_ranks == {1}
+    assert rt.death_hook_errors == []
+
+
+def test_watchdog_and_op_timeout_configure_independently(monkeypatch):
+    monkeypatch.setenv("REPRO_WATCHDOG_S", "3.25")
+    monkeypatch.setenv("REPRO_OP_TIMEOUT_S", "0.125")
+    monkeypatch.setenv("REPRO_OP_RETRIES", "5")
+    rt = Runtime(1)
+    assert (rt.watchdog_s, rt.op_timeout_s, rt.op_retries) == (3.25, 0.125, 5)
+    # constructor arguments beat the environment, knob by knob
+    rt = Runtime(1, watchdog_s=0.7, op_retries=1)
+    assert (rt.watchdog_s, rt.op_timeout_s, rt.op_retries) == (0.7, 0.125, 1)
+    # with nothing configured, per-op timeouts stay disabled
+    monkeypatch.delenv("REPRO_OP_TIMEOUT_S")
+    monkeypatch.delenv("REPRO_WATCHDOG_S")
+    assert Runtime(1).op_timeout_s is None
+    assert Runtime(1).watchdog_s == 2.0
+
+
+def test_watchdog_stays_quiet_while_a_timeout_retry_is_in_flight():
+    """Regression for the ``watchdog_s`` / per-op-timeout entanglement.
+
+    Rank 0 parks on a mutex it holds while rank 1's acquisition exhausts
+    its per-op timeout budget (timeouts much shorter than the watchdog).
+    The shortened condition waits must not let the watchdog declare a
+    global deadlock: rank 1 gets a clean :class:`OpTimeoutError`, its
+    queue entry is withdrawn, and the run finishes — destroy included.
+    """
+    rt = Runtime(2, watchdog_s=0.8, op_timeout_s=0.05, op_retries=2)
+    outcome = {}
+
+    def body(comm):
+        ms = MutexSet.create(comm, 1)
+        with rt.cond:
+            gave_up = rt.shared.setdefault("gave_up", [])
+        if comm.rank == 0:
+            ms.lock(0, 0)
+            with rt.cond:
+                rt.wait_for(lambda: gave_up, what="waiter gave up")
+            ms.unlock(0, 0)
+        else:
+            with rt.cond:
+                rt.wait_for(
+                    lambda: ms._holders.get((0, 0)) == 0,
+                    what="rank 0 holds the mutex",
+                )
+            try:
+                ms.lock(0, 0)
+            except OpTimeoutError:
+                outcome["timed_out"] = True
+            with rt.cond:
+                gave_up.append(True)
+                rt.notify_progress()
+        comm.barrier()
+        ms.destroy()
+        return "done"
+
+    results = rt.spmd(body)
+    assert outcome == {"timed_out": True}
+    assert results == ["done", "done"]
+
+
+def test_gmr_table_consistency_check_catches_a_planted_tear():
+    """``GmrTable.check_consistent`` (used after every free in the
+    gmr_free scenario) actually detects corruption."""
+    from repro.armci import Armci
+
+    def body(comm):
+        armci = Armci.init(comm)
+        armci.malloc(64)
+        armci.table.check_consistent()  # clean table passes
+        if comm.rank == 0:
+            entry = armci.table._all[0]
+            entry.freed = True  # plant: a freed GMR still registered
+            with pytest.raises(AssertionError):
+                armci.table.check_consistent()
+            entry.freed = False
+        comm.barrier()
+        armci.finalize()
+
+    Runtime(2, watchdog_s=1.0).spmd(body)

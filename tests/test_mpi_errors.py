@@ -22,12 +22,15 @@ from repro.mpi.errors import (
     GroupError,
     InternalError,
     MPIError,
+    OpTimeoutError,
     ProgressDeadlockError,
     RankError,
+    RankKilledError,
     RMAConflictError,
     RMARangeError,
     RMASyncError,
     TagError,
+    TargetFailedError,
     TruncationError,
     WinError,
 )
@@ -57,6 +60,9 @@ EXPECTED_CLASSES = {
     RMARangeError: "MPI_ERR_RMA_RANGE",
     ProgressDeadlockError: "MPI_ERR_PENDING",
     InternalError: "MPI_ERR_INTERN",
+    TargetFailedError: "MPI_ERR_PROC_FAILED",
+    RankKilledError: "MPI_ERR_PROC_FAILED",
+    OpTimeoutError: "MPI_ERR_PENDING",
 }
 
 
@@ -82,6 +88,19 @@ def test_rank_failed_is_a_deadlock_error():
     # the watchdog uses, so callers need only catch ProgressDeadlockError
     assert issubclass(RankFailedError, ProgressDeadlockError)
     assert RankFailedError("x").error_class == "MPI_ERR_PENDING"
+
+
+def test_fault_errors_form_a_typed_subtree():
+    # quarantine/recovery diagnoses are catchable as one family
+    assert issubclass(RankKilledError, TargetFailedError)
+    from repro.armci.mutexes import MutexHolderFailed
+
+    assert issubclass(MutexHolderFailed, TargetFailedError)
+    e = MutexHolderFailed(mutex=2, host=1, dead_rank=3)
+    assert (e.mutex, e.host, e.dead_rank) == (2, 1, 3)
+    assert e.error_class == "MPI_ERR_PROC_FAILED"
+    # a per-op timeout is retryable, not a process-failure verdict
+    assert not issubclass(OpTimeoutError, TargetFailedError)
 
 
 def test_violation_errors_keep_the_legacy_error_class():
