@@ -1,0 +1,32 @@
+# Developer entry points.  Everything here is also runnable directly
+# (`python -m repro.lint ...`, `python -m pytest ...`); the Makefile just
+# fixes the argument lists CI uses.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint lint-smoke sanitize-smoke hotpath-smoke check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Static gate: repro.lint over everything we ship, plus ruff when the
+# machine has it (the sandbox image does not bundle ruff; CI does).
+lint:
+	$(PYTHON) -m repro.lint examples benchmarks src tests
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipped (config in pyproject.toml)"; \
+	fi
+
+lint-smoke:
+	$(PYTHON) -m repro.bench --lint-smoke
+
+sanitize-smoke:
+	$(PYTHON) -m repro.bench --sanitize-smoke
+
+hotpath-smoke:
+	$(PYTHON) -m repro.bench --hotpath-smoke
+
+check: lint test lint-smoke sanitize-smoke

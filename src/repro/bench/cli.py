@@ -10,6 +10,7 @@ Examples::
     python -m repro.bench hotpath              # vectorized-datapath microbenches
     python -m repro.bench --hotpath-smoke      # fast regression gate (<60 s)
     python -m repro.bench --sanitize-smoke     # fuzzed-schedule RMA gate (<60 s)
+    python -m repro.bench --lint-smoke         # whole-repo static sweep gate
     python -m repro.bench --sanitize-ablation  # dynamic-checking overhead table
     python -m repro.bench all            # everything (slow: full Fig. 4 grid)
 
@@ -116,6 +117,15 @@ def cmd_sanitize(_args) -> int:
     return 0 if ok else 1
 
 
+def cmd_lint(_args) -> int:
+    """Whole-repo repro.lint sweep + corpus sensitivity check."""
+    from . import lint_smoke
+
+    ok, report = lint_smoke.smoke()
+    print(report)
+    return 0 if ok else 1
+
+
 def cmd_sanitize_ablation(args) -> int:
     """Overhead ablation: schedule vs +sanitizer vs +faults vs both."""
     from . import sanitize_ablation
@@ -183,6 +193,11 @@ def build_parser() -> argparse.ArgumentParser:
         "mutex and RMW protocols (<60 s)"
     )
 
+    sub.add_parser(
+        "lint", help="whole-repo static RMA/ARMCI sweep plus corpus "
+        "sensitivity check (seconds)"
+    )
+
     pa = sub.add_parser(
         "sanitize-ablation", help="dynamic-checking overhead ablation: bare "
         "schedule vs +sanitizer vs +fault plumbing vs both"
@@ -207,6 +222,9 @@ def main(argv: "list[str] | None" = None) -> int:
     if "--sanitize-smoke" in argv:
         argv = [a for a in argv if a != "--sanitize-smoke"]
         argv = ["sanitize"] + argv
+    if "--lint-smoke" in argv:
+        argv = [a for a in argv if a != "--lint-smoke"]
+        argv = ["lint"] + argv
     if "--sanitize-ablation" in argv:
         argv = [a for a in argv if a != "--sanitize-ablation"]
         argv = ["sanitize-ablation"] + argv
@@ -219,6 +237,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "fig6": cmd_fig6,
         "hotpath": cmd_hotpath,
         "sanitize": cmd_sanitize,
+        "lint": cmd_lint,
         "sanitize-ablation": cmd_sanitize_ablation,
         "all": cmd_all,
     }[args.command](args)

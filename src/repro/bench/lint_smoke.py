@@ -1,0 +1,72 @@
+"""Fast static-analysis gate: ``python -m repro.bench --lint-smoke``.
+
+Times a whole-repo ``repro.lint`` sweep and re-checks the conformance
+corpus, mirroring what CI runs.  Passing means:
+
+* ``examples benchmarks src tests`` lint clean (zero findings, zero
+  parse errors) — the same gate ``tests/test_lint.py`` enforces;
+* every ``tests/lint_corpus/bad_*.py`` still fires at least one
+  diagnostic (the analyzer has not gone silently blind);
+* the sweep finishes inside a generous wall-clock budget, so the
+  linter stays cheap enough to run on every push.
+
+Budget: a few seconds; suitable as a tier-1 gate.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from ..lint.cli import _iter_py_files, lint_file, lint_paths
+
+#: wall-clock ceiling for the whole-repo sweep (seconds); the sweep
+#: runs in ~1 s today, so tripping this means something pathological
+BUDGET_S = 30.0
+
+GATE_DIRS = ("examples", "benchmarks", "src", "tests")
+
+
+def _repo_root() -> Path:
+    return Path(__file__).resolve().parents[3]
+
+
+def smoke() -> tuple[bool, str]:
+    """Run the gate; returns (passed, printable report)."""
+    root = _repo_root()
+    lines = ["lint-smoke: whole-repo static RMA/ARMCI sweep"]
+
+    paths = [str(root / d) for d in GATE_DIRS if (root / d).is_dir()]
+    nfiles = sum(1 for _ in _iter_py_files(paths, include_corpus=False))
+    t0 = time.perf_counter()
+    diags, errors = lint_paths(paths)
+    elapsed = time.perf_counter() - t0
+    clean = not diags and not errors
+    within = elapsed < BUDGET_S
+    lines.append(
+        f"  repo sweep         {nfiles} files in {elapsed:.2f}s "
+        f"(budget {BUDGET_S:.0f}s): {len(diags)} findings, "
+        f"{len(errors)} parse errors  "
+        f"[{'ok' if clean and within else 'FAIL'}]"
+    )
+    for d in diags[:10]:
+        lines.append(f"    {d.format()}")
+    for e in errors[:10]:
+        lines.append(f"    {e}")
+
+    corpus = root / "tests" / "lint_corpus"
+    bad = sorted(corpus.glob("bad_*.py")) if corpus.is_dir() else []
+    silent = [p.name for p in bad if not lint_file(str(p))]
+    corpus_ok = bool(bad) and not silent
+    lines.append(
+        f"  corpus sensitivity {len(bad)} bad snippets, "
+        f"{len(bad) - len(silent)} firing  "
+        f"[{'ok' if corpus_ok else 'FAIL'}]"
+    )
+    for name in silent:
+        lines.append(f"    silent: {os.path.join('tests/lint_corpus', name)}")
+
+    ok = clean and within and corpus_ok
+    lines.append("PASS" if ok else "FAIL")
+    return ok, "\n".join(lines)

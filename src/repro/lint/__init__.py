@@ -1,0 +1,37 @@
+"""repro.lint — static RMA/ARMCI usage analyzer (§V, §VIII-B).
+
+The static front half of the checking story whose dynamic back half is
+:mod:`repro.sanitizer`: both report through the shared
+:data:`~repro.sanitizer.violations.CATALOG`, so ``[epoch] (§V-C)``
+means the same rule whether a linter found the call site or the
+sanitizer caught the run.  See ``docs/lint.md`` for the rule reference
+and suppression syntax, and ``tests/lint_corpus/`` for one
+bad/good snippet pair per rule.
+
+Usage::
+
+    python -m repro.lint src tests examples benchmarks
+    python -m repro.lint --rules
+"""
+
+from ..sanitizer.violations import CATALOG, LINT_ONLY_KINDS, ViolationKind
+from .cli import lint_file, lint_paths, lint_source, main
+from .diagnostics import Diagnostic, Suppressions, parse_suppressions
+from .engine import analyze_module
+from .rules import STATIC_RULES, rule_lines
+
+__all__ = [
+    "CATALOG",
+    "LINT_ONLY_KINDS",
+    "ViolationKind",
+    "Diagnostic",
+    "Suppressions",
+    "STATIC_RULES",
+    "analyze_module",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "parse_suppressions",
+    "rule_lines",
+]

@@ -1,0 +1,119 @@
+"""``python -m repro.lint`` — lint paths, print findings, exit 0/1/2.
+
+Exit codes (the contract ``docs/lint.md`` documents and CI relies on):
+
+* ``0`` — every linted file is clean (after suppressions);
+* ``1`` — at least one finding survived suppression;
+* ``2`` — usage error or a file that failed to parse.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from .diagnostics import Diagnostic, parse_suppressions
+from .engine import analyze_module
+from .rules import rule_lines
+
+__all__ = ["lint_source", "lint_file", "lint_paths", "main"]
+
+#: directories never worth descending into
+_SKIP_DIRS = {".git", "__pycache__", ".venv", "build", ".pytest_cache", ".ruff_cache"}
+
+#: the corpus exists to trip every rule; skip it unless explicitly asked
+_CORPUS_DIR = "lint_corpus"
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
+    """Lint one module's source, honoring its lint-ignore comments."""
+    sup = parse_suppressions(source)
+    return [d for d in analyze_module(source, path) if not sup.suppresses(d)]
+
+
+def lint_file(path: str) -> list[Diagnostic]:
+    with open(path, encoding="utf-8") as f:
+        return lint_source(f.read(), path)
+
+
+def _iter_py_files(paths, include_corpus: bool):
+    for p in paths:
+        if os.path.isfile(p):
+            yield p
+            continue
+        for root, dirs, files in os.walk(p):
+            dirs[:] = sorted(
+                d for d in dirs
+                if d not in _SKIP_DIRS and (include_corpus or d != _CORPUS_DIR)
+            )
+            if not include_corpus and _CORPUS_DIR in root.split(os.sep):
+                continue  # the corpus dir itself was passed as a root
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+def lint_paths(paths, include_corpus: bool = False):
+    """Lint every .py file under paths; returns (diagnostics, errors)."""
+    diags: list[Diagnostic] = []
+    errors: list[str] = []
+    for path in _iter_py_files(paths, include_corpus):
+        try:
+            diags.extend(lint_file(path))
+        except SyntaxError as exc:
+            errors.append(f"{path}:{exc.lineno or 0}: parse error: {exc.msg}")
+        except OSError as exc:
+            errors.append(f"{path}: {exc}")
+    return diags, errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Static RMA/ARMCI usage analyzer sharing the dynamic "
+            "sanitizer's diagnostics catalog."
+        ),
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--rules", action="store_true",
+        help="list every rule with its catalog section and exit",
+    )
+    parser.add_argument(
+        "--include-corpus", action="store_true",
+        help="also lint tests/lint_corpus (deliberately-bad snippets)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress the per-file summary line",
+    )
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        print("\n".join(rule_lines()))
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (or use --rules)", file=sys.stderr)
+        return 2
+
+    diags, errors = lint_paths(args.paths, include_corpus=args.include_corpus)
+    for d in diags:
+        print(d.format())
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        return 2
+    if diags:
+        if not args.quiet:
+            print(f"{len(diags)} finding{'s' if len(diags) != 1 else ''}")
+        return 1
+    if not args.quiet:
+        print("clean")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Diagnostic records and the ``# repro: lint-ignore[...]`` machinery.
+
+A :class:`Diagnostic` is the static analogue of a
+:class:`~repro.sanitizer.violations.RmaViolation`: it carries the same
+:class:`~repro.sanitizer.violations.ViolationKind` and renders with the
+same paper-section reference out of the shared
+:data:`~repro.sanitizer.violations.CATALOG`, so a misuse reads
+identically whether the linter found it before the run or the sanitizer
+during one.
+
+Suppression syntax (documented in ``docs/lint.md``):
+
+* ``# repro: lint-ignore[code1,code2]`` — suppress those codes on this
+  line (or, when the comment stands on a line of its own, on the next
+  line);
+* ``# repro: lint-ignore`` — same, all codes;
+* ``# repro: lint-ignore-file[code1,...]`` — suppress for the whole
+  file (top-of-file escape hatch for generated or corpus-like files).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..sanitizer.violations import CATALOG, ViolationKind
+
+__all__ = ["Diagnostic", "Suppressions", "parse_suppressions"]
+
+_IGNORE_RE = re.compile(
+    r"#\s*repro:\s*lint-ignore(?P<file>-file)?(?:\[(?P<codes>[^\]]*)\])?"
+)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static finding, addressed like a compiler error."""
+
+    path: str
+    line: int
+    col: int
+    kind: ViolationKind
+    message: str
+
+    @property
+    def code(self) -> str:
+        return self.kind.value
+
+    @property
+    def section(self) -> str:
+        return CATALOG[self.kind].section
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"[{self.code}] ({self.section}) {self.message}"
+        )
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.code)
+
+
+class Suppressions:
+    """Per-file suppression table built from lint-ignore comments.
+
+    ``None`` as a code set means "all codes".
+    """
+
+    def __init__(self):
+        #: line -> set of codes (or None for all)
+        self.by_line: dict[int, "set[str] | None"] = {}
+        #: file-wide codes (or None for all)
+        self.file_codes: "set[str] | None | bool" = False  # False = none
+
+    def _line_matches(self, line: int, code: str) -> bool:
+        if line not in self.by_line:
+            return False
+        codes = self.by_line[line]
+        return codes is None or code in codes
+
+    def suppresses(self, diag: Diagnostic) -> bool:
+        if self.file_codes is None:
+            return True
+        if self.file_codes is not False and diag.code in self.file_codes:
+            return True
+        return self._line_matches(diag.line, diag.code)
+
+
+def _parse_codes(raw: "str | None") -> "set[str] | None":
+    if raw is None:
+        return None
+    codes = {c.strip() for c in raw.split(",") if c.strip()}
+    return codes or None
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Scan source lines for lint-ignore comments.
+
+    A plain text scan (not tokenize) keeps this robust against files
+    that do not parse; a matching pattern inside a string literal at
+    worst suppresses codes on a line that has no finding.
+    """
+    sup = Suppressions()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _IGNORE_RE.search(text)
+        if not m:
+            continue
+        codes = _parse_codes(m.group("codes"))
+        if m.group("file"):
+            if sup.file_codes is False:
+                sup.file_codes = codes
+            elif sup.file_codes is not None and codes is not None:
+                sup.file_codes |= codes
+            else:
+                sup.file_codes = None
+            continue
+        # a comment standing alone applies to the following line
+        target = lineno + 1 if text.lstrip().startswith("#") else lineno
+        prev = sup.by_line.get(target, set())
+        if prev is None or codes is None:
+            sup.by_line[target] = None
+        else:
+            sup.by_line[target] = prev | codes
+    return sup

@@ -1,0 +1,77 @@
+"""The static rule table: what ``repro.lint`` checks, in catalog order.
+
+Every rule emits a :class:`~repro.sanitizer.violations.ViolationKind`
+from the shared CATALOG.  Most kinds are also checked dynamically by
+:class:`~repro.sanitizer.RmaSanitizer`; the ``LINT_*`` kinds are
+static-only path properties.  ``docs/lint.md`` is generated-by-hand
+from this table and ``tests/lint_corpus/`` carries one bad/good snippet
+pair per rule.
+"""
+
+from __future__ import annotations
+
+from ..sanitizer.violations import CATALOG, LINT_ONLY_KINDS, ViolationKind
+
+__all__ = ["STATIC_RULES", "rule_lines"]
+
+#: kind -> how the *static* check fires (the catalog carries the rule
+#: statement itself; this is the linter's detection condition)
+STATIC_RULES: dict[ViolationKind, str] = {
+    ViolationKind.EPOCH: (
+        "a tracked window's put/get/accumulate/atomic runs while no "
+        "lock, lock_all, or fence epoch can be open on any path"
+    ),
+    ViolationKind.LOCK_NESTING: (
+        "lock/lock_all/fence_sync while an epoch on the same window is "
+        "definitely open (one lock per window per process)"
+    ),
+    ViolationKind.LOCK_UNMATCHED: (
+        "unlock/unlock_all with no epoch possibly open on the window"
+    ),
+    ViolationKind.LOCK_WHILE_DLA: (
+        "ARMCI communication on a GMR vector while a direct-local-access "
+        "epoch is definitely open on the same vector"
+    ),
+    ViolationKind.LOCAL_ALIAS: (
+        "a window-backed view (local_view/exposed_buffer) used as the "
+        "local buffer of a put/get/accumulate through the same window"
+    ),
+    ViolationKind.LOCAL_LOAD_STORE: (
+        "local_view() taken while no epoch can be open on the window"
+    ),
+    ViolationKind.DLA: (
+        "access_begin nested on a vector already in a DLA epoch, or "
+        "access_end with no DLA epoch possibly open"
+    ),
+    ViolationKind.REQUEST: (
+        "an rput/rget request discarded unassigned, or still pending "
+        "(no wait/test) when unlock/unlock_all closes its epoch"
+    ),
+    ViolationKind.FLUSH: (
+        "flush/flush_all on a window with no epoch possibly open"
+    ),
+    ViolationKind.LINT_LEAK: (
+        "an acquired resource (epoch, lock_all, fence, DLA epoch, mutex "
+        "hold, allocation, mutex set) still definitely held at a return "
+        "with no release on that path"
+    ),
+    ViolationKind.LINT_DOUBLE_RELEASE: (
+        "free/destroy of a resource already definitely released"
+    ),
+    ViolationKind.LINT_INIT: (
+        "any ARMCI call on a handle definitely finalized, or a second "
+        "finalize on the same handle"
+    ),
+}
+
+assert LINT_ONLY_KINDS <= set(STATIC_RULES)
+
+
+def rule_lines() -> list[str]:
+    """Human-readable rule listing for ``python -m repro.lint --rules``."""
+    lines = []
+    for kind, trigger in STATIC_RULES.items():
+        e = CATALOG[kind]
+        lines.append(f"{kind.value:20s} {e.section:12s} {e.rule}")
+        lines.append(f"{'':20s} {'fires:':12s} {trigger}")
+    return lines

@@ -1,0 +1,100 @@
+"""The abstract state the per-function interpreter runs over.
+
+Resources are tuples — ``('epoch', win_id, target_text)``,
+``('lockall', win_id)``, ``('fence', win_id)``, ``('dla', armci_id,
+vector_name)``, ``('mlock', mutexset_key, index_text)``, ``('alloc',
+var_name)``, ``('mutexset', var_name)``, ``('req', var_name)`` — held in
+a dual *must*/*may* set pair:
+
+* ``must`` (definitely held on every path into this point) drives the
+  definite-misuse rules: nesting, double release, leak-on-return.
+* ``may`` (possibly held on some path) drives the absence rules: an op
+  is outside any epoch only when *no* path could have opened one.
+
+Joining two branches therefore intersects ``must`` and unions ``may``
+(and, symmetrically, intersects ``released``/``finalized_must`` while
+unioning ``escaped``/``finalized_may``), so diagnostics degrade to
+silence — never to noise — as control flow gets harder to see through.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AbsState", "join_all"]
+
+
+class AbsState:
+    """One program point's abstract state (see module docstring)."""
+
+    __slots__ = (
+        "must", "may", "released", "escaped",
+        "finalized_must", "finalized_may", "bindings",
+    )
+
+    def __init__(self):
+        self.must: set[tuple] = set()
+        self.may: set[tuple] = set()
+        #: resource keys definitely released on every path (double-release)
+        self.released: set[tuple] = set()
+        #: object ids / resource keys that left the function's sight
+        self.escaped: set = set()
+        #: armci ids finalized on every path / on some path
+        self.finalized_must: set = set()
+        self.finalized_may: set = set()
+        #: variable name -> (kind, id-or-key) for tracked values
+        self.bindings: dict[str, tuple] = {}
+
+    def clone(self) -> "AbsState":
+        st = AbsState()
+        st.must = set(self.must)
+        st.may = set(self.may)
+        st.released = set(self.released)
+        st.escaped = set(self.escaped)
+        st.finalized_must = set(self.finalized_must)
+        st.finalized_may = set(self.finalized_may)
+        st.bindings = dict(self.bindings)
+        return st
+
+    def join(self, other: "AbsState") -> "AbsState":
+        st = AbsState()
+        st.must = self.must & other.must
+        st.may = self.may | other.may
+        st.released = self.released & other.released
+        st.escaped = self.escaped | other.escaped
+        st.finalized_must = self.finalized_must & other.finalized_must
+        st.finalized_may = self.finalized_may | other.finalized_may
+        st.bindings = {
+            k: v for k, v in self.bindings.items() if other.bindings.get(k) == v
+        }
+        return st
+
+    # -- resource primitives ---------------------------------------------------
+    def acquire(self, key: tuple) -> None:
+        self.must.add(key)
+        self.may.add(key)
+        self.released.discard(key)  # re-acquisition revives the key
+
+    def release(self, key: tuple) -> None:
+        definite = key in self.must
+        self.must.discard(key)
+        self.may.discard(key)
+        if definite:
+            self.released.add(key)
+
+    def drop(self, key: tuple) -> None:
+        """Forget a key without recording a release (finalize/free-all)."""
+        self.must.discard(key)
+        self.may.discard(key)
+
+    def is_escaped(self, *ids) -> bool:
+        return any(i in self.escaped for i in ids)
+
+
+def join_all(states: "list[AbsState | None]") -> "AbsState | None":
+    """Join every live state; None when all paths are dead."""
+    live = [s for s in states if s is not None]
+    if not live:
+        return None
+    out = live[0]
+    for s in live[1:]:
+        out = out.join(s)
+    return out

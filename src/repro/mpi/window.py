@@ -201,6 +201,7 @@ class _Epoch:
         "gets",
         "accs",
         "pending_gets",
+        "pending_reqs",
         "op_count",
         "bytes_moved",
     )
@@ -215,6 +216,9 @@ class _Epoch:
         self.accs: dict[str, _IntervalSet] = {}
         #: (staged_bytes, user_byte_view, origin_segmap)
         self.pending_gets: list[tuple[np.ndarray, np.ndarray, dt.SegmentMap]] = []
+        #: request-based ops issued in this epoch (MPI-3 rput/rget);
+        #: closing the epoch with any of them incomplete is erroneous
+        self.pending_reqs: list["_DoneRequest"] = []
         self.op_count = 0
         self.bytes_moved = 0
 
@@ -516,6 +520,7 @@ class Win:
             san = self._san()
             if san is not None:
                 san.on_unlock(self, origin, target_rank)
+                san.on_epoch_close(self, origin, target_rank)
             epoch = self._epochs.pop((origin, target_rank), None)
             if epoch is None or self._held.get(origin) != target_rank:
                 raise RMASyncError(
@@ -596,6 +601,9 @@ class Win:
         rt = self.runtime
         origin = current_proc().rank
         with rt.cond:
+            san = self._san()
+            if san is not None:
+                san.on_lock_all(self, origin)
             if origin in self._held or origin in self._lock_all:
                 raise RMASyncError("lock_all while already in an epoch")
             # acquire shared on all targets via the same FIFO discipline
@@ -622,6 +630,11 @@ class Win:
         rt = self.runtime
         origin = current_proc().rank
         with rt.cond:
+            san = self._san()
+            if san is not None:
+                san.on_unlock_all(self, origin)
+                for t in range(self.comm.size):
+                    san.on_epoch_close(self, origin, t)
             if origin not in self._lock_all:
                 raise RMASyncError("unlock_all without lock_all")
             for t in range(self.comm.size):
@@ -642,6 +655,9 @@ class Win:
         with self.runtime.cond:
             epoch = self._epochs.get((origin, target_rank))
             if epoch is None:
+                san = self._san()
+                if san is not None:
+                    san.on_flush_no_epoch(self, origin, target_rank, "flush")
                 raise RMASyncError(f"flush({target_rank}) outside an epoch")
             self._deliver_gets(epoch)
             # flushed ops no longer conflict with later ops of this epoch
@@ -657,6 +673,8 @@ class Win:
         origin = current_proc().rank
         with self.runtime.cond:
             san = self._san()
+            if san is not None and not any(o == origin for (o, _t) in self._epochs):
+                san.on_flush_no_epoch(self, origin, -1, "flush_all")
             for (o, t), epoch in self._epochs.items():
                 if o == origin:
                     self._deliver_gets(epoch)
@@ -846,11 +864,13 @@ class Win:
             self.runtime.notify_progress()
         self._charge_op("acc", len(data), segmap.nsegments, op_index)
 
-    def rput(self, *args: Any, **kw: Any):
+    def rput(self, origin: np.ndarray, target_rank: int, *args: Any, **kw: Any):
         """Request-based put (MPI-3); completion of the request = local done."""
         self._require_mpi3("rput")
-        self.put(*args, **kw)
-        return _DoneRequest()
+        self.put(origin, target_rank, *args, **kw)
+        req = _DoneRequest()
+        self._register_request(target_rank, req)
+        return req
 
     def rget(self, origin: np.ndarray, target_rank: int, **kw: Any):
         """Request-based get (MPI-3): data is delivered at request wait."""
@@ -860,14 +880,36 @@ class Win:
         win = self
 
         class _GetRequest(_DoneRequest):
+            __slots__ = ()
+
             def wait(self):
                 with win.runtime.cond:
                     epoch = win._epochs.get((o, target_rank))
                     if epoch is not None:
                         win._deliver_gets(epoch)
-                return None
+                return super().wait()
 
-        return _GetRequest()
+            def test(self):
+                self.wait()
+                return True, None
+
+        req = _GetRequest()
+        self._register_request(target_rank, req)
+        return req
+
+    def _register_request(self, target_rank: int, req: _DoneRequest) -> None:
+        """Attach a request to its epoch for completion auditing.
+
+        Only done when a sanitizer is installed: the window itself never
+        reads ``pending_reqs``, so plain runs keep zero bookkeeping.
+        """
+        if self._san() is None:
+            return
+        origin = current_proc().rank
+        with self.runtime.cond:
+            epoch = self._epochs.get((origin, target_rank))
+            if epoch is not None:
+                epoch.pending_reqs.append(req)
 
     # -- direct local access ------------------------------------------------------------
     def local_view(self, dtype: "np.dtype | str" = np.uint8) -> np.ndarray:
@@ -1126,12 +1168,25 @@ class Win:
 
 
 class _DoneRequest:
-    """Trivially complete request for eager request-based ops."""
+    """Trivially complete request for eager request-based ops.
+
+    ``completed`` records whether the user ever synchronised on the
+    request; the sanitizer reads it to flag requests still pending when
+    their epoch closes (§VIII-B completion discipline,
+    ``ViolationKind.REQUEST``).
+    """
+
+    __slots__ = ("completed",)
+
+    def __init__(self) -> None:
+        self.completed = False
 
     def test(self) -> tuple[bool, None]:
+        self.completed = True
         return True, None
 
     def wait(self) -> None:
+        self.completed = True
         return None
 
 

@@ -30,6 +30,7 @@ from .fuzz import ScheduleReport, format_reports, fuzz_schedules, run_schedule
 from .sanitizer import RmaSanitizer
 from .violations import (
     CATALOG,
+    LINT_ONLY_KINDS,
     CatalogEntry,
     ConflictViolationError,
     ModeViolationError,
@@ -42,6 +43,7 @@ from .violations import (
 
 __all__ = [
     "CATALOG",
+    "LINT_ONLY_KINDS",
     "CatalogEntry",
     "ConflictViolationError",
     "ModeViolationError",

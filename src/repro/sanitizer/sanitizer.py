@@ -184,6 +184,57 @@ class RmaSanitizer:
         if ent is not None:
             ent[1].clear_accesses()
 
+    # -- MPI-3 surface (gated behind mpi3=True) ---------------------------------
+    def on_lock_all(self, win, origin: int) -> None:
+        if origin in win._lock_all:
+            self._report(
+                SyncViolationError, ViolationKind.LOCK_NESTING,
+                origin, "lock_all", -1, win.win_id,
+                "lock_all while already in a lock_all epoch",
+            )
+        elif origin in win._held:
+            self._report(
+                SyncViolationError, ViolationKind.LOCK_NESTING,
+                origin, "lock_all", -1, win.win_id,
+                f"lock_all while holding a lock on target "
+                f"{win._held[origin]} of this window",
+            )
+        elif origin in win._fence_members:
+            self._report(
+                SyncViolationError, ViolationKind.LOCK_NESTING,
+                origin, "lock_all", -1, win.win_id,
+                "lock_all inside an active-target fence epoch",
+            )
+
+    def on_unlock_all(self, win, origin: int) -> None:
+        if origin not in win._lock_all:
+            self._report(
+                SyncViolationError, ViolationKind.LOCK_UNMATCHED,
+                origin, "unlock_all", -1, win.win_id,
+                "unlock_all without a lock_all epoch open",
+            )
+
+    def on_epoch_close(self, win, origin: int, target: int) -> None:
+        """Audit request completion as an epoch is about to close."""
+        epoch = win._epochs.get((origin, target))
+        if epoch is None:
+            return
+        pending = sum(1 for r in epoch.pending_reqs if not r.completed)
+        if pending:
+            self._report(
+                SyncViolationError, ViolationKind.REQUEST,
+                origin, "unlock", target, win.win_id,
+                f"{pending} request-based op(s) (rput/rget) never completed "
+                "with wait/test before the epoch closed",
+            )
+
+    def on_flush_no_epoch(self, win, origin: int, target: int, op: str) -> None:
+        self._report(
+            SyncViolationError, ViolationKind.FLUSH,
+            origin, op, target, win.win_id,
+            f"{op} outside any passive-target epoch: nothing to complete",
+        )
+
     # -- ARMCI-level hooks ------------------------------------------------------
     def on_mode_violation(self, origin, kind, gmr) -> None:
         self._report(

@@ -27,6 +27,7 @@ from ..mpi.errors import (
 
 __all__ = [
     "ViolationKind",
+    "LINT_ONLY_KINDS",
     "CatalogEntry",
     "CATALOG",
     "RmaViolation",
@@ -39,7 +40,17 @@ __all__ = [
 
 
 class ViolationKind(enum.Enum):
-    """The rule classes the sanitizer checks (see docs/sanitizer.md)."""
+    """The rule classes the sanitizer and linter check.
+
+    One shared catalog backs both checkers (docs/sanitizer.md and
+    docs/lint.md are its human renderings): most kinds are detected
+    dynamically by :class:`~repro.sanitizer.RmaSanitizer` *and*
+    statically by :mod:`repro.lint`, so the same misuse reads
+    identically whether it was caught before or during a run.  The
+    ``LINT_*`` members are static-only — whole-program properties (a
+    leaked allocation, a double free) that only exist over paths, not
+    at a single dynamic event.
+    """
 
     EPOCH = "epoch"
     LOCK_NESTING = "lock-nesting"
@@ -52,6 +63,19 @@ class ViolationKind(enum.Enum):
     ACCESS_MODE = "access-mode"
     RANGE = "range"
     DLA = "dla"
+    # MPI-3 surface (gated behind mpi3=True)
+    REQUEST = "request"
+    FLUSH = "flush"
+    # static-only rules (emitted by repro.lint, never by the sanitizer)
+    LINT_LEAK = "lint-leak"
+    LINT_DOUBLE_RELEASE = "lint-double-release"
+    LINT_INIT = "lint-init-finalize"
+
+
+#: kinds only the static analyzer emits (path properties, not events)
+LINT_ONLY_KINDS = frozenset(
+    {ViolationKind.LINT_LEAK, ViolationKind.LINT_DOUBLE_RELEASE, ViolationKind.LINT_INIT}
+)
 
 
 @dataclass(frozen=True)
@@ -137,6 +161,42 @@ CATALOG: dict[ViolationKind, CatalogEntry] = {
         "by the process that opened them",
         fix="pair each ARMCI_Access_begin with exactly one "
         "ARMCI_Access_end on the same GMR",
+    ),
+    ViolationKind.REQUEST: CatalogEntry(
+        section="§VIII-B",
+        rule="a request-based operation (rput/rget) must be completed "
+        "with wait/test before its access epoch closes",
+        fix="call req.wait() (or poll req.test()) on every request "
+        "before unlock/unlock_all",
+    ),
+    ViolationKind.FLUSH: CatalogEntry(
+        section="§VIII-B",
+        rule="flush/flush_all complete outstanding operations and are "
+        "only meaningful inside a passive-target epoch",
+        fix="open the epoch first (lock or lock_all); flush cycles "
+        "completion *within* it without closing it",
+    ),
+    ViolationKind.LINT_LEAK: CatalogEntry(
+        section="§III, §V-B",
+        rule="every acquired resource (lock epoch, lock_all, DLA epoch, "
+        "mutex, ARMCI allocation, mutex set) must be released on every "
+        "path out of the function that acquired it",
+        fix="release before each return (or restructure with a single "
+        "exit); ARMCI_Finalize releases remaining allocations",
+    ),
+    ViolationKind.LINT_DOUBLE_RELEASE: CatalogEntry(
+        section="§V-B",
+        rule="a resource may be released exactly once: freeing a freed "
+        "allocation or destroying a destroyed mutex set is erroneous",
+        fix="release on exactly one path; after ARMCI_Free the base "
+        "pointer vector is dead",
+    ),
+    ViolationKind.LINT_INIT: CatalogEntry(
+        section="§V",
+        rule="the ARMCI runtime must not be used after finalize, and "
+        "finalize must run at most once",
+        fix="finalize exactly once, after the last ARMCI call on every "
+        "rank (it is collective)",
     ),
 }
 

@@ -7,7 +7,10 @@ the whole tier-1 suite doubles as the sanitizer's zero-false-positive
 regression gate.  ``pytest --faults`` (or the ``faults`` marker) does
 the same for :mod:`repro.faults` with a benign empty plan: every fuzz
 point and RMA payload is routed through the fault injector without
-changing any outcome.
+changing any outcome.  ``pytest --lint`` (or the ``lint`` marker) runs
+:mod:`repro.lint` over each covered test's own module and fails the
+test if the static analyzer finds anything its suppressions don't
+cover — the static twin of the ``--sanitize`` gate.
 """
 
 from __future__ import annotations
@@ -31,6 +34,13 @@ def pytest_addoption(parser):
         help="run every test with the fault-injection plumbing installed "
         "ambiently (a benign empty plan: exercises the injector hooks on "
         "every fuzz point and RMA payload without changing outcomes)",
+    )
+    parser.addoption(
+        "--lint",
+        action="store_true",
+        default=False,
+        help="run repro.lint over each test's own module and fail the "
+        "test on any static finding (cached once per file)",
     )
 
 
@@ -84,6 +94,34 @@ def _ambient_faults(request):
         yield
     finally:
         uninstall_ambient(token)
+
+
+_LINT_CACHE: dict = {}
+
+
+@pytest.fixture(autouse=True)
+def _ambient_lint(request):
+    """Lint the test's own module for --lint runs / marked tests."""
+    if not (
+        request.config.getoption("--lint")
+        or request.node.get_closest_marker("lint") is not None
+    ):
+        yield
+        return
+    path = str(getattr(request.node, "fspath", "") or "")
+    if path.endswith(".py"):
+        if path not in _LINT_CACHE:
+            from repro.lint import lint_file
+
+            _LINT_CACHE[path] = lint_file(path)
+        diags = _LINT_CACHE[path]
+        if diags:
+            pytest.fail(
+                "repro.lint findings in this test's module:\n"
+                + "\n".join(d.format() for d in diags),
+                pytrace=False,
+            )
+    yield
 
 
 @pytest.fixture

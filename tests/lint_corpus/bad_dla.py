@@ -1,0 +1,10 @@
+from repro.armci import Armci
+
+
+def body(comm):
+    armci = Armci.init(comm)
+    ptrs = armci.malloc(64)
+    armci.access_begin(ptrs[0], 8)
+    armci.access_begin(ptrs[0], 8)  # expect: dla
+    armci.access_end(ptrs[0])
+    armci.free(ptrs[armci.my_id])

@@ -1,0 +1,7 @@
+from repro.mpi import Win
+
+
+def body(comm, buf):
+    win, _ = Win.allocate(comm, 64)
+    comm.barrier()
+    win.put(buf, 1)  # expect: epoch

@@ -1,0 +1,7 @@
+from repro.mpi import Win
+
+
+def body(comm):
+    win, _ = Win.allocate(comm, 64, mpi3=True)
+    comm.barrier()
+    win.flush(1)  # expect: flush

@@ -1,0 +1,7 @@
+from repro.armci import Armci
+
+
+def body(comm):
+    armci = Armci.init(comm)
+    armci.finalize()
+    armci.barrier()  # expect: lint-init-finalize

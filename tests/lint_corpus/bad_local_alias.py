@@ -1,0 +1,10 @@
+from repro.mpi import Win
+
+
+def body(comm):
+    win, _ = Win.allocate(comm, 64)
+    comm.barrier()
+    mine = win.exposed_buffer()
+    win.lock(1)
+    win.put(mine, 1)  # expect: local-alias
+    win.unlock(1)

@@ -1,0 +1,8 @@
+from repro.mpi import Win
+
+
+def body(comm):
+    win, _ = Win.allocate(comm, 64)
+    comm.barrier()
+    view = win.local_view()  # expect: local-load-store
+    view[0] = 1

@@ -1,0 +1,9 @@
+from repro.mpi import Win
+
+
+def body(comm):
+    win, _ = Win.allocate(comm, 64)
+    comm.barrier()
+    win.lock(0)
+    win.lock(1)  # expect: lock-nesting
+    win.unlock(1)

@@ -1,0 +1,7 @@
+from repro.mpi import Win
+
+
+def body(comm):
+    win, _ = Win.allocate(comm, 64)
+    comm.barrier()
+    win.unlock(0)  # expect: lock-unmatched

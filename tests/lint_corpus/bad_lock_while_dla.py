@@ -1,0 +1,10 @@
+from repro.armci import Armci
+
+
+def body(comm, buf):
+    armci = Armci.init(comm)
+    ptrs = armci.malloc(64)
+    armci.access_begin(ptrs[0], 8)
+    armci.put(buf, ptrs[1], 8)  # expect: lock-while-dla
+    armci.access_end(ptrs[0])
+    armci.free(ptrs[armci.my_id])

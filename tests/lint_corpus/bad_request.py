@@ -1,0 +1,10 @@
+from repro.mpi import Win
+
+
+def body(comm, buf):
+    win, _ = Win.allocate(comm, 64, mpi3=True)
+    comm.barrier()
+    win.lock(1)
+    req = win.rput(buf, 1)
+    win.unlock(1)  # expect: request
+    del req

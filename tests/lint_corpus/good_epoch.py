@@ -1,0 +1,9 @@
+from repro.mpi import Win
+
+
+def body(comm, buf):
+    win, _ = Win.allocate(comm, 64)
+    comm.barrier()
+    win.lock(1)
+    win.put(buf, 1)
+    win.unlock(1)

@@ -1,0 +1,10 @@
+from repro.mpi import Win
+
+
+def body(comm, buf):
+    win, _ = Win.allocate(comm, 64, mpi3=True)
+    comm.barrier()
+    win.lock_all()
+    win.put(buf, 1)
+    win.flush(1)
+    win.unlock_all()

@@ -1,0 +1,8 @@
+from repro.armci import Armci
+
+
+def body(comm):
+    armci = Armci.init(comm)
+    ptrs = armci.malloc(64)
+    armci.barrier()
+    armci.free(ptrs[armci.my_id])

@@ -1,0 +1,8 @@
+from repro.mpi import Win
+
+
+def body(comm):
+    win, _ = Win.allocate(comm, 64)
+    comm.barrier()
+    win.lock(0)
+    win.unlock(0)

@@ -61,9 +61,11 @@ def test_free_leader_election_with_null_members():
 def test_free_all_null_raises():
     def main(comm):
         a = Armci.init(comm)
-        a.malloc(16)  # a real allocation to keep the table nonempty
+        ptrs = a.malloc(16)  # a real allocation to keep the table nonempty
         with pytest.raises(ArgumentError):
             a.free(None)
+        a.barrier()
+        a.free(ptrs[a.my_id])
 
     spmd(2, main)
 
@@ -335,8 +337,8 @@ def test_stats_counting():
 def test_finalize_frees_everything():
     def main(comm):
         a = Armci.init(comm)
-        a.malloc(16)
-        a.malloc(0 if a.my_id == 0 else 8)
+        _first = a.malloc(16)  # deliberately left for finalize to free
+        _second = a.malloc(0 if a.my_id == 0 else 8)
         a.finalize()
         assert len(a.table) == 0
 

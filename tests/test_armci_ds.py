@@ -82,12 +82,13 @@ def test_ds_rmw_unique():
 def test_ds_server_error_propagates_to_client():
     def main(comm):
         ds = DataServerArmci.init(comm)
-        ds.malloc(16)
+        ptrs = ds.malloc(16)
         from repro.armci import GlobalPtr
 
         with pytest.raises(ArgumentError):
             ds.get(GlobalPtr(0, 0xDEAD0000), np.zeros(1))
         ds.barrier()
+        ds.free(ptrs[ds.my_id])
         ds.shutdown()
 
     spmd(2, main)

@@ -196,10 +196,12 @@ def test_native_zero_size_and_free_protocol():
 def test_native_bad_address_raises():
     def main(comm):
         n = NativeArmci.init(comm)
-        n.malloc(32)
+        ptrs = n.malloc(32)
         from repro.armci import GlobalPtr
 
         with pytest.raises(ArgumentError):
             n.get(GlobalPtr(0, 0xDEAD0000), np.zeros(1))
+        n.barrier()
+        n.free(ptrs[n.my_id])
 
     spmd(2, main)

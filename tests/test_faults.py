@@ -304,7 +304,7 @@ def test_gmr_table_consistency_check_catches_a_planted_tear():
 
     def body(comm):
         armci = Armci.init(comm)
-        armci.malloc(64)
+        ptrs = armci.malloc(64)
         armci.table.check_consistent()  # clean table passes
         if comm.rank == 0:
             entry = armci.table._all[0]
@@ -313,6 +313,7 @@ def test_gmr_table_consistency_check_catches_a_planted_tear():
                 armci.table.check_consistent()
             entry.freed = False
         comm.barrier()
+        armci.free(ptrs[armci.my_id])
         armci.finalize()
 
     Runtime(2, watchdog_s=1.0).spmd(body)

@@ -1,0 +1,274 @@
+"""repro.lint: corpus conformance, suppressions, engine behavior, repo gate."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    STATIC_RULES,
+    Diagnostic,
+    ViolationKind,
+    lint_file,
+    lint_paths,
+    lint_source,
+    parse_suppressions,
+)
+from repro.lint.cli import main
+from repro.sanitizer.violations import CATALOG, LINT_ONLY_KINDS
+
+CORPUS = Path(__file__).parent / "lint_corpus"
+REPO = Path(__file__).resolve().parents[1]
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*([a-z0-9-]+)")
+
+
+def _expected(path: Path) -> set:
+    out = set()
+    for lineno, text in enumerate(path.read_text().splitlines(), start=1):
+        for code in _EXPECT_RE.findall(text):
+            out.add((lineno, code))
+    return out
+
+
+BAD = sorted(CORPUS.glob("bad_*.py"))
+GOOD = sorted(CORPUS.glob("good_*.py"))
+
+
+# -- the corpus is the linter's conformance suite ---------------------------------
+
+
+def test_corpus_covers_every_static_rule():
+    stems = {p.stem[len("bad_"):] for p in BAD}
+    want = {k.value.replace("-", "_") for k in STATIC_RULES}
+    assert stems == want
+    assert {p.stem[len("good_"):] for p in GOOD} == want
+
+
+@pytest.mark.parametrize("path", BAD, ids=lambda p: p.stem)
+def test_bad_snippet_fires_exactly_where_marked(path):
+    expected = _expected(path)
+    assert expected, f"{path} has no '# expect:' markers"
+    got = {(d.line, d.code) for d in lint_file(str(path))}
+    assert got == expected
+
+
+@pytest.mark.parametrize("path", GOOD, ids=lambda p: p.stem)
+def test_good_snippet_is_clean(path):
+    assert lint_file(str(path)) == []
+
+
+def test_every_bad_snippet_names_its_own_rule():
+    # bad_<rule>.py must fire <rule> (it may not fire a different code)
+    for path in BAD:
+        rule = path.stem[len("bad_"):].replace("_", "-")
+        codes = {code for _, code in _expected(path)}
+        assert rule in codes, f"{path.name} does not expect [{rule}]"
+
+
+# -- the whole-repo gate: zero findings, zero parse errors ------------------------
+
+
+def test_repo_is_lint_clean():
+    paths = [str(REPO / d) for d in ("examples", "benchmarks", "src", "tests")]
+    diags, errors = lint_paths(paths)
+    assert errors == []
+    assert diags == [], "\n" + "\n".join(d.format() for d in diags)
+
+
+# -- rule table / catalog plumbing -------------------------------------------------
+
+
+def test_static_rules_share_the_sanitizer_catalog():
+    assert set(STATIC_RULES) <= set(CATALOG)
+    assert LINT_ONLY_KINDS <= set(STATIC_RULES)
+    for kind in STATIC_RULES:
+        assert CATALOG[kind].section.startswith("§")
+
+
+def test_diagnostic_format_carries_code_and_section():
+    d = Diagnostic("x.py", 3, 7, ViolationKind.EPOCH, "boom")
+    s = d.format()
+    assert s.startswith("x.py:3:7: [epoch] (")
+    assert CATALOG[ViolationKind.EPOCH].section in s
+    assert s.endswith("boom")
+
+
+# -- suppression syntax ------------------------------------------------------------
+
+_VIOLATING = """\
+from repro.mpi import Win
+
+
+def body(comm, buf):
+    win, _ = Win.allocate(comm, 64)
+    win.put(buf, 1){}
+"""
+
+
+def test_inline_suppression_silences_the_line():
+    assert lint_source(_VIOLATING.format("")) != []
+    assert lint_source(_VIOLATING.format("  # repro: lint-ignore[epoch]")) == []
+    # a different code does not suppress
+    assert lint_source(_VIOLATING.format("  # repro: lint-ignore[flush]")) != []
+    # bare ignore suppresses every code
+    assert lint_source(_VIOLATING.format("  # repro: lint-ignore")) == []
+
+
+def test_standalone_comment_applies_to_next_line():
+    src = _VIOLATING.format("").replace(
+        "    win.put", "    # repro: lint-ignore[epoch]\n    win.put"
+    )
+    assert lint_source(src) == []
+
+
+def test_file_level_suppression():
+    src = "# repro: lint-ignore-file[epoch]\n" + _VIOLATING.format("")
+    assert lint_source(src) == []
+    src_other = "# repro: lint-ignore-file[flush]\n" + _VIOLATING.format("")
+    assert lint_source(src_other) != []
+    src_all = "# repro: lint-ignore-file\n" + _VIOLATING.format("")
+    assert lint_source(src_all) == []
+
+
+def test_suppression_parser_merges_codes():
+    sup = parse_suppressions(
+        "x = 1  # repro: lint-ignore[epoch]  # repro: lint-ignore[flush]\n"
+    )
+    d = Diagnostic("x.py", 1, 1, ViolationKind.EPOCH, "m")
+    assert sup.suppresses(d)
+
+
+# -- engine behavior beyond the corpus ---------------------------------------------
+
+
+def test_unlock_in_finally_is_not_a_leak():
+    src = """\
+from repro.mpi import Win
+
+
+def body(comm, buf, work):
+    win, _ = Win.allocate(comm, 64)
+    win.lock(0)
+    try:
+        for item in work:
+            if item is None:
+                return
+            win.put(buf, 0)
+    finally:
+        win.unlock(0)
+"""
+    assert lint_source(src) == []
+
+
+def test_leak_reported_on_early_return_only_path():
+    src = """\
+from repro.armci import Armci
+
+
+def body(comm, cond):
+    armci = Armci.init(comm)
+    ptrs = armci.malloc(64)
+    if cond:
+        return
+    armci.free(ptrs[armci.my_id])
+"""
+    diags = lint_source(src)
+    assert [d.code for d in diags] == ["lint-leak"]
+    assert diags[0].line == 6  # reported at the acquisition site
+
+
+def test_pytest_raises_body_is_exempt():
+    src = """\
+import pytest
+
+from repro.mpi import Win
+
+
+def body(comm, buf):
+    win, _ = Win.allocate(comm, 64)
+    with pytest.raises(RuntimeError):
+        win.put(buf, 1)
+"""
+    assert lint_source(src) == []
+
+
+def test_second_loop_iteration_misuse_is_seen():
+    src = """\
+from repro.mpi import Win
+
+
+def body(comm, buf):
+    win, _ = Win.allocate(comm, 64)
+    for _ in range(3):
+        win.lock(0)
+        win.put(buf, 0)
+"""
+    codes = {d.code for d in lint_source(src)}
+    assert "lock-nesting" in codes
+
+
+def test_escaped_values_silence_the_checks():
+    src = """\
+from repro.armci import Armci
+
+
+def body(comm, stash):
+    armci = Armci.init(comm)
+    ptrs = armci.malloc(64)
+    stash(ptrs)  # ownership transferred to an unknown callee
+"""
+    assert lint_source(src) == []
+
+
+def test_conditional_release_is_not_definite_leak():
+    # may-held resources never produce leak findings (must-based rule)
+    src = """\
+from repro.armci import Armci
+
+
+def body(comm, cond):
+    armci = Armci.init(comm)
+    if cond:
+        ptrs = armci.malloc(64)
+        armci.free(ptrs[armci.my_id])
+"""
+    assert lint_source(src) == []
+
+
+def test_discarded_request_flagged_at_statement():
+    src = """\
+from repro.mpi import Win
+
+
+def body(comm, buf):
+    win, _ = Win.allocate(comm, 64, mpi3=True)
+    win.lock(1)
+    win.rput(buf, 1)
+    win.unlock(1)
+"""
+    diags = lint_source(src)
+    assert [d.code for d in diags] == ["request"]
+    assert diags[0].line == 7
+
+
+# -- CLI contract ------------------------------------------------------------------
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    bad = next(iter(BAD))
+    good = next(iter(GOOD))
+    assert main([str(good), "-q"]) == 0
+    assert main([str(bad), "-q"]) == 1
+    out = capsys.readouterr().out
+    assert f"[{bad.stem[len('bad_'):].replace('_', '-')}]" in out
+    assert main([]) == 2  # no paths is a usage error
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n")
+    assert main([str(broken)]) == 2
+    assert main(["--rules"]) == 0
+
+
+def test_cli_skips_corpus_unless_asked():
+    assert main([str(CORPUS), "-q"]) == 0
+    assert main([str(CORPUS), "-q", "--include-corpus"]) == 1

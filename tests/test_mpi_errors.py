@@ -152,6 +152,7 @@ def test_op_outside_epoch_without_sanitizer_is_plain_sync_error():
         win, _ = Win.allocate(comm, 64)
         comm.barrier()
         if comm.rank == 0:
+            # repro: lint-ignore[epoch] — the missing epoch is the point
             win.put(np.ones(8, dtype=np.uint8), 1)
 
     rt = Runtime(2, watchdog_s=0.4)

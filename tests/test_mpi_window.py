@@ -662,7 +662,7 @@ def test_epoch_conflict_checker_matches_oracle(ops):
             observed["at"] = None
         finally:
             win.unlock(0)
-        win.free()
+            win.free()  # the early returns above must not leak the window
 
     spmd(1, main)
     assert observed["at"] == expected

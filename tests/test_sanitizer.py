@@ -63,7 +63,7 @@ def _epoch_violation(comm):
     win, _ = Win.allocate(comm, 64)
     comm.barrier()
     if comm.rank == 0:
-        win.put(np.ones(8, dtype=np.uint8), 1)  # no lock held
+        win.put(np.ones(8, dtype=np.uint8), 1)  # no lock held  # repro: lint-ignore[epoch]
 
 
 def _epoch_clean(comm):
@@ -95,7 +95,7 @@ def _nesting_violation(comm):
     comm.barrier()
     if comm.rank == 0:
         win.lock(0)
-        win.lock(1)  # second lock on the same window
+        win.lock(1)  # second lock on the same window  # repro: lint-ignore[lock-nesting]
 
 
 def _nesting_clean(comm):
@@ -112,7 +112,7 @@ def _unmatched_violation(comm):
     win, _ = Win.allocate(comm, 64)
     comm.barrier()
     if comm.rank == 0:
-        win.unlock(1)  # never locked
+        win.unlock(1)  # never locked  # repro: lint-ignore[lock-unmatched]
 
 
 def test_lock_nesting_violation_detected():
@@ -244,7 +244,7 @@ def _bare_local_violation(comm):
     win, _ = Win.allocate(comm, 64)
     comm.barrier()
     if comm.rank == 0:
-        win.local_view()  # no exclusive self-lock
+        win.local_view()  # no exclusive self-lock  # repro: lint-ignore[local-load-store]
 
 
 def _bare_local_clean(comm):
@@ -343,7 +343,7 @@ def test_rmw_atomics_clean_counterpart():
 
 def _mode_violation(comm):
     armci = Armci.init(comm)
-    ptrs = armci.malloc(64)
+    ptrs = armci.malloc(64)  # repro: lint-ignore[lint-leak] — the put below aborts the run
     armci.set_access_mode(ptrs[armci.my_id], AccessMode.READ_ONLY)
     if armci.my_id == 0:
         armci.put(np.ones(8, dtype=np.uint8), ptrs[1], 8)  # put on read-only
@@ -377,12 +377,12 @@ def test_access_mode_clean_counterpart():
 
 def _lock_while_dla_violation(comm):
     armci = Armci.init(comm)
-    ptrs = armci.malloc(64)
+    ptrs = armci.malloc(64)  # repro: lint-ignore[lint-leak] — the put below aborts the run
     armci.barrier()
     if armci.my_id == 0:
         armci.access_begin(ptrs[0], 8, np.int64)
         # communicating through the same window while DLA is open
-        armci.put(np.ones(8, dtype=np.uint8), ptrs[1], 8)
+        armci.put(np.ones(8, dtype=np.uint8), ptrs[1], 8)  # repro: lint-ignore[lock-while-dla]
 
 
 def _lock_while_dla_clean(comm):
@@ -413,19 +413,19 @@ def test_lock_while_dla_clean_counterpart():
 
 def _dla_nested_violation(comm):
     armci = Armci.init(comm)
-    ptrs = armci.malloc(64)
+    ptrs = armci.malloc(64)  # repro: lint-ignore[lint-leak] — the nested begin aborts the run
     armci.barrier()
     if armci.my_id == 0:
         armci.access_begin(ptrs[0], 8, np.int64)
-        armci.access_begin(ptrs[0], 8, np.int64)  # DLA epochs do not nest
+        armci.access_begin(ptrs[0], 8, np.int64)  # DLA epochs do not nest  # repro: lint-ignore[dla]
 
 
 def _dla_unmatched_violation(comm):
     armci = Armci.init(comm)
-    ptrs = armci.malloc(64)
+    ptrs = armci.malloc(64)  # repro: lint-ignore[lint-leak] — the access_end aborts the run
     armci.barrier()
     if armci.my_id == 0:
-        armci.access_end(ptrs[0])  # never began
+        armci.access_end(ptrs[0])  # never began  # repro: lint-ignore[dla]
 
 
 def _dla_clean(comm):
@@ -457,6 +457,132 @@ def test_dla_unmatched_end_violation_detected():
 def test_dla_clean_counterpart():
     san, _ = run_san(2, _dla_clean)
     assert san.violations == []
+
+
+# -- REQUEST / FLUSH and lock_all cycling: the gated MPI-3 surface (§VIII-B) ------
+
+
+def _request_violation(comm):
+    win, _ = Win.allocate(comm, 64, mpi3=True)
+    comm.barrier()
+    if comm.rank == 0:
+        win.lock(1)
+        win.rput(np.ones(8, dtype=np.uint8), 1)  # request never waited on  # repro: lint-ignore[request]
+        win.unlock(1)
+
+
+def _request_clean(comm):
+    win, local = Win.allocate(comm, 64, mpi3=True)
+    local[:] = comm.rank
+    comm.barrier()
+    if comm.rank == 0:
+        out = np.zeros(8, dtype=np.uint8)
+        win.lock(1)
+        req = win.rput(np.ones(8, dtype=np.uint8), 1)
+        req.wait()
+        greq = win.rget(out, 1, target_offset=8)
+        flag, _ = greq.test()  # test() completes eager requests too
+        assert flag and np.all(out == 1)
+        win.unlock(1)
+    comm.barrier()
+
+
+def test_request_completion_violation_detected():
+    v = expect_violation(
+        SyncViolationError, ViolationKind.REQUEST, RMASyncError,
+        2, _request_violation,
+    )
+    assert v.rank == 0 and v.op == "unlock" and "rput/rget" in v.detail
+
+
+def test_request_completion_clean_counterpart():
+    san, _ = run_san(2, _request_clean)
+    assert san.violations == []
+
+
+def _flush_violation(comm):
+    win, _ = Win.allocate(comm, 64, mpi3=True)
+    comm.barrier()
+    if comm.rank == 0:
+        win.flush(1)  # no epoch open  # repro: lint-ignore[flush]
+
+
+def _flush_all_violation(comm):
+    win, _ = Win.allocate(comm, 64, mpi3=True)
+    comm.barrier()
+    if comm.rank == 0:
+        win.flush_all()  # no epoch open  # repro: lint-ignore[flush]
+
+
+def _lock_all_cycle_clean(comm):
+    win, local = Win.allocate(comm, 64, mpi3=True)
+    local[:] = comm.rank
+    comm.barrier()
+    out = np.zeros(8, dtype=np.uint8)
+    win.lock_all()
+    win.get(out, (comm.rank + 1) % comm.size)
+    win.flush_all()
+    req = win.rget(out, comm.rank)
+    req.wait()
+    win.flush(comm.rank)
+    win.unlock_all()
+    comm.barrier()
+
+
+def test_flush_outside_epoch_detected():
+    v = expect_violation(
+        SyncViolationError, ViolationKind.FLUSH, RMASyncError, 2, _flush_violation
+    )
+    assert v.op == "flush" and v.target == 1
+
+
+def test_flush_all_outside_epoch_detected():
+    v = expect_violation(
+        SyncViolationError, ViolationKind.FLUSH, RMASyncError, 2, _flush_all_violation
+    )
+    assert v.op == "flush_all" and v.target == -1
+
+
+def test_lock_all_flush_cycle_clean():
+    san, _ = run_san(3, _lock_all_cycle_clean)
+    assert san.violations == []
+
+
+def _lock_all_nesting_violation(comm):
+    win, _ = Win.allocate(comm, 64, mpi3=True)
+    comm.barrier()
+    win.lock_all()  # repro: lint-ignore[lint-leak] — the nested lock_all aborts the run
+    if comm.rank == 0:
+        win.lock_all()  # lock_all does not nest  # repro: lint-ignore[lock-nesting]
+
+
+def _unlock_all_unmatched_violation(comm):
+    win, _ = Win.allocate(comm, 64, mpi3=True)
+    comm.barrier()
+    if comm.rank == 0:
+        win.unlock_all()  # never opened  # repro: lint-ignore[lock-unmatched]
+
+
+def test_lock_all_nesting_violation_detected():
+    v = expect_violation(
+        SyncViolationError, ViolationKind.LOCK_NESTING, RMASyncError,
+        2, _lock_all_nesting_violation,
+    )
+    assert v.op == "lock_all"
+
+
+def test_unlock_all_unmatched_violation_detected():
+    v = expect_violation(
+        SyncViolationError, ViolationKind.LOCK_UNMATCHED, RMASyncError,
+        2, _unlock_all_unmatched_violation,
+    )
+    assert v.op == "unlock_all"
+
+
+def test_request_pending_recorded_in_record_mode():
+    san, _ = run_san(2, _request_violation, mode="record")
+    kinds = [v.kind for v in san.violations]
+    assert kinds.count(ViolationKind.REQUEST) == 1
 
 
 # -- modes and gating --------------------------------------------------------------
