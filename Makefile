@@ -5,10 +5,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-smoke sanitize-smoke hotpath-smoke check
+.PHONY: test test-faults lint lint-smoke sanitize-smoke recover-smoke hotpath-smoke check
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Re-run the fault/recovery suite with the ambient injector installed in
+# every runtime (the benign plan exercises the whole injection plumbing).
+test-faults:
+	$(PYTHON) -m pytest -x -q --faults tests/test_faults.py
 
 # Static gate: repro.lint over everything we ship, plus ruff when the
 # machine has it (the sandbox image does not bundle ruff; CI does).
@@ -26,7 +31,12 @@ lint-smoke:
 sanitize-smoke:
 	$(PYTHON) -m repro.bench --sanitize-smoke
 
+# Rank-death recovery gate: every recovery scenario must complete
+# value-correct on the shrunken world and replay bit-identically.
+recover-smoke:
+	$(PYTHON) -m repro.bench --recover-smoke
+
 hotpath-smoke:
 	$(PYTHON) -m repro.bench --hotpath-smoke
 
-check: lint test lint-smoke sanitize-smoke
+check: lint test test-faults lint-smoke sanitize-smoke recover-smoke

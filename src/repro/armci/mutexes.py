@@ -123,6 +123,35 @@ class MutexSet:
             else:
                 del self._holders[(host, mutex)]
 
+    def reclaim(self) -> "list[tuple[int, int, int]]":
+        """Reclaim ownership of every mutex whose holder has died.
+
+        Belt-and-braces sweep for the recovery protocol: the death hook
+        repairs vectors and forwards handoffs *at death time*, but a
+        holder entry can outlive the hook when the death hook chain was
+        cut short (e.g. a second failure during repair) or when the dead
+        holder had no waiter to forward to yet the entry was re-created
+        by an in-flight lock.  After this sweep no dead rank owns a
+        mutex.  Returns ``(host, mutex, dead_holder_rank)`` triples for
+        every reclaimed entry (ranks in the mutex communicator).
+        """
+        rt = self.comm.runtime
+        reclaimed: list[tuple[int, int, int]] = []
+        with rt.cond:
+            group = self.comm.group
+            dead = {
+                group.rank_of_world(w)
+                for w in rt.dead_ranks
+                if group.contains_world(w)
+            }
+            if not dead:
+                return reclaimed
+            for (host, mutex), holder in sorted(self._holders.items()):
+                if holder in dead:
+                    del self._holders[(host, mutex)]
+                    reclaimed.append((host, mutex, holder))
+        return reclaimed
+
     @classmethod
     def create(cls, comm: Comm, count: int) -> "MutexSet":
         """Collective creation (ARMCI_Create_mutexes)."""

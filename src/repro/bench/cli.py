@@ -10,6 +10,7 @@ Examples::
     python -m repro.bench hotpath              # vectorized-datapath microbenches
     python -m repro.bench --hotpath-smoke      # fast regression gate (<60 s)
     python -m repro.bench --sanitize-smoke     # fuzzed-schedule RMA gate (<60 s)
+    python -m repro.bench --recover-smoke      # rank-death recovery gate (<60 s)
     python -m repro.bench --lint-smoke         # whole-repo static sweep gate
     python -m repro.bench --sanitize-ablation  # dynamic-checking overhead table
     python -m repro.bench all            # everything (slow: full Fig. 4 grid)
@@ -117,6 +118,15 @@ def cmd_sanitize(_args) -> int:
     return 0 if ok else 1
 
 
+def cmd_recover(_args) -> int:
+    """Recovery smoke gate: kill + shrink + rebuild across the scenarios."""
+    from . import recover_smoke
+
+    ok, report = recover_smoke.smoke()
+    print(report)
+    return 0 if ok else 1
+
+
 def cmd_lint(_args) -> int:
     """Whole-repo repro.lint sweep + corpus sensitivity check."""
     from . import lint_smoke
@@ -194,6 +204,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser(
+        "recover", help="rank-death recovery gate: every recovery scenario "
+        "must complete value-correct on the shrunken world and replay "
+        "bit-identically (<60 s)"
+    )
+
+    sub.add_parser(
         "lint", help="whole-repo static RMA/ARMCI sweep plus corpus "
         "sensitivity check (seconds)"
     )
@@ -222,6 +238,9 @@ def main(argv: "list[str] | None" = None) -> int:
     if "--sanitize-smoke" in argv:
         argv = [a for a in argv if a != "--sanitize-smoke"]
         argv = ["sanitize"] + argv
+    if "--recover-smoke" in argv:
+        argv = [a for a in argv if a != "--recover-smoke"]
+        argv = ["recover"] + argv
     if "--lint-smoke" in argv:
         argv = [a for a in argv if a != "--lint-smoke"]
         argv = ["lint"] + argv
@@ -237,6 +256,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "fig6": cmd_fig6,
         "hotpath": cmd_hotpath,
         "sanitize": cmd_sanitize,
+        "recover": cmd_recover,
         "lint": cmd_lint,
         "sanitize-ablation": cmd_sanitize_ablation,
         "all": cmd_all,

@@ -27,12 +27,19 @@ CLI: ``python -m repro.faults <script|scenario:NAME> --kill 1@5
 from __future__ import annotations
 
 from ..armci.mutexes import MutexHolderFailed
-from ..mpi.errors import OpTimeoutError, RankKilledError, TargetFailedError
+from ..mpi.errors import (
+    CommRevokedError,
+    OpTimeoutError,
+    RankKilledError,
+    RetriesExhausted,
+    TargetFailedError,
+)
 from .injector import FaultInjector
 from .plan import Corrupt, Delay, FaultPlan, Kill, Stall
-from .scenarios import SCENARIOS
+from .scenarios import RECOVER_SCENARIOS, SCENARIOS
 
 __all__ = [
+    "CommRevokedError",
     "Corrupt",
     "Delay",
     "FaultInjector",
@@ -40,7 +47,9 @@ __all__ = [
     "Kill",
     "MutexHolderFailed",
     "OpTimeoutError",
+    "RECOVER_SCENARIOS",
     "RankKilledError",
+    "RetriesExhausted",
     "SCENARIOS",
     "Stall",
     "TargetFailedError",

@@ -28,7 +28,14 @@ import pathlib
 import sys
 
 from .plan import FaultPlan
-from .scenarios import SCENARIOS
+from .scenarios import RECOVER_SCENARIOS, SCENARIOS
+
+#: every body reachable as ``scenario:NAME`` — the §V protocols plus
+#: their survivor-restart (``recover_*``) counterparts
+_ALL_SCENARIOS = {
+    **SCENARIOS,
+    **{f"recover_{name}": fn for name, fn in RECOVER_SCENARIOS.items()},
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,7 +47,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "script",
         help="path to a script defining main(comm), or scenario:NAME "
-        f"(one of {sorted(SCENARIOS)})",
+        f"(one of {sorted(_ALL_SCENARIOS)})",
     )
     parser.add_argument("--nproc", type=int, default=4,
                         help="number of simulated ranks (default 4)")
@@ -60,6 +67,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--stall", action="append", default=[],
                         metavar="RANK@POINT[:STEPS]",
                         help="stall RANK for STEPS scheduler steps (default 1)")
+    parser.add_argument("--stall-transient", action="append", default=[],
+                        metavar="RANK@POINT[:STEPS]",
+                        help="transient stall: the injector retries with "
+                        "exponential backoff; RetriesExhausted if STEPS "
+                        "outlasts the budget")
+    parser.add_argument("--fault-retries", type=int, default=None, metavar="N",
+                        help="retry budget for transient stalls (default: "
+                        "REPRO_FAULT_RETRIES or 3)")
     parser.add_argument("--corrupt", action="append", default=[], type=int,
                         metavar="OP", help="flip one seeded bit in RMA op #OP")
     parser.add_argument("--drop", action="append", default=[], type=int,
@@ -96,6 +111,9 @@ def build_plan(args) -> FaultPlan:
     for spec in args.stall:
         rank, point, steps = _parse_at(spec, "stall")
         plan = plan.stall(rank, point, int(steps or 1))
+    for spec in args.stall_transient:
+        rank, point, steps = _parse_at(spec, "stall-transient")
+        plan = plan.stall(rank, point, int(steps or 1), transient=True)
     for op in args.corrupt:
         plan = plan.corrupt(op)
     for op in args.drop:
@@ -113,10 +131,10 @@ def load_body(script: str):
     if script.startswith("scenario:"):
         name = script[len("scenario:"):]
         try:
-            return SCENARIOS[name]
+            return _ALL_SCENARIOS[name]
         except KeyError:
             raise SystemExit(
-                f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+                f"unknown scenario {name!r}; choose from {sorted(_ALL_SCENARIOS)}"
             )
     from ..sanitizer.cli import load_entry
 
@@ -126,7 +144,7 @@ def load_body(script: str):
 #: error classes that count as a *typed* failure diagnosis (report.error
 #: is a repr, so the class name is its prefix)
 _TYPED = ("TargetFailedError", "MutexHolderFailed", "RankKilledError",
-          "OpTimeoutError")
+          "OpTimeoutError", "RetriesExhausted", "CommRevokedError")
 
 
 def graceful(report) -> bool:
@@ -140,9 +158,13 @@ def graceful(report) -> bool:
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    import os
+
     from ..sanitizer.fuzz import format_reports, fuzz_schedules
 
     args = build_parser().parse_args(argv)
+    if args.fault_retries is not None:
+        os.environ["REPRO_FAULT_RETRIES"] = str(args.fault_retries)
     plan = build_plan(args)
     fn = load_body(args.script)
     print(f"fault plan: {plan.describe()}")

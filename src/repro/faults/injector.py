@@ -35,22 +35,34 @@ function of ``(schedule seed, plan)``.
 
 from __future__ import annotations
 
+import os
 import random
 
 import numpy as np
 
-from ..mpi.errors import RankKilledError
+from ..mpi.errors import RankKilledError, RetriesExhausted
 from .plan import FaultPlan
 
 __all__ = ["FaultInjector"]
 
 
 class FaultInjector:
-    """Single-use executor of one :class:`FaultPlan` against one runtime."""
+    """Single-use executor of one :class:`FaultPlan` against one runtime.
 
-    def __init__(self, plan: FaultPlan):
+    ``retries`` bounds the retry-with-backoff budget for *transient*
+    stalls (``Stall(transient=True)``): attempt ``i`` absorbs up to
+    ``2**i`` stall steps, so the budget covers ``2**(retries+1) - 1``
+    steps in total before the stalled rank raises
+    :class:`~repro.mpi.errors.RetriesExhausted`.  Defaults to the
+    ``REPRO_FAULT_RETRIES`` environment variable (3).
+    """
+
+    def __init__(self, plan: FaultPlan, retries: "int | None" = None):
         self.plan = plan
         self.runtime = None
+        if retries is None:
+            retries = int(os.environ.get("REPRO_FAULT_RETRIES", "3"))
+        self.retries = retries
         #: executed-fault log, e.g. ``("kill", rank, point, kind)`` — part
         #: of the replay digest, so divergent execution is detected
         self.events: list[tuple] = []
@@ -111,6 +123,9 @@ class FaultInjector:
                 )
         for s in self.plan.stalls:
             if s.rank == rank and s.point == idx and (s.kind in (None, kind)):
+                if s.transient:
+                    self._transient_stall(runtime, rank, idx, kind, s)
+                    continue
                 with runtime.cond:
                     self.events.append(("stall", rank, idx, kind, s.steps))
                     sched = runtime.schedule
@@ -120,6 +135,40 @@ class FaultInjector:
                     else:
                         # wall-clock mode: a bounded sleep models the stall
                         runtime.cond.wait(timeout=0.002 * s.steps)
+
+    def _transient_stall(self, runtime, rank: int, idx: int, kind: str, s) -> None:
+        """Retry-with-backoff through a transient stall (bounded attempts).
+
+        Attempt ``i`` waits out up to ``2**i`` stall steps (exponential
+        backoff, deterministic — no shared RNG is consumed, so seeded
+        replays are unaffected).  If the stall outlasts the whole
+        budget, the rank raises a typed :class:`RetriesExhausted`; the
+        fault was transient, so nothing is marked dead.
+        """
+        remaining = s.steps
+        for attempt in range(self.retries + 1):
+            burst = min(remaining, 2 ** attempt)
+            with runtime.cond:
+                self.events.append(("retry", rank, idx, kind, attempt, burst))
+                sched = runtime.schedule
+                if sched is not None:
+                    for _ in range(burst):
+                        sched.forced_yield(rank, kind)
+                else:
+                    # wall-clock mode: deterministic exponential backoff
+                    runtime.cond.wait(timeout=min(0.002 * (2 ** attempt), 0.05))
+            remaining -= burst
+            if remaining <= 0:
+                with runtime.cond:
+                    self.events.append(("retry_cleared", rank, idx, kind, attempt))
+                return
+        with runtime.cond:
+            self.events.append(("retries_exhausted", rank, idx, kind, self.retries + 1))
+        raise RetriesExhausted(
+            f"transient stall at rank {rank} fuzz point {idx} ({kind}) did not "
+            f"clear within {self.retries + 1} attempts "
+            f"({s.steps - remaining}/{s.steps} stall steps absorbed)"
+        )
 
     # -- RMA datapath hook (HOLDING runtime.cond — must not block) -------------
     def filter_rma(self, win, origin_world: int, kind: str, data):

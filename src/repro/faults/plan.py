@@ -41,12 +41,21 @@ class Kill:
 class Stall:
     """Take the token away from ``rank`` for ``steps`` scheduler steps
     at its ``point``-th fuzz point (deterministic-schedule runs only;
-    wall-clock runs sleep a token amount instead)."""
+    wall-clock runs sleep a token amount instead).
+
+    With ``transient=True`` the stall models a *transient* fault the
+    injector works through with bounded retry-with-backoff: attempt
+    ``i`` absorbs up to ``2**i`` stall steps, so a stall of ``steps``
+    clears iff it fits in the injector's retry budget — otherwise the
+    stalled rank raises a typed
+    :class:`~repro.mpi.errors.RetriesExhausted` (distinct from a
+    permanent ``kill``: nothing dies, the operation just gives up)."""
 
     rank: int
     point: int
     steps: int = 1
     kind: "str | None" = None
+    transient: bool = False
 
 
 @dataclass(frozen=True)
@@ -111,9 +120,16 @@ class FaultPlan:
         return replace(self, kills=self.kills + (Kill(rank, point, kind),))
 
     def stall(
-        self, rank: int, point: int, steps: int = 1, kind: "str | None" = None
+        self,
+        rank: int,
+        point: int,
+        steps: int = 1,
+        kind: "str | None" = None,
+        transient: bool = False,
     ) -> "FaultPlan":
-        return replace(self, stalls=self.stalls + (Stall(rank, point, steps, kind),))
+        return replace(
+            self, stalls=self.stalls + (Stall(rank, point, steps, kind, transient),)
+        )
 
     def corrupt(self, op: int, kind: "str | None" = None) -> "FaultPlan":
         return replace(
@@ -151,6 +167,7 @@ class FaultPlan:
                          + (f" [{k.kind}]" if k.kind else ""))
         for s in self.stalls:
             parts.append(f"stall rank {s.rank} @point {s.point} x{s.steps}"
+                         + (" (transient)" if s.transient else "")
                          + (f" [{s.kind}]" if s.kind else ""))
         for c in self.corruptions:
             parts.append(f"{c.mode} op {c.op}" + (f" [{c.kind}]" if c.kind else ""))

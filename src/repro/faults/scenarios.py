@@ -15,8 +15,24 @@ from __future__ import annotations
 import numpy as np
 
 from ..armci.mutexes import MutexHolderFailed
+from ..mpi.errors import (
+    CommRevokedError,
+    OpTimeoutError,
+    RankKilledError,
+    TargetFailedError,
+)
 
-__all__ = ["SCENARIOS", "mutex_counter", "rmw_counter", "gmr_free_null"]
+__all__ = [
+    "SCENARIOS",
+    "RECOVER_SCENARIOS",
+    "mutex_counter",
+    "rmw_counter",
+    "gmr_free_null",
+    "recover_mutex",
+    "recover_rmw",
+    "recover_gmr",
+    "recover_ga",
+]
 
 #: per-rank rounds in the counter scenarios (small: fuzz points multiply)
 ROUNDS = 4
@@ -115,4 +131,265 @@ SCENARIOS = {
     "mutex": mutex_counter,
     "rmw": rmw_counter,
     "gmr_free": gmr_free_null,
+}
+
+
+# ---------------------------------------------------------------------------
+# Recovery scenarios: lose a rank, shrink, redistribute, finish correctly.
+#
+# These are the *survivor-restart* counterparts of the scenarios above:
+# instead of merely degrading gracefully (typed error, no hang), they
+# catch the failure, run the :mod:`repro.recover` protocol, and complete
+# the computation with value-verified results on the shrunken world.
+# Kept in a separate registry: the regression corpus (and its seed-sweep
+# gate) enumerates exactly ``SCENARIOS``.
+# ---------------------------------------------------------------------------
+
+#: errors a *survivor* treats as "a peer failed, start recovery";
+#: RankKilledError is excluded — that is the victim's own death notice
+#: and must propagate (a dead rank cannot join the survivors' shrink)
+_RECOVERABLE = (CommRevokedError, TargetFailedError, OpTimeoutError)
+
+
+def _attempt_with_recovery(comm, phase):
+    """Run ``phase(armci)`` until one attempt completes on a live world.
+
+    The ULFM-textbook loop: try the phase; on a failure error, revoke
+    the world (so survivors blocked in phase collectives abandon them
+    too) and vote 0; then every rank votes through
+    :meth:`~repro.mpi.comm.Comm.agree` — consensus, so either *all*
+    survivors accept the attempt or *all* run :func:`repro.recover.
+    recover` and retry on the shrunken world.  Returns
+    ``(armci, recoveries, result)``.
+    """
+    from ..armci import Armci
+    from ..recover import recover
+
+    armci = Armci.init(comm)
+    recoveries = 0
+    while True:
+        result = None
+        try:
+            result = phase(armci)
+            flag = 1
+        except RankKilledError:
+            raise
+        except _RECOVERABLE:
+            # poison the phase everywhere before abandoning it, so no
+            # survivor stays blocked in a collective we will never join
+            armci.world.revoke()
+            flag = 0
+        if armci.world.agree(flag):
+            return armci, recoveries, result
+        if recoveries > comm.size:
+            raise TargetFailedError(
+                f"recovery did not converge after {recoveries} attempts"
+            )
+        armci, _report = recover(armci)
+        recoveries += 1
+
+
+def recover_mutex(comm):
+    """§V-D queueing mutex under a kill, completed on the shrunken world.
+
+    Each attempt runs the full mutex-counter protocol on a fresh
+    allocation; the surviving attempt verifies the counter against an
+    allgather of per-rank completed rounds (exact — torn rounds are
+    skipped by their ranks and never counted).
+    """
+
+    def phase(armci):
+        ptrs = armci.malloc(8 if armci.my_id == 0 else 0)
+        mutexes = armci.create_mutexes(1)
+        armci.barrier()
+        buf = np.zeros(1, dtype=np.int64)
+        done = 0
+        for _ in range(ROUNDS):
+            try:
+                mutexes.lock(0, 0)
+            except MutexHolderFailed:
+                mutexes.unlock(0, 0)
+                continue
+            armci.get(ptrs[0], buf, 8)
+            buf[0] += 1
+            armci.put(buf, ptrs[0], 8)
+            mutexes.unlock(0, 0)
+            done += 1
+        armci.barrier()
+        total = None
+        if armci.my_id == 0:
+            view = armci.access_begin(ptrs[0], 8, np.int64)
+            total = int(view[0])
+            armci.access_end(ptrs[0])
+        total = armci.world.bcast_obj(total, root=0)
+        dones = armci.world.allgather(done)
+        assert total == sum(dones), (total, dones)
+        return total
+
+    armci, recoveries, total = _attempt_with_recovery(comm, phase)
+    return (armci.nproc, recoveries, total)
+
+
+def recover_rmw(comm):
+    """ARMCI_Rmw fetch-and-add under a kill, completed after recovery."""
+
+    def phase(armci):
+        ptrs = armci.malloc(8 if armci.my_id == 0 else 0)
+        armci.barrier()
+        done = 0
+        for _ in range(ROUNDS):
+            try:
+                armci.rmw("fetch_and_add_long", ptrs[0], 1)
+            except MutexHolderFailed:
+                continue  # rmw released the repaired mutex before raising
+            done += 1
+        armci.barrier()
+        total = None
+        if armci.my_id == 0:
+            view = armci.access_begin(ptrs[0], 8, np.int64)
+            total = int(view[0])
+            armci.access_end(ptrs[0])
+        total = armci.world.bcast_obj(total, root=0)
+        dones = armci.world.allgather(done)
+        assert total == sum(dones), (total, dones)
+        return total
+
+    armci, recoveries, total = _attempt_with_recovery(comm, phase)
+    return (armci.nproc, recoveries, total)
+
+
+def recover_gmr(comm):
+    """GMR reconstruction on the shrunken group (§V-B under failure).
+
+    Rank 0 owns the only non-NULL slice.  If the victim held a NULL
+    slice, the recovery protocol's per-GMR consensus votes *rebuild*
+    and the data must read back intact through the reconstructed
+    allocation; if rank 0 itself died, consensus votes *abort* and the
+    survivors restart the allocation from scratch.  Both paths are
+    value-verified.
+    """
+    from ..armci import Armci
+    from ..recover import recover
+
+    armci = Armci.init(comm)
+    pattern = np.arange(8, dtype=np.int64)
+
+    def seed_and_check(a):
+        ptrs = a.malloc(64 if a.my_id == 0 else 0)
+        if a.my_id == 0:
+            a.put(pattern, ptrs[0], 64)
+        a.barrier()
+        buf = np.zeros(8, dtype=np.int64)
+        a.get(ptrs[0], buf, 64)
+        assert np.array_equal(buf, pattern), buf
+        a.barrier()
+        return ptrs
+
+    try:
+        seed_and_check(armci)
+        flag = 1
+    except RankKilledError:
+        raise
+    except _RECOVERABLE:
+        armci.world.revoke()
+        flag = 0
+    if armci.world.agree(flag):
+        return (armci.nproc, 0, "clean")
+
+    armci, report = recover(armci)
+    # the failure may predate the allocation (report.gmrs empty) — then
+    # there is nothing to rebuild and the survivors simply start over
+    outcome = report.gmrs[0] if report.gmrs else None
+    if outcome is not None and outcome.action == "rebuilt":
+        # the dead rank held a NULL slice: data survived the rebuild
+        new_owner = dict(report.rank_map)[0]
+        buf = np.zeros(8, dtype=np.int64)
+        armci.get(outcome.new_ptrs[new_owner], buf, 64)
+        assert np.array_equal(buf, pattern), buf
+    else:
+        # rank 0's data died with it (or never existed): restart fresh
+        seed_and_check(armci)
+    armci.barrier()
+    return (armci.nproc, 1, outcome.action if outcome else "restarted")
+
+
+def recover_ga(comm):
+    """GA checkpoint / restore: lose a rank, shrink, redistribute, finish.
+
+    The array is checkpointed (replicated snapshot) before the risky
+    update phase.  A clean attempt verifies the update in place; after
+    a failure the survivors restore the checkpoint onto the shrunken
+    world — the block distribution is recomputed for the new process
+    count — replay the update there, and verify the same values.
+    """
+    from ..armci import Armci
+    from ..ga import GlobalArray
+    from ..recover import recover
+
+    armci = Armci.init(comm)
+    shape = (8, 8)
+    base = np.add.outer(
+        np.arange(shape[0], dtype=np.float64) * 10,
+        np.arange(shape[1], dtype=np.float64),
+    )
+
+    def update_and_check(a, ga, nproc):
+        ga.acc([0, 0], list(shape), np.ones(shape))
+        ga.sync()
+        full = ga.get([0, 0], list(shape))
+        assert np.array_equal(full, base + nproc), full
+        ga.sync()
+
+    ckpt = None
+    try:
+        ga = GlobalArray.create(armci, shape, "f8")
+        blk = ga.distribution()
+        if blk.size:
+            view = ga.access()
+            view[...] = base[tuple(slice(l, h) for l, h in zip(blk.lo, blk.hi))]
+            ga.release()
+        ga.sync()
+        ckpt = ga.checkpoint()
+        update_and_check(armci, ga, armci.nproc)
+        flag = 1
+    except RankKilledError:
+        raise
+    except _RECOVERABLE:
+        armci.world.revoke()
+        flag = 0
+    if armci.world.agree(flag):
+        return (armci.nproc, 0)
+
+    armci, _report = recover(armci)
+    # the checkpoint is per-rank local and the failure may have landed
+    # mid-checkpoint, so agree on whether *every* survivor holds a good
+    # snapshot — consensus keeps the restore/rebuild branch collective
+    have_ckpt = ckpt is not None and np.array_equal(ckpt.data, base)
+    if armci.world.agree(1 if have_ckpt else 0):
+        ga = GlobalArray.restore(armci, ckpt)
+    else:
+        # died before a consistent checkpoint existed: rebuild from scratch
+        ga = GlobalArray.create(armci, shape, "f8")
+        blk = ga.distribution()
+        if blk.size:
+            view = ga.access()
+            view[...] = base[tuple(slice(l, h) for l, h in zip(blk.lo, blk.hi))]
+            ga.release()
+        ga.sync()
+    full = ga.get([0, 0], list(shape))
+    assert np.array_equal(full, base), full
+    # fence the verification read before the update phase mutates the
+    # array, or a fast rank's acc lands inside a slow rank's get
+    ga.sync()
+    update_and_check(armci, ga, armci.nproc)
+    return (armci.nproc, 1)
+
+
+#: name -> recovery-capable SPMD body (kept OUT of ``SCENARIOS``: the
+#: regression corpus and seed-sweep gate enumerate exactly that dict)
+RECOVER_SCENARIOS = {
+    "mutex": recover_mutex,
+    "rmw": recover_rmw,
+    "gmr": recover_gmr,
+    "ga": recover_ga,
 }

@@ -19,6 +19,7 @@ the NWChem proxy runs the same science on both stacks.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -26,6 +27,23 @@ import numpy as np
 from ..armci.gmr import GlobalPtr
 from ..mpi.errors import ArgumentError
 from .distribution import BlockDistribution, Patch
+
+
+@dataclass(frozen=True)
+class GaCheckpoint:
+    """An in-memory GA snapshot, replicated on every rank.
+
+    Produced by :meth:`GlobalArray.checkpoint`; consumed by
+    :meth:`GlobalArray.restore` — possibly on a *different* (smaller)
+    runtime after a rank failure and :meth:`~repro.mpi.comm.Comm.shrink`.
+    Replication is the point: when the rank that owned a block dies, every
+    survivor still holds the block's bytes.
+    """
+
+    name: str
+    shape: tuple
+    dtype: np.dtype
+    data: np.ndarray
 
 
 class GlobalArray:
@@ -233,6 +251,43 @@ class GlobalArray:
         self._access_view = None
         if hasattr(self.runtime, "access_end"):
             self.runtime.access_end(self.ptrs[self.runtime.my_id])
+
+    # -- checkpoint / restore (survivor-restart support) --------------------------------
+    def checkpoint(self) -> GaCheckpoint:
+        """Collective in-memory checkpoint: a replicated full-array snapshot.
+
+        Every rank reads the entire array one-sidedly (so only GA-surface
+        operations are used — this works on both the ARMCI-MPI and native
+        runtimes) and keeps a private copy.  Barriers on both sides make
+        the snapshot a consistent cut: no in-flight update is half
+        captured.  The returned :class:`GaCheckpoint` survives the death
+        of any rank because every rank holds all of it.
+        """
+        self.sync()
+        full = self.get([0] * self.ndim, list(self.shape))
+        self.sync()
+        return GaCheckpoint(self.name, self.shape, self.dtype, full)
+
+    @classmethod
+    def restore(cls, runtime, ckpt: GaCheckpoint, name: "str | None" = None) -> "GlobalArray":
+        """Collective: recreate a checkpointed GA on ``runtime``.
+
+        ``runtime`` may be a *different* ARMCI runtime than the one the
+        checkpoint was taken on — in the survivor-restart protocol it is
+        the rebuilt :class:`~repro.armci.Armci` on the shrunken world, so
+        the block distribution is recomputed for the new process count
+        (redistribute-on-shrink).  Each rank writes only its own block
+        from the replicated snapshot (owner-computes), so restore issues
+        no communication beyond the closing sync.
+        """
+        ga = cls.create(runtime, ckpt.shape, ckpt.dtype, name=name or ckpt.name)
+        block = ga.distribution()
+        if block.size:
+            view = ga.access()
+            view[...] = _subpatch(np.asarray(ckpt.data), block)
+            ga.release()
+        ga.sync()
+        return ga
 
     # -- convenience --------------------------------------------------------------------
     def sync(self) -> None:

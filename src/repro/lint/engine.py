@@ -509,6 +509,22 @@ class FunctionAnalyzer:
                 return ("armci", aid)
         if isinstance(func, ast.Attribute):
             recv = self.eval_expr(func.value, st)
+            if func.attr in ("agree", "shrink") and recv is None:
+                # ULFM-analogue recovery boundary (repro.recover): agree()
+                # and shrink() are the only operations guaranteed to
+                # complete once a member has failed, and recovery abandons
+                # whatever epochs the wounded world still had open.  Epochs
+                # leave *must* (a path through here is a valid exit for
+                # them: no leak, and recovery may re-lock on the new world)
+                # but stay in *may* (an unlock on the path where the
+                # attempt succeeded is still a matched release).
+                self.scan_args(call, st, escape=False)
+                for k in [
+                    k for k in st.must
+                    if k[0] in ("epoch", "lockall", "fence", "dla", "mlock")
+                ]:
+                    st.must.discard(k)
+                return None
             if recv is not None:
                 if recv[0] == "armci":
                     return self.armci_method(call, func.attr, recv[1], st)

@@ -39,12 +39,17 @@ from .datatypes import (
 )
 from .errors import (
     ArgumentError,
+    CommRevokedError,
     DatatypeError,
     MPIError,
+    OpTimeoutError,
     ProgressDeadlockError,
+    RankKilledError,
+    RetriesExhausted,
     RMAConflictError,
     RMARangeError,
     RMASyncError,
+    TargetFailedError,
     WinError,
 )
 from .group import UNDEFINED, Group
@@ -63,6 +68,7 @@ __all__ = [
     "BXOR",
     "BYTE",
     "Comm",
+    "CommRevokedError",
     "Datatype",
     "DatatypeError",
     "DOUBLE",
@@ -83,13 +89,16 @@ __all__ = [
     "NATIVE_CHT",
     "NO_OP",
     "Op",
+    "OpTimeoutError",
     "PROD",
     "Proc",
     "ProgressConfig",
     "ProgressDeadlockError",
     "RankFailedError",
+    "RankKilledError",
     "REPLACE",
     "Request",
+    "RetriesExhausted",
     "RMAConflictError",
     "RMARangeError",
     "RMASyncError",
@@ -97,6 +106,7 @@ __all__ = [
     "SegmentMap",
     "Status",
     "SUM",
+    "TargetFailedError",
     "UNDEFINED",
     "Win",
     "WinError",

@@ -93,6 +93,18 @@ class CollectiveEngine:
         for ctx in self._contexts.values():
             self._poison(ctx, [dead_rank])
 
+    def fail_all(self, exc: BaseException) -> None:
+        """Fail every in-flight collective with ``exc`` (comm revocation).
+
+        Must be called with the giant lock held.  Contexts that already
+        completed (``ready`` with no error) are left alone so departing
+        ranks still pick up their result.
+        """
+        for ctx in self._contexts.values():
+            if not ctx.ready:
+                ctx.error = exc
+                ctx.ready = True
+
     def _enter(self, rank: int, kind: str) -> tuple[int, _CollectiveContext]:
         idx = self._counters[rank]
         self._counters[rank] += 1
@@ -121,6 +133,7 @@ class CollectiveEngine:
         """
         rt = self.comm.runtime
         rt.check_self_alive()
+        self.comm._check_revoked()
         idx, ctx = self._enter(rank, kind)
         ctx.contributions[rank] = contribution
         ctx.arrived += 1

@@ -22,7 +22,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from . import collectives as coll
-from .errors import ArgumentError, CommError, RankError
+from .errors import ArgumentError, CommError, CommRevokedError, RankError
 from .group import UNDEFINED, Group
 from .p2p import ANY_SOURCE, ANY_TAG, P2PEngine, Request, Status, _ObjStatus
 from .runtime import Runtime, current_proc
@@ -37,6 +37,11 @@ class Comm:
         self.context_id = context_id
         self._p2p = P2PEngine(runtime, context_id)
         self._coll = coll.CollectiveEngine(self)
+        #: set by :meth:`revoke`; poisons every op except ``agree``/``shrink``
+        self._revoked = False
+        #: per-(kind, world rank) sequence numbers matching successive
+        #: fault-tolerant rendezvous (``agree``/``shrink``) across members
+        self._ft_counters: dict = {}
 
     # -- construction -----------------------------------------------------------
     @classmethod
@@ -63,6 +68,17 @@ class Comm:
     def world_rank(self, rank: int) -> int:
         return self.group.world_rank(rank)
 
+    @property
+    def revoked(self) -> bool:
+        """True once any member called :meth:`revoke`."""
+        return self._revoked
+
+    def _check_revoked(self) -> None:
+        if self._revoked:
+            raise CommRevokedError(
+                f"communicator ctx={self.context_id} was revoked"
+            )
+
     # -- point to point -----------------------------------------------------------
     def _charge_p2p(self, nbytes: int, kind: str) -> None:
         if self.runtime.timing is not None:
@@ -72,6 +88,7 @@ class Comm:
     def send(self, payload: Any, dest: int, tag: int = 0) -> None:
         """Blocking (eager) send of a NumPy buffer or Python object."""
         self.runtime.check_self_alive()
+        self._check_revoked()
         self.runtime.fuzz_point("p2p:send")
         dst_world = self.group.world_rank(dest)
         nbytes = payload.nbytes if isinstance(payload, np.ndarray) else 0
@@ -82,6 +99,7 @@ class Comm:
     def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
         """Nonblocking send (eager: completes immediately)."""
         self.runtime.check_self_alive()
+        self._check_revoked()
         self.runtime.fuzz_point("p2p:isend")
         dst_world = self.group.world_rank(dest)
         with self.runtime.cond:
@@ -98,6 +116,7 @@ class Comm:
     ) -> Request:
         """Nonblocking receive; ``buf=None`` selects object mode."""
         self.runtime.check_self_alive()
+        self._check_revoked()
         self.runtime.fuzz_point("p2p:recv")
         src_world = (
             source if source == ANY_SOURCE else self.group.world_rank(source)
@@ -146,6 +165,7 @@ class Comm:
 
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> "Status | None":
         self.runtime.check_self_alive()
+        self._check_revoked()
         src_world = (
             source if source == ANY_SOURCE else self.group.world_rank(source)
         )
@@ -258,6 +278,158 @@ class Comm:
 
             newcomm = self._coll.run(rank, "comm_create", None, make)
             return newcomm if group.contains_world(self.group.world_rank(rank)) else None
+
+    # -- fault tolerance (ULFM analogues) --------------------------------------
+    #
+    # The four primitives below mirror the ULFM MPI fault-tolerance
+    # proposal: ``failure_ack``/``failure_get_acked`` acknowledge known
+    # failures (clearing a standing dead-stall verdict so survivors can
+    # block again), ``revoke`` poisons every other operation on this
+    # communicator with :class:`CommRevokedError`, and ``agree``/``shrink``
+    # are the only operations guaranteed to complete with dead (or
+    # revoked) members — which is exactly what recovery code needs to
+    # rendezvous and rebuild.  They deliberately do *not* go through
+    # :class:`~repro.mpi.collectives.CollectiveEngine` (whose contexts are
+    # poisoned by dead members); instead they use a survivor-only
+    # rendezvous in ``runtime.shared`` whose completion predicate is
+    # re-evaluated as ranks die, modeled on :meth:`Intercomm.merge`.
+
+    def failure_ack(self) -> None:
+        """Acknowledge all currently-known member failures (ULFM
+        ``MPIX_Comm_failure_ack``)."""
+        self.runtime.check_self_alive()
+        self.runtime.failure_ack()
+
+    def failure_get_acked(self) -> Group:
+        """Group of failed members this rank has acknowledged (ULFM
+        ``MPIX_Comm_failure_get_acked``)."""
+        self.runtime.check_self_alive()
+        acked = self.runtime.acked_failures()
+        return Group(w for w in sorted(acked) if self.group.contains_world(w))
+
+    def revoke(self) -> None:
+        """Revoke the communicator (ULFM ``MPIX_Comm_revoke``).
+
+        Non-collective: any member may call it.  Every in-flight
+        operation on this communicator fails with
+        :class:`CommRevokedError` on every member, as does every future
+        operation except :meth:`agree` and :meth:`shrink`.  Idempotent.
+        """
+        rt = self.runtime
+        rt.check_self_alive()
+        rt.fuzz_point("ft:revoke")
+        with rt.cond:
+            if self._revoked:
+                return
+            self._revoked = True
+            exc = CommRevokedError(
+                f"communicator ctx={self.context_id} was revoked"
+            )
+            self._coll.fail_all(exc)
+            self._p2p.fail_all(exc)
+            rt.notify_progress()
+
+    def _ft_seq(self, kind: str) -> int:
+        """Next rendezvous sequence number for the calling member.
+
+        Each member's *n*-th ``agree`` (or ``shrink``) matches every other
+        member's *n*-th — the same per-rank counter device the collective
+        engine uses for context matching.  Must hold ``runtime.cond``.
+        """
+        me = current_proc().rank
+        idx = self._ft_counters.get((kind, me), 0)
+        self._ft_counters[(kind, me)] = idx + 1
+        return idx
+
+    def agree(self, flag: int = 1) -> int:
+        """Fault-tolerant agreement (ULFM ``MPIX_Comm_agree``).
+
+        Returns the bitwise AND of the ``flag`` contributions of all
+        *live* members.  Completes even when members are dead or die
+        mid-operation: the completion predicate is re-evaluated each time
+        a member dies, so a contribution that will never arrive stops
+        being waited for.  Acknowledges known failures on entry.
+        """
+        rt = self.runtime
+        rt.check_self_alive()
+        rt.fuzz_point("ft:agree")
+        rt.failure_ack()
+        with rt.cond:
+            me = current_proc().rank
+            key = ("ft_agree", self.context_id, self._ft_seq("agree"))
+            state = rt.shared.get(key)
+            if state is None:
+                state = {"contrib": {}, "value": None, "done": False, "departed": 0}
+                rt.shared[key] = state
+            state["contrib"][me] = int(flag)
+            rt.notify_progress()
+            members = list(self.group.members)
+
+            def complete() -> bool:
+                if state["done"]:
+                    return True
+                live = [w for w in members if w not in rt.dead_ranks]
+                if live and all(w in state["contrib"] for w in live):
+                    value = -1  # AND identity (all ones)
+                    for w in live:
+                        value &= state["contrib"][w]
+                    state["value"] = value
+                    state["done"] = True
+                    rt.notify_progress()
+                    return True
+                return False
+
+            rt.wait_for(complete, what="agree")
+            value: int = state["value"]
+            state["departed"] += 1
+            live_now = [w for w in members if w not in rt.dead_ranks]
+            if state["departed"] >= len(live_now):
+                rt.shared.pop(key, None)
+            return value
+
+    def shrink(self) -> "Comm":
+        """Re-form a communicator of the survivors (ULFM
+        ``MPIX_Comm_shrink``).
+
+        Collective over the *live* members only.  Returns a new
+        communicator containing every surviving member, densely re-ranked
+        in world-rank order (rank ``i`` of the new communicator is the
+        ``i``-th smallest surviving world rank).  Acknowledges known
+        failures on entry; works on a revoked communicator.
+        """
+        rt = self.runtime
+        rt.check_self_alive()
+        rt.fuzz_point("ft:shrink")
+        rt.failure_ack()
+        with rt.cond:
+            me = current_proc().rank
+            key = ("ft_shrink", self.context_id, self._ft_seq("shrink"))
+            state = rt.shared.get(key)
+            if state is None:
+                state = {"arrived": set(), "comm": None, "departed": 0}
+                rt.shared[key] = state
+            state["arrived"].add(me)
+            rt.notify_progress()
+            members = list(self.group.members)
+
+            def complete() -> bool:
+                if state["comm"] is not None:
+                    return True
+                live = [w for w in members if w not in rt.dead_ranks]
+                if live and set(live) <= state["arrived"]:
+                    state["comm"] = Comm(
+                        rt, Group(sorted(live)), rt.alloc_context_id()
+                    )
+                    rt.notify_progress()
+                    return True
+                return False
+
+            rt.wait_for(complete, what="shrink")
+            newcomm: Comm = state["comm"]
+            state["departed"] += 1
+            if state["departed"] >= newcomm.size:
+                rt.shared.pop(key, None)
+            return newcomm
 
     # -- intercommunicators --------------------------------------------------------
     def create_intercomm(

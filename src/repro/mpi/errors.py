@@ -36,6 +36,8 @@ __all__ = [
     "OpTimeoutError",
     "RankKilledError",
     "TargetFailedError",
+    "CommRevokedError",
+    "RetriesExhausted",
 ]
 
 
@@ -177,6 +179,21 @@ class RankKilledError(TargetFailedError):
     """
 
 
+class CommRevokedError(MPIError):
+    """The communicator has been revoked (MPI_ERR_REVOKED).
+
+    Mirrors ULFM's ``MPIX_Comm_revoke``: after any member calls
+    :meth:`~repro.mpi.comm.Comm.revoke`, every in-flight and future
+    operation on that communicator (point-to-point, collectives, RMA on
+    windows built over it) raises this error on every member.  The only
+    calls that keep working on a revoked communicator are the
+    fault-tolerance primitives themselves — ``agree`` and ``shrink`` —
+    which is exactly what lets survivors rendezvous to rebuild.
+    """
+
+    error_class = "MPI_ERR_REVOKED"
+
+
 class OpTimeoutError(MPIError):
     """A per-operation timeout expired before the operation completed.
 
@@ -188,3 +205,15 @@ class OpTimeoutError(MPIError):
     """
 
     error_class = "MPI_ERR_PENDING"
+
+
+class RetriesExhausted(OpTimeoutError):
+    """A transient fault was retried up to its budget and never cleared.
+
+    Raised by :class:`~repro.faults.injector.FaultInjector` when a
+    ``stall``/``delay`` fault marked *transient* keeps firing past the
+    configured retry budget (``REPRO_FAULT_RETRIES``).  Subclasses
+    :class:`OpTimeoutError` because semantically the operation timed out
+    — but the typed subclass lets callers distinguish "the fault plan
+    said this would never clear" from an organic timeout.
+    """

@@ -135,6 +135,20 @@ class P2PEngine:
                     )
                 )
 
+    def fail_all(self, exc: BaseException) -> None:
+        """Fail every posted receive with ``exc`` and drop buffered sends.
+
+        Used by :meth:`~repro.mpi.comm.Comm.revoke`: a revoked
+        communicator delivers nothing, so pending receives complete with
+        the revocation error and unmatched eager sends are discarded.
+        Must be called with the giant lock held.
+        """
+        for posted in self._posted.values():
+            for pr in list(posted):
+                posted.remove(pr)
+                pr.request._fail(exc)
+        self._unexpected.clear()
+
     # -- internal -----------------------------------------------------------
     def _next_seq(self) -> int:
         self._seq += 1

@@ -143,6 +143,13 @@ class DeterministicSchedule:
 
     def _jitter(self, kind: str, seconds: float) -> float:
         # consumed only by the token-holding rank => deterministic order
+        rt = self.runtime
+        if rt is not None and rt._dead_stall:
+            # token regime suspended (survivors stampeding toward
+            # failure_ack): charging seeded jitter here would consume RNG
+            # in OS order and break replay — jitter is deterministically
+            # zero until the stall clears and the token resumes.
+            return 0.0
         return seconds * self.jitter_frac * self.rng.random()
 
     def _event(self, *ev) -> None:
@@ -217,6 +224,38 @@ class DeterministicSchedule:
         self._dispatch()
         self._park(rank)
 
+    # -- failure acknowledgment (ULFM recovery; called with cond held) ---------
+    def ack_point(self, rank: int) -> None:
+        """``rank`` acknowledged the current failures (``failure_ack``).
+
+        During a dead-stall the token regime is suspended: every survivor
+        raised out of its wait and is running its recovery handler
+        unscheduled.  Acknowledging re-registers the rank as dispatchable
+        so that when the *last* survivor acks (clearing the stall), the
+        eligible set is exactly the live acknowledged ranks — independent
+        of the OS order in which the handlers ran.
+        """
+        self._blocked.pop(rank, None)
+        self._ready.add(rank)
+
+    def stall_cleared(self) -> None:
+        """The runtime cleared ``_dead_stall``: resume the token regime.
+
+        Emits a single ``("recover", dead_ranks)`` trace event and hands
+        the token to a seeded choice among the survivors.  No RNG was
+        consumed while the regime was suspended (``yield_point`` and
+        ``_jitter`` are gated), so the post-recovery decision sequence is
+        still a pure function of the seed.
+        """
+        self._event("recover", tuple(sorted(self.runtime.dead_ranks)))
+        self._dispatch()
+
+    def ack_park(self, rank: int) -> None:
+        """Park an acknowledged rank until the resumed token reaches it."""
+        if self._running == rank:
+            return
+        self._park(rank)
+
     # -- internals -------------------------------------------------------------
     def _eligible(self) -> list[int]:
         counter = self.runtime.progress_counter
@@ -262,10 +301,11 @@ class DeterministicSchedule:
         while self._running != rank:
             if rt.failed is not None:
                 raise RankFailedError(f"rank failed elsewhere: {rt.failed!r}")
-            if rt._dead_stall:
+            unacked = rt.dead_ranks - rt.procs[rank].acked_dead
+            if rt._dead_stall and unacked:
                 raise TargetFailedError(
                     "deterministic schedule: no rank can make progress while "
-                    f"rank(s) {sorted(rt.dead_ranks)} are failed (seed {self.seed})"
+                    f"rank(s) {sorted(unacked)} are failed (seed {self.seed})"
                 )
             if rt._deadlocked:
                 raise ProgressDeadlockError(

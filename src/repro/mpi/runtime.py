@@ -68,7 +68,10 @@ class RankFailedError(ProgressDeadlockError):
 class Proc:
     """Per-rank context: identity, simulated clock, and scheduler state."""
 
-    __slots__ = ("rank", "runtime", "clock", "blocked", "finished", "dead", "exception")
+    __slots__ = (
+        "rank", "runtime", "clock", "blocked", "finished", "dead",
+        "exception", "acked_dead",
+    )
 
     def __init__(self, rank: int, runtime: "Runtime"):
         self.rank = rank
@@ -79,6 +82,11 @@ class Proc:
         #: set by :meth:`Runtime.mark_dead`; a dead rank's MPI calls raise
         self.dead = False
         self.exception: BaseException | None = None
+        #: failed world ranks this rank has acknowledged (ULFM
+        #: ``MPIX_Comm_failure_ack`` analogue); a dead-stall verdict only
+        #: poisons waits of ranks with *unacknowledged* failures, which is
+        #: what lets survivors regroup (``Comm.shrink``) after a kill.
+        self.acked_dead: set[int] = set()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Proc rank={self.rank}>"
@@ -212,10 +220,10 @@ class Runtime:
                 raise RankKilledError(f"rank {proc.rank} was killed by fault injection")
             if self.failed is not None:
                 raise RankFailedError(f"rank failed elsewhere: {self.failed!r}")
-            if self._dead_stall:
+            if self._dead_stall and (self.dead_ranks - proc.acked_dead):
                 raise TargetFailedError(
                     f"no rank can make progress while rank(s) "
-                    f"{sorted(self.dead_ranks)} are failed"
+                    f"{sorted(self.dead_ranks - proc.acked_dead)} are failed"
                 )
             if self._deadlocked:
                 raise ProgressDeadlockError("deadlock detected among all ranks")
@@ -289,11 +297,62 @@ class Runtime:
                 hook(world_rank)
             except BaseException as exc:  # noqa: BLE001 - recovery must not cascade
                 self.death_hook_errors.append(exc)
+        self._maybe_clear_dead_stall()
         self.notify_progress()
 
     def add_death_hook(self, hook: Callable[[int], None]) -> None:
         """Register ``hook(world_rank)`` to run (under :attr:`cond`) on death."""
         self._death_hooks.append(hook)
+
+    def failure_ack(self) -> "frozenset[int]":
+        """Acknowledge all currently-known failures for the calling rank.
+
+        The ULFM ``MPIX_Comm_failure_ack`` analogue, lifted to the
+        runtime (failure knowledge is global here, not per-communicator).
+        Returns the full set of failed world ranks this rank has now
+        acknowledged.  Once *every* live rank has acknowledged the
+        current dead set, a standing dead-stall verdict is cleared so
+        survivors can rendezvous (``Comm.agree`` / ``Comm.shrink``)
+        instead of re-raising :class:`TargetFailedError` forever.  Under
+        a deterministic schedule the call also re-enters the token
+        regime, so recovery replays bit-identically from the seed.
+        """
+        proc = current_proc()
+        with self.cond:
+            proc.acked_dead |= self.dead_ranks
+            acked = frozenset(proc.acked_dead)
+            if self.schedule is not None:
+                self.schedule.ack_point(proc.rank)
+            self._maybe_clear_dead_stall()
+            if self.schedule is not None:
+                self.schedule.ack_park(proc.rank)
+        return acked
+
+    def acked_failures(self) -> "frozenset[int]":
+        """Failed world ranks the calling rank has acknowledged so far."""
+        return frozenset(current_proc().acked_dead)
+
+    def _maybe_clear_dead_stall(self) -> None:
+        """Clear the dead-stall verdict once every live rank acknowledged.
+
+        Must be called with :attr:`cond` held.  A dead-stall poisons the
+        waits of ranks with unacknowledged failures; when the last live,
+        unfinished rank acknowledges (or finishes, or dies), the verdict
+        has served its purpose and blocking waits may resume — this is
+        the hinge that turns "typed graceful degradation" (PR 3) into
+        actual recovery.
+        """
+        if not self._dead_stall:
+            return
+        for p in self.procs:
+            if p.dead or p.finished:
+                continue
+            if self.dead_ranks - p.acked_dead:
+                return
+        self._dead_stall = False
+        if self.schedule is not None:
+            self.schedule.stall_cleared()
+        self.notify_progress()
 
     def check_self_alive(self) -> None:
         """Raise :class:`RankKilledError` if the calling rank was killed.
@@ -391,6 +450,7 @@ class Runtime:
                     proc.finished = True
                     if self.schedule is not None:
                         self.schedule.thread_finished(proc.rank)
+                    self._maybe_clear_dead_stall()
                     self.notify_progress()
                 _tls.proc = None
 

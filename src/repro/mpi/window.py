@@ -41,6 +41,7 @@ from . import ops as mpi_ops
 from .comm import Comm
 from .errors import (
     ArgumentError,
+    CommRevokedError,
     OpTimeoutError,
     RMAConflictError,
     RMARangeError,
@@ -414,6 +415,32 @@ class Win:
                 return result
 
             return self.comm._coll.run(rank, "win_free", None, finish)
+
+    def invalidate(self) -> None:
+        """Non-collective forced teardown (recovery path).
+
+        Unlike :meth:`free`, which is a collective over *all* members and
+        therefore poisoned once a member is dead, ``invalidate`` simply
+        marks the window freed and drops its synchronisation state.  Any
+        member may call it; it is idempotent.  Recovery code uses it to
+        retire windows that can no longer complete a collective free
+        after a rank failure — the survivors rebuild replacements on the
+        shrunken communicator instead.  Must not be called with the
+        giant lock held.
+        """
+        with self.runtime.cond:
+            if self._freed:
+                return
+            self._freed = True
+            self._epochs.clear()
+            self._held.clear()
+            self._lock_all.clear()
+            self._fence_members.clear()
+            for ls in self._locks:
+                ls.mode = None
+                ls.holders.clear()
+                ls.queue.clear()
+            self.runtime.notify_progress()
 
     # -- introspection -----------------------------------------------------------
     def size_of(self, target_rank: int) -> int:
@@ -953,6 +980,11 @@ class Win:
     def _check_alive(self) -> None:
         if self._freed:
             raise WinError("operation on a freed window")
+        if self.comm.revoked:
+            raise CommRevokedError(
+                f"RMA operation on win {self.win_id}: its communicator "
+                "was revoked"
+            )
 
     def _check_target(self, target_rank: int) -> None:
         if not 0 <= target_rank < self.comm.size:

@@ -1,0 +1,20 @@
+"""Survivor-restart recovery for the ARMCI/GA stack.
+
+The MPI layer provides the ULFM-analogue primitives —
+:meth:`~repro.mpi.comm.Comm.failure_ack`,
+:meth:`~repro.mpi.comm.Comm.revoke`, :meth:`~repro.mpi.comm.Comm.agree`
+and :meth:`~repro.mpi.comm.Comm.shrink` — and this package composes
+them into the one protocol an application needs after a rank dies:
+:func:`recover` turns a wounded :class:`~repro.armci.Armci` runtime
+into a fresh one on the shrunken world, rebuilding every allocation
+whose contents survived and retiring the rest, with every step driven
+through :meth:`~repro.mpi.comm.Comm.agree` so all survivors take the
+same branch.  Combined with :meth:`~repro.ga.GlobalArray.checkpoint`
+/ :meth:`~repro.ga.GlobalArray.restore` this is enough to lose a rank
+mid-computation and finish with correct results — see
+``docs/faults.md`` for the protocol walk-through and its guarantees.
+"""
+
+from .protocol import GmrOutcome, RecoveryReport, recover
+
+__all__ = ["GmrOutcome", "RecoveryReport", "recover"]

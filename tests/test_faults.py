@@ -32,12 +32,19 @@ from repro.faults import (
     FaultPlan,
     Kill,
     MutexHolderFailed,
+    RECOVER_SCENARIOS,
     SCENARIOS,
     Stall,
 )
 from repro.faults.cli import graceful, main as faults_main
 from repro.armci.mutexes import MutexSet
-from repro.mpi.errors import OpTimeoutError, RankKilledError
+from repro.mpi.errors import (
+    CommRevokedError,
+    OpTimeoutError,
+    RankKilledError,
+    RetriesExhausted,
+    TargetFailedError,
+)
 from repro.mpi.progress import DeterministicSchedule
 from repro.mpi.runtime import Runtime
 from repro.sanitizer.fuzz import run_schedule
@@ -295,6 +302,327 @@ def test_watchdog_stays_quiet_while_a_timeout_retry_is_in_flight():
     results = rt.spmd(body)
     assert outcome == {"timed_out": True}
     assert results == ["done", "done"]
+
+
+# -- the ULFM-analogue primitives --------------------------------------------------
+
+
+def test_ft_agree_is_and_over_live_contributions():
+    """``agree`` returns the AND of live contributions and completes even
+    when a member dies instead of contributing."""
+    rt = Runtime(NPROC, watchdog_s=2.0)
+
+    def body(comm):
+        assert comm.agree(1) == 1
+        assert comm.agree(0 if comm.rank == 1 else 1) == 0
+        if comm.rank == 1:
+            with rt.cond:
+                rt.mark_dead(comm.world_rank(1))
+            raise RankKilledError("rank 1 dies before the third agreement")
+        return comm.agree(1)
+
+    results = rt.spmd(body)
+    assert results[0] == results[2] == 1
+    assert results[1] is None
+
+
+def test_ft_failure_ack_and_get_acked():
+    rt = Runtime(NPROC, watchdog_s=2.0)
+
+    def body(comm):
+        if comm.rank == 2:
+            with rt.cond:
+                rt.mark_dead(comm.world_rank(2))
+            raise RankKilledError("rank 2 dies")
+        with rt.cond:
+            rt.wait_for(lambda: rt.dead_ranks, what="death observed")
+        assert list(comm.failure_get_acked().members) == []
+        comm.failure_ack()
+        assert list(comm.failure_get_acked().members) == [comm.world_rank(2)]
+        return "ok"
+
+    results = rt.spmd(body)
+    assert results[0] == results[1] == "ok"
+
+
+def test_ft_revoke_poisons_operations_with_a_typed_error():
+    """After any member revokes, every other member's operation fails with
+    :class:`CommRevokedError` — but ``agree`` and ``shrink`` still work."""
+    rt = Runtime(NPROC, watchdog_s=2.0)
+
+    def body(comm):
+        if comm.rank == 0:
+            comm.revoke()
+            comm.revoke()  # idempotent
+        with pytest.raises(CommRevokedError):
+            comm.barrier()
+        assert comm.agree(1) == 1
+        new = comm.shrink()
+        assert new.size == NPROC and not new.revoked
+        new.barrier()
+        return "ok"
+
+    assert rt.spmd(body) == ["ok"] * NPROC
+
+
+def test_ft_shrink_densely_reranks_survivors():
+    rt = Runtime(4, watchdog_s=2.0)
+
+    def body(comm):
+        if comm.rank == 1:
+            with rt.cond:
+                rt.mark_dead(comm.world_rank(1))
+            raise RankKilledError("rank 1 dies")
+        with rt.cond:
+            rt.wait_for(lambda: rt.dead_ranks, what="death observed")
+        new = comm.shrink()
+        assert new.size == 3
+        # rank i of the shrunken comm is the i-th smallest surviving rank
+        assert new.rank == {0: 0, 2: 1, 3: 2}[comm.rank]
+        new.barrier()  # the shrunken communicator is fully operational
+        return new.rank
+
+    assert rt.spmd(body) == [0, None, 1, 2]
+
+
+# -- the recover matrix ------------------------------------------------------------
+
+
+RECOVER_STRIDE = {"mutex": 5, "rmw": 5, "gmr": 1, "ga": 2}
+
+
+@functools.lru_cache(maxsize=None)
+def _recover_fuzz_points(name: str) -> dict[int, int]:
+    inj = FaultInjector(FaultPlan(seed=SEED))
+    rt = Runtime(NPROC, seed=SEED)
+    DeterministicSchedule(SEED).begin_run(rt)
+    rt.faults = inj
+    rt.spmd(RECOVER_SCENARIOS[name])
+    counts = inj.point_counts()
+    assert counts and all(counts.get(r, 0) > 0 for r in range(NPROC))
+    return counts
+
+
+def _assert_recover_grid(name: str, victim: int) -> None:
+    """Unlike the kill grids above (graceful: typed error allowed), the
+    recover grid demands *completion*: every survivor must finish the
+    protocol value-correct, either on the shrunken world after running
+    :func:`repro.recover.recover` or on the full world when the victim
+    died only after the attempt was accepted."""
+    fn = RECOVER_SCENARIOS[name]
+    failures, recovered = [], 0
+    for point in range(0, _recover_fuzz_points(name)[victim], RECOVER_STRIDE[name]):
+        plan = FaultPlan(seed=SEED).kill(victim, point)
+        report = run_schedule(fn, NPROC, SEED, sanitize=True, plan=plan)
+        if not report.ok:
+            failures.append((point, report.error))
+            continue
+        if report.violations:
+            failures.append((point, report.violations))
+            continue
+        live = [r for r in report.results if r is not None]
+        shrunken = NPROC - len(report.dead_ranks)
+        if not live or any(r[0] not in (NPROC, shrunken) for r in live):
+            failures.append((point, ("wrong world size", live)))
+        recovered += any(r[1] >= 1 for r in live)
+    assert not failures, f"recover_{name}: incomplete recoveries at {failures}"
+    assert recovered, f"recover_{name}: no kill point exercised recovery"
+
+
+@pytest.mark.parametrize("victim", range(NPROC))
+def test_mutex_recovers_from_death_at_sampled_fuzz_points(victim):
+    _assert_recover_grid("mutex", victim)
+
+
+@pytest.mark.parametrize("victim", range(NPROC))
+def test_rmw_recovers_from_death_at_sampled_fuzz_points(victim):
+    _assert_recover_grid("rmw", victim)
+
+
+@pytest.mark.parametrize("victim", range(NPROC))
+def test_gmr_rebuild_recovers_from_death_at_every_fuzz_point(victim):
+    _assert_recover_grid("gmr", victim)
+
+
+@pytest.mark.parametrize("victim", range(NPROC))
+def test_ga_checkpoint_recovers_from_death_at_sampled_fuzz_points(victim):
+    _assert_recover_grid("ga", victim)
+
+
+def test_recovery_replays_bit_identically():
+    plan = FaultPlan(seed=SEED).kill(1, 5)
+    a = run_schedule(RECOVER_SCENARIOS["ga"], NPROC, SEED, plan=plan)
+    b = run_schedule(RECOVER_SCENARIOS["ga"], NPROC, SEED, plan=plan)
+    assert a.ok, a.error
+    assert a.digest == b.digest
+    assert a.dead_ranks == [1]
+    live = [r for r in a.results if r is not None]
+    assert live and all(r == (NPROC - 1, 1) for r in live)
+
+
+def test_recover_clears_translation_caches_and_retires_gmrs():
+    """Satellite regression: after ``recover`` the old allocation's
+    translations must be unreachable — the GMR table is emptied (its
+    last-hit cache with it) and the strided/IOV datatype caches are
+    flushed, so no stale displacement can resolve against freed slabs."""
+    from repro.armci import Armci
+    from repro.armci.iov import iov_datatype_cache_len
+    from repro.armci.strided import strided_datatype_cache_len
+    from repro.ga import GlobalArray
+    from repro.recover import recover
+
+    rt = Runtime(NPROC, watchdog_s=5.0)
+    seen = {}
+
+    def body(comm):
+        armci = Armci.init(comm)
+        ga = GlobalArray.create(armci, (6, 6), "f8")
+        ga.acc([0, 0], [6, 6], np.ones((6, 6)))  # strided traffic warms caches
+        ga.sync()
+        if comm.rank == 2:
+            with rt.cond:
+                rt.mark_dead(comm.world_rank(2))
+            raise RankKilledError("rank 2 dies")
+        with rt.cond:
+            rt.wait_for(lambda: rt.dead_ranks, what="death observed")
+        old_table = armci.table
+        seen["warm"] = strided_datatype_cache_len()
+        new_armci, report = recover(armci)
+        seen["strided"] = strided_datatype_cache_len()
+        seen["iov"] = iov_datatype_cache_len()
+        seen["gmrs"] = old_table.gmrs
+        seen["hot"] = dict(old_table._hot)
+        assert new_armci.nproc == NPROC - 1
+        assert report.failed == (2,)
+        assert all(o.action == "aborted" for o in report.gmrs)
+        return "ok"
+
+    rt.spmd(body)
+    assert seen["warm"] > 0
+    assert seen["strided"] == seen["iov"] == 0
+    assert seen["gmrs"] == [] and seen["hot"] == {}
+
+
+def test_ga_checkpoint_restore_round_trip():
+    from repro.armci import Armci
+    from repro.ga import GlobalArray
+
+    def body(comm):
+        armci = Armci.init(comm)
+        ga = GlobalArray.create(armci, (6, 5), "f8")
+        blk = ga.distribution()
+        if blk.size:
+            view = ga.access()
+            view[...] = comm.rank + 1.0
+            ga.release()
+        ga.sync()
+        before = ga.get([0, 0], [6, 5])
+        ckpt = ga.checkpoint()
+        assert np.array_equal(ckpt.data, before)
+        ga.acc([0, 0], [6, 5], np.ones((6, 5)))  # diverge after the snapshot
+        ga.sync()
+        ga2 = GlobalArray.restore(armci, ckpt, name="restored")
+        assert np.array_equal(ga2.get([0, 0], [6, 5]), before)
+        armci.finalize()
+        return "ok"
+
+    assert Runtime(NPROC, watchdog_s=2.0).spmd(body) == ["ok"] * NPROC
+
+
+def test_mutex_reclaim_sweeps_dead_holders():
+    """Belt-and-braces ownership reclamation: a holder entry that escaped
+    the death hook (the crash raced it) is swept by ``reclaim``."""
+    rt = Runtime(NPROC, watchdog_s=2.0)
+    swept = {}
+
+    def body(comm):
+        ms = MutexSet.create(comm, 1)
+        comm.barrier()
+        if comm.rank == 1:
+            with rt.cond:
+                rt.mark_dead(comm.world_rank(1))
+                ms._holders[(0, 0)] = 1  # plant: dead rank still on record
+            raise RankKilledError("holder dies")
+        if comm.rank == 0:
+            # Only rank 0 waits for the plant: reclaim() deletes the
+            # entry, so a second waiter could miss it and hang.
+            while True:
+                try:
+                    with rt.cond:
+                        rt.wait_for(
+                            lambda: ms._holders.get((0, 0)) == 1,
+                            what="stale holder",
+                        )
+                    break
+                except TargetFailedError:
+                    comm.failure_ack()  # the death is expected; keep waiting
+            swept["got"] = ms.reclaim()
+            swept["again"] = ms.reclaim()  # idempotent
+        return "ok"
+
+    rt.spmd(body)
+    assert swept["got"] == [(0, 0, 1)]
+    assert swept["again"] == []
+
+
+# -- transient stalls / retry-with-backoff -----------------------------------------
+
+
+def test_transient_stall_round_trips_and_describes():
+    plan = FaultPlan(seed=1).stall(0, 2, steps=9, transient=True)
+    again = FaultPlan.from_json(plan.to_json())
+    assert again == plan and again.stalls[0].transient
+    assert "(transient)" in plan.describe()
+    # legacy corpus entries without the field default to permanent stalls
+    legacy = FaultPlan.from_dict({"seed": 1, "stall": [{"rank": 0, "point": 2}]})
+    assert legacy.stalls[0].transient is False
+
+
+def test_transient_stall_clears_within_the_retry_budget():
+    """7 stall steps fit the default budget (1+2+4+8): the run completes,
+    perturbed but bit-identically replayable."""
+    plan = FaultPlan(seed=SEED).stall(1, 3, steps=7, transient=True)
+    a = run_schedule(SCENARIOS["rmw"], NPROC, SEED, plan=plan)
+    b = run_schedule(SCENARIOS["rmw"], NPROC, SEED, plan=plan)
+    assert a.ok and not a.violations
+    assert a.fault_events >= 2  # the retry attempts plus retry_cleared
+    assert a.digest == b.digest
+
+
+def test_transient_stall_retry_events_are_logged():
+    inj = FaultInjector(FaultPlan(seed=0).stall(0, 2, steps=3, transient=True))
+    rt = Runtime(2, seed=0)
+    DeterministicSchedule(0).begin_run(rt)
+    rt.faults = inj
+
+    def body(comm):
+        for _ in range(4):
+            comm.barrier()
+        return comm.rank
+
+    assert rt.spmd(body) == [0, 1]
+    tags = [e[0] for e in inj.events]
+    assert tags.count("retry") == 2  # bursts of 1 then 2 absorb 3 steps
+    assert tags[-1] == "retry_cleared"
+
+
+def test_transient_stall_exhausts_into_a_typed_error():
+    """A stall outlasting the whole backoff budget surfaces as
+    :class:`RetriesExhausted` — typed (graceful), and nothing dies."""
+    plan = FaultPlan(seed=SEED).stall(1, 3, steps=100, transient=True)
+    report = run_schedule(SCENARIOS["rmw"], NPROC, SEED, plan=plan)
+    assert not report.ok
+    assert (report.error or "").startswith("RetriesExhausted")
+    assert graceful(report)
+    assert report.dead_ranks == []
+
+
+def test_transient_retry_budget_is_configurable(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_RETRIES", raising=False)
+    assert FaultInjector(FaultPlan(seed=0)).retries == 3
+    monkeypatch.setenv("REPRO_FAULT_RETRIES", "1")
+    assert FaultInjector(FaultPlan(seed=0)).retries == 1
+    assert FaultInjector(FaultPlan(seed=0), retries=0).retries == 0
 
 
 def test_gmr_table_consistency_check_catches_a_planted_tear():

@@ -208,6 +208,31 @@ def body(comm, buf):
     assert "lock-nesting" in codes
 
 
+def test_recovery_agree_and_shrink_are_valid_epoch_exit_points():
+    """The ULFM recovery boundary: an epoch abandoned with the wounded
+    world on a path through ``agree``/``shrink`` is not a leak, while the
+    success path's unlock is still a matched release."""
+    src = """\
+from repro.mpi import Win
+
+
+def body(comm, buf):
+    win, _ = Win.allocate(comm, 64)
+    win.lock(0)
+    win.put(buf, 0)
+    if not comm.agree(1):
+        comm.shrink()
+        return  # the epoch died with the revoked world: not a leak
+    win.unlock(0)
+"""
+    assert lint_source(src) == []
+    # without the agree()/shrink() exits the same shape is a definite leak
+    leaky = src.replace("if not comm.agree(1):", "if not bool(buf):").replace(
+        "comm.shrink()", "pass"
+    )
+    assert [d.code for d in lint_source(leaky)] == ["lint-leak"]
+
+
 def test_escaped_values_silence_the_checks():
     src = """\
 from repro.armci import Armci

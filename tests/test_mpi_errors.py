@@ -17,6 +17,7 @@ from repro.mpi import errors
 from repro.mpi.errors import (
     ArgumentError,
     CommError,
+    CommRevokedError,
     CountError,
     DatatypeError,
     GroupError,
@@ -26,6 +27,7 @@ from repro.mpi.errors import (
     ProgressDeadlockError,
     RankError,
     RankKilledError,
+    RetriesExhausted,
     RMAConflictError,
     RMARangeError,
     RMASyncError,
@@ -63,6 +65,8 @@ EXPECTED_CLASSES = {
     TargetFailedError: "MPI_ERR_PROC_FAILED",
     RankKilledError: "MPI_ERR_PROC_FAILED",
     OpTimeoutError: "MPI_ERR_PENDING",
+    CommRevokedError: "MPI_ERR_REVOKED",
+    RetriesExhausted: "MPI_ERR_PENDING",
 }
 
 
@@ -101,6 +105,11 @@ def test_fault_errors_form_a_typed_subtree():
     assert e.error_class == "MPI_ERR_PROC_FAILED"
     # a per-op timeout is retryable, not a process-failure verdict
     assert not issubclass(OpTimeoutError, TargetFailedError)
+    # an exhausted transient-stall retry budget is a timeout verdict
+    assert issubclass(RetriesExhausted, OpTimeoutError)
+    # revocation (ULFM recovery) is its own verdict, not a process failure
+    assert not issubclass(CommRevokedError, TargetFailedError)
+    assert CommRevokedError("x").error_class == "MPI_ERR_REVOKED"
 
 
 def test_violation_errors_keep_the_legacy_error_class():
