@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-faults lint lint-smoke sanitize-smoke recover-smoke hotpath-smoke check
+.PHONY: test test-faults lint lint-smoke sanitize-smoke recover-smoke hotpath-smoke mpi3-smoke check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -39,4 +39,9 @@ recover-smoke:
 hotpath-smoke:
 	$(PYTHON) -m repro.bench --hotpath-smoke
 
-check: lint test test-faults lint-smoke sanitize-smoke recover-smoke
+# MPI-3 flush-datapath gate: deferred issue + per-target flush must beat
+# eager per-op epochs by >= 2x, and coalescing must add >= 1.5x on top.
+mpi3-smoke:
+	$(PYTHON) -m repro.bench --mpi3-smoke
+
+check: lint test test-faults lint-smoke sanitize-smoke recover-smoke mpi3-smoke

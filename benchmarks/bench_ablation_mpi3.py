@@ -3,13 +3,18 @@
 The paper motivates four MPI-3 features; this bench quantifies the two
 we implement end to end:
 
-* **atomic RMW** — ARMCI_Rmw via the §V-D mutex (MPI-2: mutex lock +
-  read epoch + write epoch + mutex unlock) vs MPI-3 ``fetch_and_op``
-  under a shared lock.  Measured both as modeled latency per platform
-  and as real wall time of the protocol (message/epoch count shrinks
-  from ~6 round trips to 1).
-* **epochless access** — per-operation cost with lock/unlock vs a
-  lock_all + flush regime.
+* **atomic RMW** — ARMCI_Rmw via the §V-D mutex (``datapath="mpi2"``:
+  mutex lock + read epoch + write epoch + mutex unlock) vs the
+  first-class MPI-3 datapath's native ``fetch_and_op`` inside the
+  standing ``lock_all`` epoch.  Measured both as modeled latency per
+  platform and as real wall time of the protocol (message/epoch count
+  shrinks from ~6 round trips to 1).
+* **epochless access** — raw-window ablation: per-operation cost with
+  lock/unlock vs a lock_all + flush regime, below the ARMCI layer.
+
+The nonblocking-aggregation half of the datapath (deferral +
+coalescing) is benched separately in ``bench_mpi3_datapath.py`` and
+gated by ``python -m repro.bench --mpi3-smoke``.
 """
 
 from __future__ import annotations
@@ -23,8 +28,8 @@ from repro.mpi.runtime import Runtime, current_proc
 from repro.simtime import PLATFORMS, MPITimingPolicy
 
 
-def _measure_rmw(comm, mpi3, out):
-    rt = Armci.init(comm, mpi3=mpi3)
+def _measure_rmw(comm, datapath, out):
+    rt = Armci.init(comm, datapath=datapath)
     ptrs = rt.malloc(8)
     rt.barrier()
     clock = current_proc().clock
@@ -41,9 +46,9 @@ def test_rmw_latency_modeled(emit, benchmark):
     for key, platform in PLATFORMS.items():
         timing = MPITimingPolicy(platform.mpi)
         out2: dict = {}
-        run_measurement(2, _measure_rmw, False, out2, timing=timing)
+        run_measurement(2, _measure_rmw, "mpi2", out2, timing=timing)
         out3: dict = {}
-        run_measurement(2, _measure_rmw, True, out3, timing=timing)
+        run_measurement(2, _measure_rmw, "mpi3", out3, timing=timing)
         t2 = float(np.mean(list(out2.values()))) * 1e6
         t3 = float(np.mean(list(out3.values()))) * 1e6
         rows.append([platform.name, t2, t3, t2 / t3])
@@ -51,7 +56,8 @@ def test_rmw_latency_modeled(emit, benchmark):
         "ablation_mpi3_rmw",
         format_table(
             "§VIII-B ablation — NXTVAL fetch-and-add latency (modeled µs)",
-            ["platform", "MPI-2 (mutex, §V-D)", "MPI-3 fetch_and_op", "speedup"],
+            ["platform", "mpi2 datapath (mutex, §V-D)",
+             "mpi3 datapath (fetch_and_op)", "speedup"],
             rows,
         ),
     )
@@ -60,7 +66,7 @@ def test_rmw_latency_modeled(emit, benchmark):
     )
     timing = MPITimingPolicy(PLATFORMS["ib"].mpi)
     benchmark.pedantic(
-        lambda: run_measurement(2, _measure_rmw, True, {}, timing=timing),
+        lambda: run_measurement(2, _measure_rmw, "mpi3", {}, timing=timing),
         rounds=2, iterations=1,
     )
 
@@ -70,7 +76,7 @@ def test_rmw_protocol_wall_time(benchmark):
 
     def run(mpi3: bool):
         def main(comm):
-            rt = Armci.init(comm, mpi3=mpi3)
+            rt = Armci.init(comm, datapath="mpi3" if mpi3 else "mpi2")
             ptrs = rt.malloc(8)
             for _ in range(25):
                 rt.rmw("fetch_and_add_long", ptrs[0], 1)

@@ -29,6 +29,7 @@ Usage (SPMD function run under :func:`repro.mpi.spmd_run`)::
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -38,7 +39,7 @@ from ..mpi import datatypes as dt
 from ..mpi.comm import Comm
 from ..mpi.errors import ArgumentError
 from ..mpi.window import Win
-from . import buffers, dla, iov, rmw, strided
+from . import buffers, dla, iov, nbqueue, rmw, strided
 from .access_modes import AccessMode
 from .config import DEFAULT_CONFIG, ArmciConfig
 from .gmr import GlobalPtr, Gmr, GmrTable
@@ -87,42 +88,107 @@ class ArmciStats:
 class NbHandle:
     """Handle for a nonblocking ARMCI operation.
 
-    Data transfer in this substrate completes eagerly, but ARMCI's
-    contract is that a nonblocking operation's *local* buffer is only
-    guaranteed usable after ``wait`` — so staged-get write-back is
-    deferred to :meth:`wait`, preserving the semantics a correct ARMCI
-    program must assume.
+    Two completion regimes share this class:
+
+    * **eager (mpi2 datapath)** — the transfer happened at issue; only a
+      staged-get write-back (``finish``) may remain.  ``test`` performs
+      it (exactly once, however often it is polled) and reports True.
+    * **deferred (mpi3 datapath)** — the operation sits in the
+      :class:`~repro.armci.nbqueue.NbQueue` until a completion point;
+      ``test`` reports the queue's real state without forcing it, and
+      ``wait`` drains the target via ``waiter``.
+
+    A failure recorded at drain time (``_fail``) is re-raised by every
+    subsequent ``wait`` on this handle; ``kind``/``target`` identify the
+    operation in aggregate errors (see :meth:`Armci.wait_all`).
     """
 
-    __slots__ = ("_finish", "_done")
+    __slots__ = ("kind", "target", "_finish", "_waiter", "_done", "_error")
 
-    def __init__(self, finish=None):
+    def __init__(self, finish=None, kind: str = "", target: int = -1, waiter=None):
         self._finish = finish
-        self._done = finish is None
+        self._waiter = waiter
+        self._done = finish is None and waiter is None
+        self._error: "BaseException | None" = None
+        self.kind = kind
+        self.target = target
+
+    def _complete(self) -> None:
+        """Run the completion callback exactly once and mark done."""
+        if self._done:
+            return
+        self._done = True
+        fin, self._finish = self._finish, None
+        if fin is not None:
+            fin()
+
+    def _fail(self, exc: BaseException) -> None:
+        self._done = True
+        self._finish = None
+        self._error = exc
 
     def test(self) -> bool:
-        return self._done
+        if self._done:
+            return True
+        if self._waiter is not None:
+            return False  # still queued; only a drain completes it
+        self._complete()
+        return True
 
     def wait(self) -> None:
+        if not self._done and self._waiter is not None:
+            waiter, self._waiter = self._waiter, None
+            try:
+                waiter()
+            except Exception:
+                # the drain surfaces its own first error; this handle's
+                # failure (if it is the failing one) lands in _error
+                if self._error is None:
+                    raise
         if not self._done:
-            self._finish()
-            self._done = True
+            self._complete()
+        if self._error is not None:
+            raise self._error
+
+
+#: datapath modes selectable at :meth:`Armci.init`
+DATAPATHS = ("mpi2", "mpi3")
 
 
 class Armci:
     """One ARMCI-MPI runtime instance (shared object across rank threads)."""
 
-    def __init__(self, world: Comm, config: ArmciConfig, strict: bool, mpi3: bool):
+    def __init__(
+        self,
+        world: Comm,
+        config: ArmciConfig,
+        strict: bool,
+        mpi3: bool,
+        datapath: str = "mpi2",
+    ):
+        if datapath not in DATAPATHS:
+            raise ArgumentError(
+                f"datapath must be one of {DATAPATHS}, got {datapath!r}"
+            )
         self.world = world
         self.config = config
         self.strict = strict
-        self.mpi3 = mpi3
+        #: windows expose the MPI-3 surface (lock_all/flush/fetch_op)
+        self.mpi3 = mpi3 or datapath == "mpi3"
+        #: "mpi2" = one epoch per op (§V-C); "mpi3" = standing lock_all
+        #: per GMR with per-target flush completion and the nb queue
+        self.datapath = datapath
         self.table = GmrTable()
         self.world_group = ArmciGroup(world, world)
         self.stats = ArmciStats()
         self._dla = dla.DlaState()
         self._gmr_mutexes: dict[int, MutexSet] = {}
+        self._nbq = nbqueue.NbQueue(self)
         self._finalized = False
+
+    @property
+    def _flush_mode(self) -> bool:
+        return self.datapath == "mpi3"
 
     # -- lifecycle -----------------------------------------------------------------
     @classmethod
@@ -132,12 +198,22 @@ class Armci:
         config: ArmciConfig = DEFAULT_CONFIG,
         strict: bool = True,
         mpi3: bool = False,
+        datapath: str = "mpi2",
     ) -> "Armci":
         """Collective initialisation; returns one shared runtime object.
 
         ``strict`` follows the simulated window's checking mode: ARMCI-MPI
         is designed to be correct under the strictest MPI-2 semantics, so
         leave it on except when modeling coherent-system shortcuts.
+
+        ``datapath`` selects the completion discipline: ``"mpi2"`` is the
+        paper's one-exclusive-epoch-per-op design (§V-C); ``"mpi3"``
+        opens one ``lock_all`` per GMR at allocation and completes every
+        operation with a per-target ``flush``, uses native
+        ``fetch_and_op`` for RMW, and defers ``nb_*`` operations through
+        the coalescing queue (§VIII-B / the "Quo Vadis" idiom).  The
+        legacy ``mpi3=True`` flag only enables the MPI-3 window surface
+        (ablation use); ``datapath="mpi3"`` implies it.
         """
         if config.coherent_shortcut and strict:
             raise ArgumentError(
@@ -150,7 +226,7 @@ class Armci:
                 world.rank,
                 "armci_init",
                 None,
-                lambda _c: cls(world, config, strict, mpi3),
+                lambda _c: cls(world, config, strict, mpi3, datapath),
             )
 
     def finalize(self) -> None:
@@ -160,6 +236,10 @@ class Armci:
             my = gmr.group.rank
             ptr = gmr.base_ptrs()[my]
             self.free(None if ptr.is_null else ptr, group=gmr.group)
+        if self._flush_mode:
+            # drained-queue-at-finalize invariant: every queue must be
+            # empty now; leftovers are reported through the sanitizer
+            self._nbq.audit_finalize()
         self._finalized = True
 
     @property
@@ -203,6 +283,11 @@ class Armci:
 
         with self.world.runtime.cond:
             gmr = group.comm._coll.run(group.rank, "armci_malloc", contribution, build)
+        if self._flush_mode:
+            # the standing epoch of the MPI-3 datapath: opened once per
+            # member here, closed only at free (shared mode, so every
+            # member's epoch coexists)
+            gmr.win.lock_all()
         return gmr.base_ptrs()
 
     def free(self, ptr: "GlobalPtr | None", group: "ArmciGroup | None" = None) -> None:
@@ -246,7 +331,26 @@ class Armci:
             gmr.freed = True
             return self._gmr_mutexes.pop(gmr.gmr_id, None)
 
-        mutex = gmr.win.free_with(drop)
+        if self._flush_mode:
+            # complete anything still queued, then close the standing
+            # epoch: Win.free refuses while access epochs are open, and
+            # the free_with rendezvous guarantees every member has
+            # reached this point (hence unlocked) before the window dies
+            self._nbq.drain_gmr(gmr)
+            gmr.win.unlock_all()
+            try:
+                mutex = gmr.win.free_with(drop)
+            except BaseException:
+                # abort consistency: the window survived (e.g. a typed
+                # collective failure) — restore the standing epoch so
+                # the GMR stays usable for retry / recovery
+                try:
+                    gmr.win.lock_all()
+                except Exception:
+                    pass  # window already invalidated; original error wins
+                raise
+        else:
+            mutex = gmr.win.free_with(drop)
         if mutex is not None:
             mutex.destroy()
 
@@ -272,6 +376,28 @@ class Armci:
         win_rank, disp = gmr.displacement(ptr)
         return gmr, win_rank, disp, gmr.access_mode.lock_mode(kind)
 
+    @contextmanager
+    def _op_epoch(self, gmr: Gmr, win_rank: int, lock_mode: str):
+        """Completion discipline for one blocking operation.
+
+        mpi2: the §V-C pattern — a lock/unlock epoch of its own.
+        mpi3: drain queued nb ops to the target (per-location program
+        order), issue into the GMR's standing ``lock_all`` epoch, and
+        complete with a per-target ``flush``.
+        """
+        if self._flush_mode:
+            self._nbq.drain(gmr, win_rank)
+            try:
+                yield
+            finally:
+                gmr.win.flush(win_rank)
+        else:
+            gmr.win.lock(win_rank, lock_mode)
+            try:
+                yield
+            finally:
+                gmr.win.unlock(win_rank)
+
     def put(
         self, src: "np.ndarray | GlobalPtr", dst: GlobalPtr, nbytes: "int | None" = None
     ) -> None:
@@ -280,11 +406,8 @@ class Armci:
             nbytes = _infer_nbytes(src)
         gmr, win_rank, disp, lock_mode = self._target(dst, "put")
         lb = buffers.resolve_local(self, src, nbytes, "out")
-        gmr.win.lock(win_rank, lock_mode)
-        try:
+        with self._op_epoch(gmr, win_rank, lock_mode):
             gmr.win.put(lb.data, win_rank, disp)
-        finally:
-            gmr.win.unlock(win_rank)
         self.stats.count("put", nbytes)
 
     def get(
@@ -295,11 +418,8 @@ class Armci:
             nbytes = _infer_nbytes(dst)
         gmr, win_rank, disp, lock_mode = self._target(src, "get")
         lb = buffers.resolve_local(self, dst, nbytes, "in")
-        gmr.win.lock(win_rank, lock_mode)
-        try:
+        with self._op_epoch(gmr, win_rank, lock_mode):
             gmr.win.get(lb.data, win_rank, disp)
-        finally:
-            gmr.win.unlock(win_rank)
         lb.finish()
         self.stats.count("get", nbytes)
 
@@ -333,30 +453,46 @@ class Armci:
         contrib = lb.data.view(dtype)
         if scale != 1.0:
             contrib = contrib * dtype.type(scale)
-        gmr.win.lock(win_rank, lock_mode)
-        try:
+        with self._op_epoch(gmr, win_rank, lock_mode):
             gmr.win.accumulate(contrib, win_rank, disp, op="MPI_SUM")
-        finally:
-            gmr.win.unlock(win_rank)
         self.stats.count("acc", nbytes)
 
     # -- nonblocking variants ------------------------------------------------------
     def nb_put(self, src, dst: GlobalPtr, nbytes: "int | None" = None) -> NbHandle:
-        self.put(src, dst, nbytes)
-        return NbHandle()
+        """Nonblocking put.
+
+        mpi2: completes eagerly (§V-C leaves nothing to defer).
+        mpi3: the contribution is snapshotted and queued; the target is
+        untouched until a completion point drains the queue.
+        """
+        if nbytes is None:
+            nbytes = _infer_nbytes(src)
+        if not self._flush_mode:
+            self.put(src, dst, nbytes)
+            return NbHandle(kind="put", target=dst.rank)
+        gmr, win_rank, disp, _ = self._target(dst, "put")
+        lb = buffers.resolve_local(self, src, nbytes, "out")
+        data = lb.data if lb.staged else lb.data.copy()
+        self.stats.count("put", nbytes)
+        return self._nbq.enqueue("put", gmr, win_rank, disp, nbytes, data=data)
 
     def nb_get(self, src: GlobalPtr, dst, nbytes: "int | None" = None) -> NbHandle:
         """Nonblocking get: the destination buffer is valid after wait().
 
-        The transfer itself is performed here (it completes eagerly in
+        mpi2: the transfer is performed here (it completes eagerly in
         this substrate), but when the destination is global memory the
-        §V-E.1 write-back is deferred to wait(), so peeking early shows
-        stale data — same contract as real ARMCI.
+        §V-E.1 write-back is deferred to wait()/test(), so peeking early
+        shows stale data — same contract as real ARMCI.
+        mpi3: the whole operation is queued; the destination fills when
+        the queue drains.
         """
         if nbytes is None:
             nbytes = _infer_nbytes(dst)
         gmr, win_rank, disp, lock_mode = self._target(src, "get")
         lb = buffers.resolve_local(self, dst, nbytes, "in")
+        if self._flush_mode:
+            self.stats.count("get", nbytes)
+            return self._nbq.enqueue("get", gmr, win_rank, disp, nbytes, lb=lb)
         gmr.win.lock(win_rank, lock_mode)
         try:
             gmr.win.get(lb.data, win_rank, disp)
@@ -364,15 +500,40 @@ class Armci:
             gmr.win.unlock(win_rank)
         self.stats.count("get", nbytes)
         if lb.writeback is None:
-            return NbHandle()
-        return NbHandle(finish=lb.finish)
+            return NbHandle(kind="get", target=src.rank)
+        return NbHandle(finish=lb.finish, kind="get", target=src.rank)
 
     def nb_acc(
         self, src, dst: GlobalPtr, scale: float = 1.0,
         nbytes: "int | None" = None, dtype=None,
     ) -> NbHandle:
-        self.acc(src, dst, scale, nbytes, dtype)
-        return NbHandle()
+        """Nonblocking accumulate; deferred and coalescible under mpi3."""
+        if not self._flush_mode:
+            self.acc(src, dst, scale, nbytes, dtype)
+            return NbHandle(kind="acc", target=dst.rank)
+        if dtype is None:
+            if isinstance(src, GlobalPtr):
+                raise ArgumentError("acc from a global pointer requires dtype=")
+            dtype = np.asarray(src).dtype
+        dtype = np.dtype(dtype)
+        if nbytes is None:
+            nbytes = _infer_nbytes(src)
+        if nbytes % dtype.itemsize:
+            raise ArgumentError(
+                f"acc of {nbytes} bytes is not a whole number of {dtype}"
+            )
+        gmr, win_rank, disp, _ = self._target(dst, "acc")
+        lb = buffers.resolve_local(self, src, nbytes, "out")
+        contrib = lb.data.view(dtype)
+        # snapshot (and scale) the contribution at enqueue time
+        if scale != 1.0:
+            contrib = contrib * dtype.type(scale)
+        else:
+            contrib = contrib.copy()
+        self.stats.count("acc", nbytes)
+        return self._nbq.enqueue(
+            "acc", gmr, win_rank, disp, nbytes, data=contrib, acc_dtype=dtype
+        )
 
     @staticmethod
     def wait(handle: NbHandle) -> None:
@@ -380,23 +541,50 @@ class Armci:
 
     @staticmethod
     def wait_all(handles: Sequence[NbHandle]) -> None:
+        """Complete every handle; no failure is silently dropped.
+
+        All handles are waited even when an early one fails; the *first*
+        failure is then re-raised, annotated with its op kind/target and
+        the count of additional failed handles.
+        """
+        failures: list[tuple[NbHandle, BaseException]] = []
         for h in handles:
-            h.wait()
+            try:
+                h.wait()
+            except Exception as exc:
+                failures.append((h, exc))
+        if failures:
+            h0, exc0 = failures[0]
+            more = (
+                f" (+{len(failures) - 1} more failed handles)"
+                if len(failures) > 1
+                else ""
+            )
+            note = f"wait_all: nb_{h0.kind or 'op'} to target {h0.target} failed{more}"
+            if hasattr(exc0, "add_note"):
+                exc0.add_note(note)
+            raise exc0
 
     # -- completion / consistency (§V-F) ----------------------------------------------
     def fence(self, proc: int) -> None:
-        """Remote completion for one target: a no-op under ARMCI-MPI.
+        """Remote completion for one target.
 
-        Every operation is issued in its own epoch and has completed
-        remotely when it returned (§V-F), so Fence has nothing to wait
-        for — the paper's exact argument.
+        mpi2: a no-op — every operation is issued in its own epoch and
+        has completed remotely when it returned (§V-F), so Fence has
+        nothing to wait for; the paper's exact argument.
+        mpi3: drains this origin's queued nb ops addressed to ``proc``
+        (blocking ops still complete at their own per-op flush).
         """
         if not 0 <= proc < self.nproc:
             raise ArgumentError(f"fence target {proc} not in [0, {self.nproc})")
+        if self._flush_mode:
+            self._nbq.drain_target(proc)
         self.stats.fences += 1
 
     def fence_all(self) -> None:
-        """Remote completion for all targets: also a no-op (§V-F)."""
+        """Remote completion for all targets (mpi2: a no-op, §V-F)."""
+        if self._flush_mode:
+            self._nbq.drain_all()
         self.stats.fences += 1
 
     def barrier(self) -> None:
@@ -490,8 +678,7 @@ class Armci:
             )
         else:
             origin_used = origin_t
-        gmr.win.lock(win_rank, lock_mode)
-        try:
+        with self._op_epoch(gmr, win_rank, lock_mode):
             if kind == "put":
                 gmr.win.put(
                     data, win_rank, disp,
@@ -509,8 +696,6 @@ class Armci:
                     data, win_rank, disp, op="MPI_SUM",
                     target_datatype=target_acc, origin_datatype=origin_used,
                 )
-        finally:
-            gmr.win.unlock(win_rank)
         if writeback is not None:
             writeback()
         self.stats.count(kind, spec.total_bytes)
@@ -523,21 +708,39 @@ class Armci:
             return region, None
         my_rank = gmr.group.rank
         if kind in ("put", "acc"):
-            gmr.win.lock(my_rank, "exclusive")
-            temp = region.copy()
-            gmr.win.unlock(my_rank)
+            with self._stage_epoch(gmr, my_rank):
+                temp = region.copy()
             self.stats.staged_copies += 1
             return temp, None
         temp = np.zeros(span, dtype=np.uint8)
 
         def writeback() -> None:
             packed = origin_t.pack(temp)
-            gmr.win.lock(my_rank, "exclusive")
-            origin_t.unpack(region, packed)
-            gmr.win.unlock(my_rank)
+            with self._stage_epoch(gmr, my_rank):
+                origin_t.unpack(region, packed)
             self.stats.staged_copies += 1
 
         return temp, writeback
+
+    @contextmanager
+    def _stage_epoch(self, gmr: Gmr, my_rank: int):
+        """Self-access discipline for a §V-E.1 staging copy.
+
+        mpi2: the exclusive self-lock the paper prescribes.  mpi3: the
+        standing lock_all epoch already grants unified-model local
+        access; completing queued/outstanding ops to self with a flush
+        before touching the slab is all the ordering needed.
+        """
+        if self._flush_mode:
+            self._nbq.drain(gmr, my_rank)
+            gmr.win.flush(my_rank)
+            yield
+        else:
+            gmr.win.lock(my_rank, "exclusive")
+            try:
+                yield
+            finally:
+                gmr.win.unlock(my_rank)
 
     @staticmethod
     def _scaled_origin(data, origin_t, scale, acc_dtype, spec):
@@ -622,18 +825,16 @@ class Armci:
         if alias_gmr is not None and not self.config.coherent_shortcut:
             my_rank = alias_gmr.group.rank
             if kind in ("put", "acc"):
-                alias_gmr.win.lock(my_rank, "exclusive")
-                data = local_view.copy()
-                alias_gmr.win.unlock(my_rank)
+                with self._stage_epoch(alias_gmr, my_rank):
+                    data = local_view.copy()
                 self.stats.staged_copies += 1
             else:
                 data = np.zeros(local_view.nbytes, dtype=np.uint8)
 
                 def writeback() -> None:
-                    alias_gmr.win.lock(my_rank, "exclusive")
-                    for off in loc_offsets.tolist():
-                        local_view[off : off + seg_bytes] = data[off : off + seg_bytes]
-                    alias_gmr.win.unlock(my_rank)
+                    with self._stage_epoch(alias_gmr, my_rank):
+                        for off in loc_offsets.tolist():
+                            local_view[off : off + seg_bytes] = data[off : off + seg_bytes]
                     self.stats.staged_copies += 1
 
         if kind == "acc" and scale != 1.0:
@@ -657,7 +858,15 @@ class Armci:
         return MutexSet.create(self.world, count)
 
     def rmw(self, op: str, ptr: GlobalPtr, value: int) -> int:
-        """ARMCI_Rmw: atomic fetch-and-add / swap; returns the old value."""
+        """ARMCI_Rmw: atomic fetch-and-add / swap; returns the old value.
+
+        mpi3 datapath: a single native ``fetch_and_op`` inside the
+        standing lock_all epoch, completed by one flush — no mutex, no
+        epochs (§VIII-B).  Legacy ``mpi3=True`` keeps the per-call
+        shared-lock variant; plain mpi2 uses the §V-D mutex protocol.
+        """
+        if self._flush_mode:
+            return rmw.rmw_flush(self, op, ptr, value)
         if self.mpi3:
             return rmw.rmw_mpi3(self, op, ptr, value)
         return rmw.rmw_mutex_based(self, op, ptr, value)

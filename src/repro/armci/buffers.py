@@ -27,7 +27,6 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 
 from ..mpi.errors import ArgumentError
-from ..mpi.window import LOCK_EXCLUSIVE
 
 if TYPE_CHECKING:  # pragma: no cover
     from .api import Armci
@@ -112,19 +111,18 @@ def resolve_local(
     # --- staging protocol (§V-E.1) ---
     my_rank = gmr.group.rank
     if direction == "out":
-        # exclusive self-lock, copy OUT, release before touching the target
-        gmr.win.lock(my_rank, LOCK_EXCLUSIVE)
-        temp = view.copy()
-        gmr.win.unlock(my_rank)
+        # exclusive self-lock (mpi2) or standing-lock_all flush (mpi3),
+        # copy OUT, and only then touch the target
+        with armci._stage_epoch(gmr, my_rank):
+            temp = view.copy()
         armci.stats.staged_copies += 1
         return LocalBuffer(data=temp, staged=True)
 
     temp = np.empty(nbytes, dtype=np.uint8)
 
     def writeback() -> None:
-        gmr.win.lock(my_rank, LOCK_EXCLUSIVE)
-        view[...] = temp
-        gmr.win.unlock(my_rank)
+        with armci._stage_epoch(gmr, my_rank):
+            view[...] = temp
         armci.stats.staged_copies += 1
 
     return LocalBuffer(data=temp, staged=True, writeback=writeback)

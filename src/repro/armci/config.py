@@ -52,6 +52,16 @@ class ArmciConfig:
     alignment:
         Byte alignment of ARMCI_Malloc'd slabs in the simulated
         per-process address space.
+    nb_coalesce_threshold:
+        MPI-3 datapath only: largest merged transfer (bytes) the
+        nonblocking coalescing queue will grow by appending an adjacent
+        op (DART-MPI style aggregation).  0 disables merging — every
+        nb op stays its own queue entry.
+    nb_max_pending:
+        MPI-3 datapath only: per-target cap on queued nb entries; the
+        queue auto-drains (issue + one flush) when an enqueue would
+        exceed it.  Bounds both memory and the modeled epoch queue
+        depth.  Must be >= 1.
     """
 
     iov_method: str = "auto"
@@ -60,6 +70,8 @@ class ArmciConfig:
     strided_method: str = "direct"
     coherent_shortcut: bool = False
     alignment: int = 64
+    nb_coalesce_threshold: int = 512
+    nb_max_pending: int = 64
 
     def __post_init__(self) -> None:
         if self.iov_method not in IOV_METHODS:
@@ -77,6 +89,10 @@ class ArmciConfig:
             raise ValueError("iov_batch_size must be >= 0 (0 = unlimited)")
         if self.alignment < 1 or self.alignment & (self.alignment - 1):
             raise ValueError("alignment must be a positive power of two")
+        if self.nb_coalesce_threshold < 0:
+            raise ValueError("nb_coalesce_threshold must be >= 0 (0 = no merging)")
+        if self.nb_max_pending < 1:
+            raise ValueError("nb_max_pending must be >= 1")
 
     def with_(self, **kw) -> "ArmciConfig":
         """Copy with overrides (benches sweep methods this way)."""

@@ -92,7 +92,14 @@ def access_begin(
             san.on_dla_begin_attempt(me, gmr)
     armci._dla.begin(me, gmr.gmr_id)
     try:
-        gmr.win.lock(win_rank, LOCK_EXCLUSIVE)
+        if armci._flush_mode:
+            # the standing lock_all epoch already permits local access
+            # under the unified model; completing queued + outstanding
+            # ops to self orders earlier RMA before the direct accesses
+            armci._nbq.drain(gmr, win_rank)
+            gmr.win.flush(win_rank)
+        else:
+            gmr.win.lock(win_rank, LOCK_EXCLUSIVE)
     except BaseException:
         armci._dla.end(me, gmr.gmr_id)
         raise
@@ -101,7 +108,7 @@ def access_begin(
         # is never mistaken for a lock-while-DLA violation
         with gmr.win.runtime.cond:
             san.on_dla_begin(me, gmr)
-    slab = gmr.win.local_view()  # checked: we hold the exclusive self-lock
+    slab = gmr.win.local_view()  # checked: self-lock or standing lock_all
     return slab[disp : disp + nbytes].view(dtype)
 
 
@@ -117,4 +124,9 @@ def access_end(armci: "Armci", ptr: "GlobalPtr") -> None:
     if san is not None:
         with gmr.win.runtime.cond:
             san.on_dla_end(me, gmr)
-    gmr.win.unlock(gmr.group.rank)
+    if armci._flush_mode:
+        # publish the direct stores: under the standing lock_all a flush
+        # is the completion point (there is no lock to release)
+        gmr.win.flush(gmr.group.rank)
+    else:
+        gmr.win.unlock(gmr.group.rank)

@@ -200,19 +200,25 @@ def _one_segment(
 
 
 def _conservative(armci: "Armci", req: IovRequest) -> None:
-    """One op per segment, one epoch per op; handles multi-GMR and overlap."""
+    """One op per segment, one epoch (or flush cycle) per op.
+
+    Handles multi-GMR and overlap: under the mpi3 datapath the per-op
+    flush clears the standing epoch's access coverage, so overlapping
+    segments are as legal as they are with one exclusive epoch each.
+    """
     resolved = _resolve_per_segment(armci, req)
     for (gmr, win_rank, disp), loc_off in zip(resolved, req.loc_offsets.tolist()):
         lock_mode = gmr.access_mode.lock_mode(req.kind)
-        gmr.win.lock(win_rank, lock_mode)
-        try:
+        with armci._op_epoch(gmr, win_rank, lock_mode):
             _one_segment(armci, req, gmr.win, win_rank, disp, loc_off)
-        finally:
-            gmr.win.unlock(win_rank)
 
 
 def _batched(armci: "Armci", req: IovRequest) -> None:
-    """Up to B ops per epoch (B = config.iov_batch_size; 0 = unlimited)."""
+    """Up to B ops per epoch (B = config.iov_batch_size; 0 = unlimited).
+
+    Under the mpi3 datapath each batch is issued into the standing
+    lock_all epoch and completed by one per-target flush.
+    """
     gmr = _require_single_gmr(armci, req, "batched")
     win_rank = gmr.win_rank_of_absolute(req.rank)
     base = gmr.bases[win_rank]
@@ -220,14 +226,11 @@ def _batched(armci: "Armci", req: IovRequest) -> None:
     B = armci.config.iov_batch_size or req.nsegments
     lock_mode = gmr.access_mode.lock_mode(req.kind)
     for start in range(0, req.nsegments, B):
-        gmr.win.lock(win_rank, lock_mode)
-        try:
+        with armci._op_epoch(gmr, win_rank, lock_mode):
             for i in range(start, min(start + B, req.nsegments)):
                 _one_segment(
                     armci, req, gmr.win, win_rank, int(disps[i]), int(req.loc_offsets[i])
                 )
-        finally:
-            gmr.win.unlock(win_rank)
 
 
 #: bound on the direct-method layout memo below (entries, LRU eviction)
@@ -283,8 +286,7 @@ def _direct(armci: "Armci", req: IovRequest) -> None:
         blocks, np.asarray(req.loc_offsets, dtype=np.int64), elem
     )
     lock_mode = gmr.access_mode.lock_mode(req.kind)
-    gmr.win.lock(win_rank, lock_mode)
-    try:
+    with armci._op_epoch(gmr, win_rank, lock_mode):
         if req.kind == "put":
             gmr.win.put(
                 req.local, win_rank, 0,
@@ -300,8 +302,6 @@ def _direct(armci: "Armci", req: IovRequest) -> None:
                 req.local, win_rank, 0, op="MPI_SUM",
                 target_datatype=target_t, origin_datatype=origin_t,
             )
-    finally:
-        gmr.win.unlock(win_rank)
 
 
 def _require_single_gmr(armci: "Armci", req: IovRequest, method: str) -> "Gmr":

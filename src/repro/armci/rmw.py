@@ -37,6 +37,7 @@ __all__ = [
     "rmw_dtype",
     "rmw_mutex_based",
     "rmw_mpi3",
+    "rmw_flush",
 ]
 
 #: ARMCI RMW operation names
@@ -110,7 +111,11 @@ def rmw_mutex_based(armci: "Armci", op: str, ptr: "GlobalPtr", value: int) -> in
 
 
 def rmw_mpi3(armci: "Armci", op: str, ptr: "GlobalPtr", value: int) -> int:
-    """MPI-3 fast path: one fetch_and_op / compare-free swap (§VIII-B)."""
+    """MPI-3 fast path: one fetch_and_op / compare-free swap (§VIII-B).
+
+    Legacy per-call form (``mpi3=True`` without the mpi3 datapath): it
+    opens a shared epoch of its own around the atomic.
+    """
     from ..mpi import datatypes as dt
 
     dtype = rmw_dtype(op)
@@ -125,5 +130,32 @@ def rmw_mpi3(armci: "Armci", op: str, ptr: "GlobalPtr", value: int) -> int:
             old = gmr.win.fetch_and_op(value, win_rank, disp, mpi_t, op="MPI_REPLACE")
     finally:
         gmr.win.unlock(win_rank)
+    armci.stats.rmw_ops += 1
+    return int(old)
+
+
+def rmw_flush(armci: "Armci", op: str, ptr: "GlobalPtr", value: int) -> int:
+    """MPI-3 datapath RMW: fetch_and_op in the standing lock_all epoch.
+
+    No mutex and no epoch of its own — the GMR's lock_all epoch (opened
+    at allocation) hosts the atomic, and one per-target flush completes
+    it.  This is the single-op protocol the paper's §V-D mutex design
+    exists to approximate under MPI-2.
+    """
+    from ..mpi import datatypes as dt
+
+    dtype = rmw_dtype(op)
+    gmr = armci.table.require(ptr)
+    win_rank, disp = gmr.displacement(ptr)
+    mpi_t = dt.from_numpy_dtype(dtype)
+    # per-location program order vs queued nb ops on this target
+    armci._nbq.drain(gmr, win_rank)
+    try:
+        if op in (FETCH_AND_ADD, FETCH_AND_ADD_LONG):
+            old = gmr.win.fetch_and_op(value, win_rank, disp, mpi_t, op="MPI_SUM")
+        else:
+            old = gmr.win.fetch_and_op(value, win_rank, disp, mpi_t, op="MPI_REPLACE")
+    finally:
+        gmr.win.flush(win_rank)
     armci.stats.rmw_ops += 1
     return int(old)

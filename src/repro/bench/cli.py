@@ -9,6 +9,8 @@ Examples::
     python -m repro.bench fig6 --platform xe6 --kind triples
     python -m repro.bench hotpath              # vectorized-datapath microbenches
     python -m repro.bench --hotpath-smoke      # fast regression gate (<60 s)
+    python -m repro.bench mpi3                 # mpi2 vs mpi3 vs +coalescing
+    python -m repro.bench --mpi3-smoke         # flush-datapath gate (seconds)
     python -m repro.bench --sanitize-smoke     # fuzzed-schedule RMA gate (<60 s)
     python -m repro.bench --recover-smoke      # rank-death recovery gate (<60 s)
     python -m repro.bench --lint-smoke         # whole-repo static sweep gate
@@ -109,6 +111,22 @@ def cmd_hotpath(args) -> int:
     return 0
 
 
+def cmd_mpi3(args) -> int:
+    """MPI-3 datapath benches: measure, optionally gate or rewrite baseline."""
+    from . import mpi3_smoke
+
+    if args.smoke:
+        ok, report = mpi3_smoke.smoke(args.baseline)
+        print(report)
+        return 0 if ok else 1
+    results = mpi3_smoke.measure(fast=args.fast)
+    print(mpi3_smoke.format_results(results))
+    if args.write:
+        path = mpi3_smoke.write_baseline(results, args.baseline)
+        print(f"\nwrote {path}")
+    return 0
+
+
 def cmd_sanitize(_args) -> int:
     """Sanitizer + schedule-fuzzer smoke gate (mutex and RMW protocols)."""
     from . import sanitize_smoke
@@ -198,6 +216,21 @@ def build_parser() -> argparse.ArgumentParser:
     ph.add_argument("--baseline", default=None,
                     help="override the baseline JSON path")
 
+    pm = sub.add_parser(
+        "mpi3", help="MPI-3 flush-datapath benches: eager per-op epochs "
+        "(mpi2) vs deferred issue + flush (mpi3) vs adjacency coalescing"
+    )
+    pm.add_argument("--smoke", action="store_true",
+                    help="fast gate against the committed "
+                    "benchmarks/BENCH_mpi3_datapath.json (exit 1 when the "
+                    "mpi3 or coalescing speedup falls below its floor)")
+    pm.add_argument("--fast", action="store_true",
+                    help="fewer batches per arm")
+    pm.add_argument("--write", action="store_true",
+                    help="rewrite the committed baseline JSON")
+    pm.add_argument("--baseline", default=None,
+                    help="override the baseline JSON path")
+
     sub.add_parser(
         "sanitize", help="fuzzed-schedule RMA sanitizer gate over the "
         "mutex and RMW protocols (<60 s)"
@@ -235,6 +268,9 @@ def main(argv: "list[str] | None" = None) -> int:
     if "--hotpath-smoke" in argv:
         argv = [a for a in argv if a != "--hotpath-smoke"]
         argv = ["hotpath", "--smoke"] + argv
+    if "--mpi3-smoke" in argv:
+        argv = [a for a in argv if a != "--mpi3-smoke"]
+        argv = ["mpi3", "--smoke"] + argv
     if "--sanitize-smoke" in argv:
         argv = [a for a in argv if a != "--sanitize-smoke"]
         argv = ["sanitize"] + argv
@@ -255,6 +291,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "fig5": cmd_fig5,
         "fig6": cmd_fig6,
         "hotpath": cmd_hotpath,
+        "mpi3": cmd_mpi3,
         "sanitize": cmd_sanitize,
         "recover": cmd_recover,
         "lint": cmd_lint,

@@ -32,6 +32,9 @@ __all__ = [
     "recover_rmw",
     "recover_gmr",
     "recover_ga",
+    "recover_rmw_mpi3",
+    "recover_gmr_mpi3",
+    "recover_nbq",
 ]
 
 #: per-rank rounds in the counter scenarios (small: fuzz points multiply)
@@ -151,7 +154,7 @@ SCENARIOS = {
 _RECOVERABLE = (CommRevokedError, TargetFailedError, OpTimeoutError)
 
 
-def _attempt_with_recovery(comm, phase):
+def _attempt_with_recovery(comm, phase, datapath="mpi2"):
     """Run ``phase(armci)`` until one attempt completes on a live world.
 
     The ULFM-textbook loop: try the phase; on a failure error, revoke
@@ -160,12 +163,13 @@ def _attempt_with_recovery(comm, phase):
     :meth:`~repro.mpi.comm.Comm.agree` — consensus, so either *all*
     survivors accept the attempt or *all* run :func:`repro.recover.
     recover` and retry on the shrunken world.  Returns
-    ``(armci, recoveries, result)``.
+    ``(armci, recoveries, result)``.  ``datapath`` carries through
+    recovery: the rebuilt runtime keeps the caller's completion mode.
     """
     from ..armci import Armci
     from ..recover import recover
 
-    armci = Armci.init(comm)
+    armci = Armci.init(comm, datapath=datapath)
     recoveries = 0
     while True:
         result = None
@@ -230,7 +234,7 @@ def recover_mutex(comm):
     return (armci.nproc, recoveries, total)
 
 
-def recover_rmw(comm):
+def recover_rmw(comm, datapath="mpi2"):
     """ARMCI_Rmw fetch-and-add under a kill, completed after recovery."""
 
     def phase(armci):
@@ -254,11 +258,11 @@ def recover_rmw(comm):
         assert total == sum(dones), (total, dones)
         return total
 
-    armci, recoveries, total = _attempt_with_recovery(comm, phase)
+    armci, recoveries, total = _attempt_with_recovery(comm, phase, datapath=datapath)
     return (armci.nproc, recoveries, total)
 
 
-def recover_gmr(comm):
+def recover_gmr(comm, datapath="mpi2"):
     """GMR reconstruction on the shrunken group (§V-B under failure).
 
     Rank 0 owns the only non-NULL slice.  If the victim held a NULL
@@ -271,7 +275,7 @@ def recover_gmr(comm):
     from ..armci import Armci
     from ..recover import recover
 
-    armci = Armci.init(comm)
+    armci = Armci.init(comm, datapath=datapath)
     pattern = np.arange(8, dtype=np.int64)
 
     def seed_and_check(a):
@@ -385,6 +389,83 @@ def recover_ga(comm):
     return (armci.nproc, 1)
 
 
+def recover_rmw_mpi3(comm):
+    """The rmw scenario on the mpi3 datapath: single fetch_op RMW (no
+    mutex to repair), standing lock_all epochs rebuilt after recovery."""
+    return recover_rmw(comm, datapath="mpi3")
+
+
+def recover_gmr_mpi3(comm):
+    """GMR rebuild on the mpi3 datapath: the reconstructed windows must
+    come back with their standing lock_all epoch (opened at malloc)."""
+    return recover_gmr(comm, datapath="mpi3")
+
+
+def recover_nbq(comm):
+    """Queued nonblocking ops under a kill (mpi3 datapath).
+
+    Each rank queues a ring of small nb_puts and completes them with
+    ``wait_all``.  When a rank dies mid-attempt, recovery discards the
+    survivors' queues — every handle the failed attempt left behind must
+    then be *done* and ``wait`` must either return (it drained before
+    the revoke) or raise the revoke error; never hang, never half-issue.
+    The retried attempt completes value-verified on the shrunken world.
+    """
+    from ..armci import Armci
+    from ..recover import recover
+
+    armci = Armci.init(comm, datapath="mpi3")
+    recoveries = 0
+    pending: list = []
+
+    def phase(a):
+        me, n = a.my_id, a.nproc
+        ptrs = a.malloc(64)
+        a.barrier()
+        pattern = np.full(8, me + 1, dtype=np.int64)
+        dst = ptrs[(me + 1) % n]
+        handles = [a.nb_put(pattern[i : i + 1], dst + 8 * i, 8) for i in range(8)]
+        pending[:] = handles
+        a.wait_all(handles)
+        pending.clear()
+        a.barrier()
+        buf = np.zeros(8, dtype=np.int64)
+        a.get(ptrs[me], buf, 64)
+        want = ((me - 1) % n) + 1
+        assert np.all(buf == want), buf
+        a.barrier()
+        return int(buf[0])
+
+    while True:
+        result = None
+        try:
+            result = phase(armci)
+            flag = 1
+        except RankKilledError:
+            raise
+        except _RECOVERABLE:
+            armci.world.revoke()
+            flag = 0
+        if armci.world.agree(flag):
+            return (armci.nproc, recoveries, result)
+        if recoveries > comm.size:
+            raise TargetFailedError(
+                f"recovery did not converge after {recoveries} attempts"
+            )
+        armci, _report = recover(armci)
+        recoveries += 1
+        # the failed attempt's handles were discarded by recovery: each
+        # is done, and wait() either returns (drained pre-revoke) or
+        # re-raises the recovery's revoke error — consistently typed
+        for h in pending:
+            assert h.test(), "recovery left a nonblocking handle undone"
+            try:
+                h.wait()
+            except _RECOVERABLE:
+                pass
+        pending.clear()
+
+
 #: name -> recovery-capable SPMD body (kept OUT of ``SCENARIOS``: the
 #: regression corpus and seed-sweep gate enumerate exactly that dict)
 RECOVER_SCENARIOS = {
@@ -392,4 +473,7 @@ RECOVER_SCENARIOS = {
     "rmw": recover_rmw,
     "gmr": recover_gmr,
     "ga": recover_ga,
+    "rmw_mpi3": recover_rmw_mpi3,
+    "gmr_mpi3": recover_gmr_mpi3,
+    "nbq_mpi3": recover_nbq,
 }

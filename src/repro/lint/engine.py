@@ -44,6 +44,7 @@ _LEAKABLE = {
     "mlock": "mutex hold",
     "alloc": "ARMCI allocation",
     "mutexset": "mutex set",
+    "nb": "nonblocking-op handle",
 }
 
 
@@ -109,7 +110,7 @@ class FunctionAnalyzer:
         if not b:
             return
         kind = b[0]
-        if kind in ("armci", "win", "alloc", "mutexset", "req", "allocitem"):
+        if kind in ("armci", "win", "alloc", "mutexset", "req", "nb", "allocitem"):
             st.escaped.add(b[1])
 
     # -- leak rule ---------------------------------------------------------------
@@ -119,6 +120,16 @@ class FunctionAnalyzer:
             if name is None or self.exempt(key, st):
                 continue
             line, col, desc = self.info.get(key, (exit_line, 0, name))
+            if key[0] == "nb":
+                # a handle nobody can ever wait: its queued op may never
+                # reach a completion point (mpi3 datapath)
+                self.emit_at(
+                    line, col, ViolationKind.NB_PENDING,
+                    f"{desc} is still pending on the path leaving the "
+                    f"function at line {exit_line}: complete it with "
+                    "wait()/test(), or drain with fence/barrier",
+                )
+                continue
             self.emit_at(
                 line, col, ViolationKind.LINT_LEAK,
                 f"{desc} is still held on the path leaving the function at "
@@ -144,6 +155,13 @@ class FunctionAnalyzer:
                         s, ViolationKind.REQUEST,
                         "rput/rget request discarded: assign it and complete "
                         "it with wait()/test() before the epoch closes",
+                    )
+                elif b[0] == "newnb":
+                    self.emit(
+                        s, ViolationKind.NB_PENDING,
+                        "nonblocking-op handle discarded: assign it and "
+                        "complete it with wait()/test(), or drain the queue "
+                        "with fence/barrier",
                     )
                 elif b[0] == "newalloc":
                     self.emit(
@@ -257,6 +275,12 @@ class FunctionAnalyzer:
                 self.info[key] = (b[2], b[3], f"request '{t.id}'")
                 st.acquire(key)
                 st.bindings[t.id] = ("req", key)
+            elif b[0] == "newnb":
+                key = ("nb", t.id, b[2], b[3])
+                self.owner[key] = b[1]
+                self.info[key] = (b[2], b[3], f"nonblocking-op handle '{t.id}'")
+                st.acquire(key)
+                st.bindings[t.id] = ("nb", key)
             elif b[0] == "win_tuple":
                 st.bindings.pop(t.id, None)
             else:
@@ -521,7 +545,7 @@ class FunctionAnalyzer:
                 self.scan_args(call, st, escape=False)
                 for k in [
                     k for k in st.must
-                    if k[0] in ("epoch", "lockall", "fence", "dla", "mlock")
+                    if k[0] in ("epoch", "lockall", "fence", "dla", "mlock", "nb")
                 ]:
                     st.must.discard(k)
                 return None
@@ -534,6 +558,8 @@ class FunctionAnalyzer:
                     return self.ms_method(call, func.attr, recv[1], st)
                 if recv[0] == "req":
                     return self.req_method(call, func.attr, recv[1], st)
+                if recv[0] == "nb":
+                    return self.nb_method(call, func.attr, recv[1], st)
                 # methods on tracked values we have no rules for
                 self.scan_args(call, st, escape=False)
                 return None
@@ -559,6 +585,21 @@ class FunctionAnalyzer:
                 )
         if m == "finalize":
             self.scan_args(call, st, escape=False)
+            if not esc:
+                # finalize audits (does not drain) the nonblocking queue:
+                # a still-pending handle here is the dynamic NB_PENDING
+                for k in sorted(
+                    (k for k in st.must
+                     if k[0] == "nb" and self.owner.get(k) == aid
+                     and not self.exempt(k, st)),
+                    key=repr,
+                ):
+                    self.emit(
+                        call, ViolationKind.NB_PENDING,
+                        f"{self.info[k][2]} (line {self.info[k][0]}) is "
+                        "still pending at finalize: wait it, or drain the "
+                        "queue with fence/barrier first",
+                    )
             # finalize frees every remaining allocation and mutex set
             for k in list(st.may):
                 if self.owner_root(k) == aid or (
@@ -638,10 +679,32 @@ class FunctionAnalyzer:
                             "(call access_end first)",
                         )
                         break
+            if m in ("fence", "all_fence"):
+                # fence drains this handle's nonblocking queue (mpi3
+                # datapath): every queued op reaches its completion point
+                self._drop_nb(aid, st)
+            if m in ("nb_put", "nb_get", "nb_acc"):
+                return ("newnb", aid, call.lineno, call.col_offset)
             return None
-        # barrier, set_access_mode, translation queries, ...
+        if m in ("barrier", "fence_all", "wait", "wait_all"):
+            arg_bindings = self.scan_args(call, st, escape=False)
+            if m == "wait":
+                for b in arg_bindings:
+                    if b is not None and b[0] == "nb":
+                        st.drop(b[1])
+            else:
+                # barrier/fence_all drain every queue; wait_all completes
+                # every handle it is given (conservatively: all of them)
+                self._drop_nb(aid, st)
+            return None
+        # set_access_mode, translation queries, ...
         self.scan_args(call, st, escape=False)
         return None
+
+    def _drop_nb(self, aid, st: AbsState) -> None:
+        """A completion point: forget every nb handle owned by ``aid``."""
+        for k in [k for k in st.may if k[0] == "nb" and self.owner.get(k) == aid]:
+            st.drop(k)
 
     # -- Win methods -------------------------------------------------------------------
     def _epoch_on(self, win_id, s: set) -> bool:
@@ -707,12 +770,23 @@ class FunctionAnalyzer:
             return None
         if m in ("flush", "flush_all"):
             self.scan_args(call, st, escape=False)
-            if not esc and not self._epoch_on(wid, st.may):
-                self.emit(
-                    call, ViolationKind.FLUSH,
-                    f"{m} outside any passive-target epoch on this window: "
-                    "nothing to complete",
-                )
+            passive = any(
+                k[0] in ("epoch", "lockall") and k[1] == wid for k in st.may
+            )
+            if not esc and not passive:
+                if any(k[0] == "fence" and k[1] == wid for k in st.must):
+                    self.emit(
+                        call, ViolationKind.FLUSH,
+                        f"{m} inside an active-target (fence) epoch: flush "
+                        "completes passive-target operations only — open a "
+                        "lock or lock_all epoch instead",
+                    )
+                else:
+                    self.emit(
+                        call, ViolationKind.FLUSH,
+                        f"{m} outside any passive-target epoch on this "
+                        "window: nothing to complete",
+                    )
             return None
         if m == "fence_sync":
             args = self.scan_args(call, st, escape=False)
@@ -849,6 +923,13 @@ class FunctionAnalyzer:
         self.scan_args(call, st, escape=False)
         if m in ("wait", "test"):
             st.drop(key)  # completed
+        return None
+
+    def nb_method(self, call, m, key, st: AbsState):
+        self.scan_args(call, st, escape=False)
+        if m in ("wait", "test"):
+            # wait() drains; a polled test() is the completion discipline
+            st.drop(key)
         return None
 
 

@@ -48,7 +48,14 @@ STATIC_RULES: dict[ViolationKind, str] = {
         "(no wait/test) when unlock/unlock_all closes its epoch"
     ),
     ViolationKind.FLUSH: (
-        "flush/flush_all on a window with no epoch possibly open"
+        "flush/flush_all on a window with no passive-target epoch "
+        "(lock/lock_all) possibly open — including inside an "
+        "active-target fence epoch"
+    ),
+    ViolationKind.NB_PENDING: (
+        "a nonblocking-op handle discarded unassigned, still pending "
+        "at finalize, or leaked at a return with no wait()/test(), "
+        "wait_all, fence, or barrier completing it"
     ),
     ViolationKind.LINT_LEAK: (
         "an acquired resource (epoch, lock_all, fence, DLA epoch, mutex "

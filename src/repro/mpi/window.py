@@ -680,6 +680,15 @@ class Win:
         self._require_mpi3("flush")
         origin = current_proc().rank
         with self.runtime.cond:
+            # death first: a killed caller's epochs were already revoked
+            # by the death hook, and the completion call is where a dead
+            # target's loss surfaces (mirrors _require_epoch)
+            self.runtime.check_self_alive()
+            if self._target_world(target_rank) in self.runtime.dead_ranks:
+                raise TargetFailedError(
+                    f"flush({target_rank}) on failed target of win "
+                    f"{self.win_id}"
+                )
             epoch = self._epochs.get((origin, target_rank))
             if epoch is None:
                 san = self._san()
@@ -699,6 +708,7 @@ class Win:
         self._require_mpi3("flush_all")
         origin = current_proc().rank
         with self.runtime.cond:
+            self.runtime.check_self_alive()
             san = self._san()
             if san is not None and not any(o == origin for (o, _t) in self._epochs):
                 san.on_flush_no_epoch(self, origin, -1, "flush_all")

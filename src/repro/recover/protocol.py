@@ -48,6 +48,7 @@ import numpy as np
 from ..armci import iov, strided
 from ..armci.api import Armci
 from ..armci.gmr import Gmr
+from ..mpi.errors import CommRevokedError
 
 __all__ = ["GmrOutcome", "RecoveryReport", "recover"]
 
@@ -114,6 +115,18 @@ def recover(armci: Armci, *, rebuild: bool = True) -> "tuple[Armci, RecoveryRepo
     #    also where the survivors are re-serialised onto the seeded token
     world.failure_ack()
 
+    # mpi3 datapath: queued nonblocking ops can never complete on the
+    # wounded world (its windows are about to be invalidated), so every
+    # survivor discards its own queues — outstanding NbHandles fail
+    # consistently with a revoke error instead of hanging or half-issuing
+    if armci._flush_mode:
+        armci._nbq.discard(
+            CommRevokedError(
+                "nonblocking operation abandoned by recovery: its queue "
+                "was discarded when the wounded world was retired"
+            )
+        )
+
     # 2. snapshot local slabs before any teardown can recycle them
     with rt.cond:
         dead_world = frozenset(rt.dead_ranks)
@@ -144,7 +157,10 @@ def recover(armci: Armci, *, rebuild: bool = True) -> "tuple[Armci, RecoveryRepo
             newcomm.rank,
             "armci_recover_init",
             None,
-            lambda _c: Armci(newcomm, armci.config, armci.strict, armci.mpi3),
+            lambda _c: Armci(
+                newcomm, armci.config, armci.strict, armci.mpi3,
+                datapath=armci.datapath,
+            ),
         )
 
     # cross-rank scratch: mutex reclamation happens once (first thread

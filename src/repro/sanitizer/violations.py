@@ -63,9 +63,10 @@ class ViolationKind(enum.Enum):
     ACCESS_MODE = "access-mode"
     RANGE = "range"
     DLA = "dla"
-    # MPI-3 surface (gated behind mpi3=True)
+    # MPI-3 surface (gated behind mpi3=True / datapath="mpi3")
     REQUEST = "request"
     FLUSH = "flush"
+    NB_PENDING = "nb-pending"
     # static-only rules (emitted by repro.lint, never by the sanitizer)
     LINT_LEAK = "lint-leak"
     LINT_DOUBLE_RELEASE = "lint-double-release"
@@ -175,6 +176,16 @@ CATALOG: dict[ViolationKind, CatalogEntry] = {
         "only meaningful inside a passive-target epoch",
         fix="open the epoch first (lock or lock_all); flush cycles "
         "completion *within* it without closing it",
+    ),
+    ViolationKind.NB_PENDING: CatalogEntry(
+        section="§VIII-B",
+        rule="a queued nonblocking operation (mpi3 datapath) must reach a "
+        "completion point — wait/test, wait_all, fence, or barrier — "
+        "before its runtime finalizes; a discarded handle can leave ops "
+        "queued forever",
+        fix="keep the NbHandle and wait it (or call fence/barrier, which "
+        "drain every queue); recovery may instead discard queues, which "
+        "fails the handles with the revoke error",
     ),
     ViolationKind.LINT_LEAK: CatalogEntry(
         section="§III, §V-B",

@@ -5,3 +5,11 @@ def body(comm):
     win, _ = Win.allocate(comm, 64, mpi3=True)
     comm.barrier()
     win.flush(1)  # expect: flush
+
+
+def inside_fence(comm, buf):
+    win, _ = Win.allocate(comm, 64, mpi3=True)
+    win.fence_sync()
+    win.put(buf, 1)
+    win.flush(1)  # expect: flush
+    win.fence_sync(end=True)

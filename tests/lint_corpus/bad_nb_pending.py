@@ -1,0 +1,27 @@
+from repro.armci import Armci
+
+
+def discarded(comm, src):
+    armci = Armci.init(comm, datapath="mpi3")
+    ptrs = armci.malloc(64)
+    armci.nb_put(src, ptrs[1], 64)  # expect: nb-pending
+    armci.barrier()
+    armci.free(ptrs[armci.my_id])
+    armci.finalize()
+
+
+def pending_at_finalize(comm, src):
+    armci = Armci.init(comm, datapath="mpi3")
+    ptrs = armci.malloc(64)
+    h = armci.nb_put(src, ptrs[1], 64)
+    armci.free(ptrs[armci.my_id])
+    armci.finalize()  # expect: nb-pending
+    del h
+
+
+def leaked_at_return(comm, src):
+    armci = Armci.init(comm, datapath="mpi3")
+    ptrs = armci.malloc(64)
+    h = armci.nb_get(ptrs[1], src, 64)  # expect: nb-pending
+    armci.free(ptrs[armci.my_id])
+    del h

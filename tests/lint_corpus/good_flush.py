@@ -8,3 +8,12 @@ def body(comm, buf):
     win.put(buf, 1)
     win.flush(1)
     win.unlock_all()
+
+
+def per_target_lock(comm, buf):
+    win, _ = Win.allocate(comm, 64, mpi3=True)
+    comm.barrier()
+    win.lock(1)
+    win.put(buf, 1)
+    win.flush(1)
+    win.unlock(1)

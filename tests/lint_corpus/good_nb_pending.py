@@ -1,0 +1,40 @@
+from repro.armci import Armci
+
+
+def waited(comm, src):
+    armci = Armci.init(comm, datapath="mpi3")
+    ptrs = armci.malloc(64)
+    h = armci.nb_put(src, ptrs[1], 64)
+    h.wait()
+    armci.free(ptrs[armci.my_id])
+    armci.finalize()
+
+
+def drained_by_fence(comm, src):
+    armci = Armci.init(comm, datapath="mpi3")
+    ptrs = armci.malloc(64)
+    h = armci.nb_get(ptrs[1], src, 64)
+    armci.fence(1)
+    armci.free(ptrs[armci.my_id])
+    armci.finalize()
+    del h
+
+
+def drained_by_barrier(comm, src):
+    armci = Armci.init(comm, datapath="mpi3")
+    ptrs = armci.malloc(64)
+    h = armci.nb_acc(src, ptrs[1], 64)
+    armci.barrier()
+    armci.free(ptrs[armci.my_id])
+    armci.finalize()
+    del h
+
+
+def polled(comm, src):
+    armci = Armci.init(comm, datapath="mpi3")
+    ptrs = armci.malloc(64)
+    h = armci.nb_put(src, ptrs[1], 64)
+    while not h.test():
+        pass
+    armci.free(ptrs[armci.my_id])
+    armci.finalize()

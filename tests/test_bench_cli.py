@@ -123,6 +123,59 @@ def test_hotpath_smoke_failure_exits_nonzero(capsys, monkeypatch):
     assert "REGRESSED" in capsys.readouterr().out
 
 
+def test_parser_mpi3_subcommand():
+    p = build_parser()
+    args = p.parse_args(["mpi3", "--smoke"])
+    assert args.command == "mpi3" and args.smoke
+    args = p.parse_args(["mpi3", "--fast", "--write", "--baseline", "x.json"])
+    assert args.fast and args.write and args.baseline == "x.json"
+
+
+def test_mpi3_smoke_alias_passes(capsys, monkeypatch):
+    from repro.bench import cli, mpi3_smoke
+
+    monkeypatch.setattr(mpi3_smoke, "smoke", lambda baseline=None: (True, "ok"))
+    assert main(["--mpi3-smoke"]) == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_mpi3_smoke_failure_exits_nonzero(capsys, monkeypatch):
+    from repro.bench import mpi3_smoke
+
+    monkeypatch.setattr(
+        mpi3_smoke, "smoke", lambda baseline=None: (False, "REGRESSED")
+    )
+    assert main(["mpi3", "--smoke"]) == 1
+    assert "REGRESSED" in capsys.readouterr().out
+
+
+def test_mpi3_measure_and_write(tmp_path, capsys, monkeypatch):
+    from repro.bench import mpi3_smoke
+
+    fake = {
+        "small_put": {
+            "mpi2_s_per_op": 5e-6,
+            "mpi3_s_per_op": 5e-7,
+            "mpi3_coalesced_s_per_op": 3e-8,
+            "mpi3_speedup": 10.0,
+            "coalesce_speedup": 16.7,
+        }
+    }
+    monkeypatch.setattr(mpi3_smoke, "measure", lambda fast=False: fake)
+    out_file = tmp_path / "BENCH.json"
+    assert main(["mpi3", "--write", "--baseline", str(out_file)]) == 0
+    assert out_file.exists()
+    assert "small_put" in capsys.readouterr().out
+
+
+def test_mpi3_smoke_real_gate_passes():
+    from repro.bench import mpi3_smoke
+
+    ok, report = mpi3_smoke.smoke()
+    assert ok, report
+    assert "MPI3 SMOKE: ok" in report
+
+
 def test_hotpath_measure_and_write(tmp_path, capsys, monkeypatch):
     from repro.bench import cli
 

@@ -388,7 +388,10 @@ def test_ft_shrink_densely_reranks_survivors():
 # -- the recover matrix ------------------------------------------------------------
 
 
-RECOVER_STRIDE = {"mutex": 5, "rmw": 5, "gmr": 1, "ga": 2}
+RECOVER_STRIDE = {
+    "mutex": 5, "rmw": 5, "gmr": 1, "ga": 2,
+    "rmw_mpi3": 5, "gmr_mpi3": 1, "nbq_mpi3": 3,
+}
 
 
 @functools.lru_cache(maxsize=None)
@@ -447,6 +450,21 @@ def test_gmr_rebuild_recovers_from_death_at_every_fuzz_point(victim):
 @pytest.mark.parametrize("victim", range(NPROC))
 def test_ga_checkpoint_recovers_from_death_at_sampled_fuzz_points(victim):
     _assert_recover_grid("ga", victim)
+
+
+@pytest.mark.parametrize("victim", range(NPROC))
+def test_mpi3_rmw_recovers_from_death_at_sampled_fuzz_points(victim):
+    _assert_recover_grid("rmw_mpi3", victim)
+
+
+@pytest.mark.parametrize("victim", range(NPROC))
+def test_mpi3_gmr_rebuild_recovers_from_death_at_every_fuzz_point(victim):
+    _assert_recover_grid("gmr_mpi3", victim)
+
+
+@pytest.mark.parametrize("victim", range(NPROC))
+def test_mpi3_nb_queue_recovers_from_death_at_sampled_fuzz_points(victim):
+    _assert_recover_grid("nbq_mpi3", victim)
 
 
 def test_recovery_replays_bit_identically():

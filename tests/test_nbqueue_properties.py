@@ -1,0 +1,127 @@
+"""Property tests: the MPI-3 coalescing queue is semantically transparent.
+
+The queue defers, reorders drain boundaries, and merges adjacent
+operations — but none of that may be observable through the ARMCI
+contract.  For any program of nonblocking puts/accs/gets interleaved
+with waits and fences, the bytes left in the target's slab and the
+bytes returned by every get must be identical to the eager mpi2
+datapath, which issues each operation in its own epoch at call time.
+
+Rank 0 drives the generated program against rank 1's slab (hypothesis
+generates it on the pytest thread; the SPMD body only replays it, so
+runs are deterministic).  Conflicting enqueues pre-drain inside the
+queue, which is exactly what makes per-location program order — and
+hence this equivalence — hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.armci import Armci, ArmciConfig
+
+from conftest import spmd
+
+SLAB = 64
+ACC_SLOTS = SLAB // 8
+
+
+@st.composite
+def _op(draw):
+    kind = draw(st.sampled_from(["put", "put", "acc", "acc", "get", "wait", "fence"]))
+    if kind == "put":
+        off = draw(st.integers(0, SLAB - 1))
+        ln = draw(st.integers(1, SLAB - off))
+        return ("put", off, ln, draw(st.integers(0, 255)))
+    if kind == "acc":
+        slot = draw(st.integers(0, ACC_SLOTS - 1))
+        n = draw(st.integers(1, ACC_SLOTS - slot))
+        return ("acc", slot * 8, n, draw(st.integers(-5, 5)))
+    if kind == "get":
+        off = draw(st.integers(0, SLAB - 1))
+        return ("get", off, draw(st.integers(1, SLAB - off)))
+    if kind == "wait":
+        return ("wait", draw(st.integers(0, 31)))
+    return ("fence",)
+
+
+_programs = st.lists(_op(), max_size=12)
+
+
+def _put_bytes(seed: int, ln: int) -> np.ndarray:
+    return ((np.arange(ln, dtype=np.int64) + seed) % 251).astype(np.uint8)
+
+
+def _run_program(program, datapath: str, coalesce: int) -> dict:
+    """Replay one generated program; returns final slab + every get."""
+    result: dict = {}
+
+    def main(comm):
+        cfg = ArmciConfig(nb_coalesce_threshold=coalesce)
+        a = Armci.init(comm, config=cfg, datapath=datapath)
+        ptrs = a.malloc(SLAB)
+        me = a.my_id
+        a.barrier()
+        if me == 0:
+            handles: list = []
+            gets: list[np.ndarray] = []
+            for op in program:
+                if op[0] == "put":
+                    _, off, ln, seed = op
+                    handles.append(a.nb_put(_put_bytes(seed, ln), ptrs[1] + off, ln))
+                elif op[0] == "acc":
+                    _, off, n, val = op
+                    contrib = np.full(n, val, dtype=np.int64)
+                    handles.append(a.nb_acc(contrib, ptrs[1] + off, 1.0, n * 8))
+                elif op[0] == "get":
+                    _, off, ln = op
+                    buf = np.zeros(ln, dtype=np.uint8)
+                    gets.append(buf)
+                    handles.append(a.nb_get(ptrs[1] + off, buf, ln))
+                elif op[0] == "wait":
+                    if handles:
+                        handles[op[1] % len(handles)].wait()
+                else:
+                    a.fence(1)
+            a.wait_all(handles)
+            assert all(h.test() for h in handles)
+            result["gets"] = [g.copy() for g in gets]
+        a.barrier()
+        if me == 1:
+            buf = a.access_begin(ptrs[1], SLAB)
+            result["slab"] = buf.copy()
+            a.access_end(ptrs[1])
+        a.barrier()
+        a.free(ptrs[me])
+
+    spmd(2, main)
+    return result
+
+
+@settings(max_examples=15, deadline=None)
+@given(program=_programs)
+def test_deferred_and_coalesced_paths_match_eager_mpi2(program):
+    eager = _run_program(program, "mpi2", 0)
+    for label, coalesce in (("uncoalesced", 0), ("coalesced", SLAB)):
+        got = _run_program(program, "mpi3", coalesce)
+        assert (got["slab"] == eager["slab"]).all(), (
+            f"{label} mpi3 left different target bytes for {program}"
+        )
+        assert len(got["gets"]) == len(eager["gets"])
+        for i, (want, have) in enumerate(zip(eager["gets"], got["gets"])):
+            assert (want == have).all(), (
+                f"{label} mpi3 get #{i} returned different bytes for {program}"
+            )
+
+
+@settings(max_examples=15, deadline=None)
+@given(program=_programs, threshold=st.integers(1, SLAB))
+def test_any_coalesce_threshold_is_transparent(program, threshold):
+    """Merging is an internal optimisation at every cap, not just 0/max."""
+    baseline = _run_program(program, "mpi3", 0)
+    got = _run_program(program, "mpi3", threshold)
+    assert (got["slab"] == baseline["slab"]).all()
+    for want, have in zip(baseline["gets"], got["gets"]):
+        assert (want == have).all()

@@ -617,6 +617,63 @@ def test_nonstrict_windows_exempt_by_default():
     assert san.violations == []
 
 
+# -- NB_PENDING: mpi3 queued op never reaching a completion point (§VIII-B) -------
+
+
+def _nb_pending_violation(comm):
+    a = Armci.init(comm, datapath="mpi3")
+    ptrs = a.malloc(8)  # repro: lint-ignore[lint-leak]
+    a.barrier()
+    if a.my_id == 0:
+        a.nb_put(np.ones(8, dtype=np.uint8), ptrs[1], 8)  # repro: lint-ignore[nb-pending]
+        # a finalize that skipped every completion point: the audit must
+        # report the op that never flushed
+        a._nbq.audit_finalize()
+
+
+def _nb_pending_clean(comm):
+    a = Armci.init(comm, datapath="mpi3")
+    ptrs = a.malloc(8)
+    a.barrier()
+    a.nb_put(np.ones(8, dtype=np.uint8), ptrs[(a.my_id + 1) % a.nproc], 8)  # repro: lint-ignore[nb-pending]
+    a.finalize()  # the finalize barrier drains; the audit stays silent
+
+
+def test_nb_pending_violation_detected():
+    v = expect_violation(
+        SyncViolationError, ViolationKind.NB_PENDING, RMASyncError,
+        2, _nb_pending_violation,
+    )
+    assert "completion point" in v.detail
+
+
+def test_nb_pending_clean_counterpart():
+    san, _ = run_san(2, _nb_pending_clean)
+    assert san.violations == []
+
+
+def test_nb_ledger_tracks_enqueue_and_drain():
+    counts: list[int] = []
+
+    def body(comm):
+        a = Armci.init(comm, datapath="mpi3")
+        ptrs = a.malloc(16)
+        a.barrier()
+        if a.my_id == 0:
+            san = a.world.runtime.sanitizer
+            gmr = a.table.require(ptrs[1])
+            a.nb_put(np.ones(8, dtype=np.uint8), ptrs[1], 8)  # repro: lint-ignore[nb-pending]
+            a.nb_put(np.ones(8, dtype=np.uint8), ptrs[1] + 8, 8)  # repro: lint-ignore[nb-pending]
+            counts.append(san.nb_pending_count(gmr.win, 0, 1))
+            a.fence(1)
+            counts.append(san.nb_pending_count(gmr.win, 0, 1))
+        a.barrier()
+        a.free(ptrs[a.my_id])
+
+    run_san(2, body)
+    assert counts == [2, 0]
+
+
 def test_catalog_covers_every_kind():
     assert set(CATALOG) == set(ViolationKind)
     for entry in CATALOG.values():
