@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-faults lint lint-smoke sanitize-smoke recover-smoke hotpath-smoke mpi3-smoke check
+.PHONY: test test-faults test-docs lint lint-smoke sanitize-smoke recover-smoke hotpath-smoke mpi3-smoke procs-smoke check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -44,4 +44,14 @@ hotpath-smoke:
 mpi3-smoke:
 	$(PYTHON) -m repro.bench --mpi3-smoke
 
-check: lint test test-faults lint-smoke sanitize-smoke recover-smoke mpi3-smoke
+# Proc-backend gate: shared-memory-window throughput must scale >= 2x
+# from 1 to 4 ranks (enforced on hosts with >= 4 CPUs; recorded elsewhere).
+procs-smoke:
+	$(PYTHON) -m repro.bench --procs-smoke
+
+# Docs-consistency gate: every CLI flag, module path, and relative link
+# in README.md, DESIGN.md, and docs/*.md must resolve.
+test-docs:
+	$(PYTHON) -m pytest -x -q tests/test_docs.py
+
+check: lint test test-faults test-docs lint-smoke sanitize-smoke recover-smoke mpi3-smoke procs-smoke

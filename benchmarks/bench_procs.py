@@ -1,0 +1,55 @@
+"""Proc-backend throughput benchmarks: put/get scaling with CPU cores.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_procs.py --benchmark-only -s
+
+One arm per world size (1, 2, 4 ranks), each spawning real OS processes
+(``Runtime(nproc, backend="proc")``) whose windows live in
+``multiprocessing.shared_memory``; every rank ring-puts and ring-gets a
+1 MiB slab through the ARMCI mpi3 datapath.  Unlike the modeled-clock
+benches these are **wall-clock** numbers — the proc backend exists to
+escape the GIL, and only a wall clock can see whether it did.
+
+The scaling test asserts the acceptance floor (aggregate throughput
+>= 2x from 1 to 4 ranks) on hosts with at least 4 CPUs, records the
+measured ratio on smaller hosts, and rewrites
+``benchmarks/BENCH_procs.json`` so the trajectory is tracked from this
+PR on.  The fast gate over that file is
+``python -m repro.bench --procs-smoke``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import procs_smoke
+from repro.mpi.runtime import Runtime
+
+
+@pytest.mark.parametrize("nproc", procs_smoke.NPROCS)
+def test_procs_throughput_arm(benchmark, nproc):
+    """Wall time of one ring put/get measurement at a given world size."""
+    benchmark.pedantic(
+        lambda: Runtime(nproc, backend="proc").spmd(
+            procs_smoke._rank_body, procs_smoke.SLAB_BYTES, 4,
+            join_timeout=300.0,
+        ),
+        rounds=2, iterations=1,
+    )
+
+
+def test_procs_scaling_and_write_baseline(emit):
+    results = procs_smoke.measure()
+    emit("procs", procs_smoke.format_results(results))
+    path = procs_smoke.write_baseline(results)
+    assert path.exists()
+    cores = os.cpu_count() or 1
+    if cores >= procs_smoke.MIN_CORES_FOR_GATE:
+        assert results["scaling_1_to_4"] >= procs_smoke.MIN_SCALING, (
+            f"aggregate throughput scaled only {results['scaling_1_to_4']:.2f}x "
+            f"from 1 to 4 ranks on a {cores}-CPU host "
+            f"(floor {procs_smoke.MIN_SCALING}x)"
+        )

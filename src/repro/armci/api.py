@@ -220,6 +220,12 @@ class Armci:
                 "coherent_shortcut requires strict=False windows "
                 "(it deliberately permits concurrent access, §V-E.1)"
             )
+        actual_backend = comm.runtime.backend.name
+        if config.backend is not None and config.backend != actual_backend:
+            raise ArgumentError(
+                f"ArmciConfig.backend={config.backend!r} but the runtime "
+                f"uses the {actual_backend!r} backend (see docs/backends.md)"
+            )
         world = comm.dup()
         with world.runtime.cond:
             return world._coll.run(

@@ -11,6 +11,8 @@ Examples::
     python -m repro.bench --hotpath-smoke      # fast regression gate (<60 s)
     python -m repro.bench mpi3                 # mpi2 vs mpi3 vs +coalescing
     python -m repro.bench --mpi3-smoke         # flush-datapath gate (seconds)
+    python -m repro.bench procs                # proc-backend core scaling
+    python -m repro.bench --procs-smoke        # proc-backend scaling gate
     python -m repro.bench --sanitize-smoke     # fuzzed-schedule RMA gate (<60 s)
     python -m repro.bench --recover-smoke      # rank-death recovery gate (<60 s)
     python -m repro.bench --lint-smoke         # whole-repo static sweep gate
@@ -127,6 +129,22 @@ def cmd_mpi3(args) -> int:
     return 0
 
 
+def cmd_procs(args) -> int:
+    """Proc-backend benches: wall-clock put/get throughput vs world size."""
+    from . import procs_smoke
+
+    if args.smoke:
+        ok, report = procs_smoke.smoke(args.baseline)
+        print(report)
+        return 0 if ok else 1
+    results = procs_smoke.measure(fast=args.fast)
+    print(procs_smoke.format_results(results))
+    if args.write:
+        path = procs_smoke.write_baseline(results, args.baseline)
+        print(f"\nwrote {path}")
+    return 0
+
+
 def cmd_sanitize(_args) -> int:
     """Sanitizer + schedule-fuzzer smoke gate (mutex and RMW protocols)."""
     from . import sanitize_smoke
@@ -231,6 +249,21 @@ def build_parser() -> argparse.ArgumentParser:
     pm.add_argument("--baseline", default=None,
                     help="override the baseline JSON path")
 
+    pp = sub.add_parser(
+        "procs", help="proc-backend (one OS process per rank) aggregate "
+        "put/get throughput over shared-memory windows, for 1/2/4 ranks"
+    )
+    pp.add_argument("--smoke", action="store_true",
+                    help="fast gate: baseline benchmarks/BENCH_procs.json "
+                    "must parse, and on hosts with >= 4 CPUs the 1->4 rank "
+                    "aggregate-throughput scaling must stay >= 2x")
+    pp.add_argument("--fast", action="store_true",
+                    help="fewer repetitions per world size")
+    pp.add_argument("--write", action="store_true",
+                    help="rewrite the committed baseline JSON")
+    pp.add_argument("--baseline", default=None,
+                    help="override the baseline JSON path")
+
     sub.add_parser(
         "sanitize", help="fuzzed-schedule RMA sanitizer gate over the "
         "mutex and RMW protocols (<60 s)"
@@ -271,6 +304,9 @@ def main(argv: "list[str] | None" = None) -> int:
     if "--mpi3-smoke" in argv:
         argv = [a for a in argv if a != "--mpi3-smoke"]
         argv = ["mpi3", "--smoke"] + argv
+    if "--procs-smoke" in argv:
+        argv = [a for a in argv if a != "--procs-smoke"]
+        argv = ["procs", "--smoke"] + argv
     if "--sanitize-smoke" in argv:
         argv = [a for a in argv if a != "--sanitize-smoke"]
         argv = ["sanitize"] + argv
@@ -292,6 +328,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "fig6": cmd_fig6,
         "hotpath": cmd_hotpath,
         "mpi3": cmd_mpi3,
+        "procs": cmd_procs,
         "sanitize": cmd_sanitize,
         "recover": cmd_recover,
         "lint": cmd_lint,

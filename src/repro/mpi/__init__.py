@@ -20,6 +20,7 @@ Public surface::
 """
 
 from . import datatypes, ops
+from .backend import BACKENDS, RuntimeBackend, ThreadBackend, resolve_backend
 from .comm import Comm, Intercomm
 from .datatypes import (
     BYTE,
@@ -63,6 +64,7 @@ __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "ArgumentError",
+    "BACKENDS",
     "BAND",
     "BOR",
     "BXOR",
@@ -103,10 +105,12 @@ __all__ = [
     "RMARangeError",
     "RMASyncError",
     "Runtime",
+    "RuntimeBackend",
     "SegmentMap",
     "Status",
     "SUM",
     "TargetFailedError",
+    "ThreadBackend",
     "UNDEFINED",
     "Win",
     "WinError",
@@ -117,6 +121,7 @@ __all__ = [
     "indexed",
     "indexed_block",
     "ops",
+    "resolve_backend",
     "spmd_run",
     "struct_type",
     "subarray",

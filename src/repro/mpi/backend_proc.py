@@ -1,0 +1,888 @@
+"""Process-parallel runtime backend: one OS process per rank.
+
+``Runtime(nproc, backend="proc")`` escapes the GIL: every rank is a
+forked child process, window memory lives in
+``multiprocessing.shared_memory`` segments (the MPI-3
+``MPI_Win_allocate_shared`` analogue from Hammond et al., PAPERS.md),
+and puts/gets are true cross-process memory traffic.  The moving parts:
+
+* **Parent** (:class:`ProcBackend`): forks the children, then runs a
+  monitor loop — collecting per-rank results, broadcasting a
+  ``rank_dead`` control message when a child exits abnormally (so
+  survivors raise :class:`~repro.mpi.runtime.RankFailedError`, the
+  cross-process analogue of ``mark_dead``), and enforcing
+  ``join_timeout`` as the deadlock backstop (the thread watchdog cannot
+  see other processes).
+* **Child** (:func:`_child_main`): builds a private :class:`Runtime`
+  *replica* (``apply_hooks=False`` — ambient sanitizer/fuzzer/fault
+  hooks must not silently duplicate into processes they cannot
+  observe), a :class:`ProcComm` world, and a pump thread that drains
+  this rank's inbox queue into the local p2p engines.
+* **Messaging** (:class:`ProcComm`): sends put pickled payloads on the
+  destination's inbox queue; the destination's pump injects them into
+  the matching :class:`~repro.mpi.p2p.P2PEngine` replica.  Context ids
+  are *structural tuples* (``("w",)``, parent + ``("dup", seq)``, …)
+  because integer context counters diverge across processes when
+  communicators are created on subgroups.
+* **Collectives** (:class:`_ProcCollEngine`): gather-to-root /
+  broadcast over a reserved p2p engine; every process then runs the
+  ``compute`` step on the full contribution dict, so collectives that
+  construct unpicklable objects (communicators, windows, ARMCI
+  registries) build a consistent per-process replica — contributions
+  are inserted in rank order to keep replicas deterministic.
+* **Windows** (:class:`ProcWin`): each rank's exposure is copied into a
+  shared-memory segment all peers attach; passive-target ``lock`` maps
+  onto ``fcntl.flock`` range locks (shared/exclusive), and the atomic
+  ops (``accumulate``/``fetch_and_op``/``compare_and_swap``) take a
+  separate per-target *atomic sublock* file so they are atomic across
+  processes even inside shared epochs (MPI-3 ``lock_all`` takes no
+  cross-process lock at all — like real MPI, conflicting plain put/put
+  is the user's race, atomics are the runtime's job).
+
+What the proc backend does **not** support — by design, raising typed
+errors rather than misbehaving: the deterministic scheduler and fuzzer,
+the RMA sanitizer, fault *injection* (real ``kill`` works: see the
+monitor), ULFM ``revoke``/``agree``/``shrink``, and intercommunicators.
+``docs/backends.md`` has the full matrix.
+"""
+
+from __future__ import annotations
+
+import fcntl
+import itertools
+import os
+import pickle
+import queue as _queue
+import shutil
+import tempfile
+import threading
+import time
+import traceback
+import zlib
+from contextlib import contextmanager
+from multiprocessing import get_context, resource_tracker, shared_memory
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+from .backend import RuntimeBackend
+from .comm import Comm
+from .errors import (
+    ArgumentError,
+    CommError,
+    InternalError,
+    ProgressDeadlockError,
+    RMASyncError,
+    TagError,
+    TargetFailedError,
+)
+from .group import Group
+from .p2p import ANY_SOURCE, P2PEngine, Request
+from .runtime import RankFailedError, Runtime, _tls, current_proc
+from .window import (
+    LOCK_EXCLUSIVE,
+    LOCK_SHARED,
+    Win,
+    WinError,
+    _Epoch,
+    _local_exposure_view,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+__all__ = ["ProcBackend", "ProcComm", "ProcWin"]
+
+#: every operation the thread backend supports but this one rejects
+#: carries this hint in its error message
+_THREAD_ONLY = "is thread-backend only (see docs/backends.md); use backend='thread'"
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+
+class ProcBackend(RuntimeBackend):
+    """One forked OS process per rank; true multi-core parallelism."""
+
+    name = "proc"
+
+    _run_counter = itertools.count()
+
+    def spmd(
+        self,
+        runtime: "Runtime",
+        fn: Callable[..., Any],
+        args: tuple,
+        join_timeout: float,
+    ) -> list[Any]:
+        if runtime.schedule is not None:
+            raise InternalError(f"the deterministic scheduler {_THREAD_ONLY}")
+        if runtime.sanitizer is not None:
+            raise InternalError(f"the RMA sanitizer {_THREAD_ONLY}")
+        if runtime.faults is not None:
+            raise InternalError(f"fault injection {_THREAD_ONLY}")
+        nproc = runtime.nproc
+        ctx = get_context("fork")
+        inboxes = [ctx.Queue() for _ in range(nproc)]
+        result_q = ctx.Queue()
+        lockdir = tempfile.mkdtemp(prefix="repro-proc-")
+        run_id = f"{os.getpid()}x{next(self._run_counter)}"
+        cfg = (
+            runtime.nproc,
+            runtime.watchdog_s,
+            runtime.op_timeout_s,
+            runtime.op_retries,
+            runtime.seed,
+        )
+        children = [
+            ctx.Process(
+                target=_child_main,
+                args=(r, cfg, fn, args, inboxes, result_q, lockdir, run_id),
+                name=f"rank-{r}",
+                daemon=True,
+            )
+            for r in range(nproc)
+        ]
+        try:
+            for p in children:
+                p.start()
+            results, errors, died = self._monitor(
+                children, inboxes, result_q, join_timeout
+            )
+        finally:
+            for p in children:
+                if p.is_alive():
+                    p.terminate()
+            for p in children:
+                p.join(timeout=5.0)
+            for q in inboxes:
+                q.cancel_join_thread()
+            shutil.rmtree(lockdir, ignore_errors=True)
+        # error precedence mirrors the thread backend: the original
+        # failure (any non-secondary exception) outranks the
+        # RankFailedError/TargetFailedError echoes it caused elsewhere.
+        primary = {
+            r: e
+            for r, e in errors.items()
+            if not isinstance(e, (RankFailedError, TargetFailedError))
+        }
+        if primary:
+            raise primary[min(primary)]
+        if died:
+            r = min(died)
+            raise RankFailedError(
+                f"rank {r} process died without reporting a result "
+                f"(exit code {died[r]})"
+            )
+        if errors:
+            raise errors[min(errors)]
+        return [results[r] for r in range(nproc)]
+
+    def _monitor(
+        self,
+        children: list,
+        inboxes: list,
+        result_q,
+        join_timeout: float,
+    ) -> tuple[dict[int, Any], dict[int, BaseException], dict[int, "int | None"]]:
+        """Drain results, detect silent deaths, broadcast ``rank_dead``."""
+        nproc = len(children)
+        results: dict[int, Any] = {}
+        errors: dict[int, BaseException] = {}
+        died: dict[int, "int | None"] = {}
+        pending = set(range(nproc))
+        deadline = time.monotonic() + join_timeout
+
+        def announce(rank: int, detail: str) -> None:
+            for other in range(nproc):
+                if other != rank and other in pending:
+                    inboxes[other].put(("ctl", "rank_dead", rank, detail))
+
+        def drain(block_s: float) -> None:
+            try:
+                while True:
+                    rank, status, payload = result_q.get(timeout=block_s)
+                    block_s = 0.0
+                    pending.discard(rank)
+                    if status == "ok":
+                        results[rank] = payload
+                        continue
+                    exc = (
+                        payload
+                        if isinstance(payload, BaseException)
+                        else InternalError(f"rank {rank} failed: {payload}")
+                    )
+                    errors[rank] = exc
+                    # a raised child is as dead to its peers as a killed
+                    # one: it exits without serving further collectives
+                    announce(rank, f"raised {type(exc).__name__}")
+            except _queue.Empty:
+                pass
+
+        while pending:
+            if time.monotonic() > deadline:
+                raise ProgressDeadlockError(
+                    f"rank processes {sorted(pending)} did not finish within "
+                    f"join_timeout={join_timeout}s (proc-backend deadlock backstop)"
+                )
+            drain(0.05)
+            stopped = [r for r in pending if not children[r].is_alive()]
+            if stopped:
+                # a racing result may still sit in the queue's pipe buffer;
+                # give it a grace period before declaring a silent death
+                drain(0.25)
+                for r in stopped:
+                    if r in pending:
+                        pending.discard(r)
+                        died[r] = children[r].exitcode
+                        announce(r, f"exit code {children[r].exitcode}")
+        return results, errors, died
+
+    def make_world(self, runtime: "Runtime") -> "Comm":
+        raise InternalError(
+            "the proc backend's world communicator exists only inside "
+            "rank processes (call it via spmd)"
+        )
+
+    def win_create(self, comm, local, disp_unit, strict, mpi3):
+        raise InternalError(
+            "proc-backend windows are created inside rank processes "
+            "(call Win.create from spmd code)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# child side
+# ---------------------------------------------------------------------------
+
+def _child_main(
+    rank: int,
+    cfg: tuple,
+    fn: Callable[..., Any],
+    args: tuple,
+    inboxes: list,
+    result_q,
+    lockdir: str,
+    run_id: str,
+) -> None:
+    nproc, watchdog_s, op_timeout_s, op_retries, seed = cfg
+    backend = _ProcChildBackend(rank, nproc, inboxes, lockdir, run_id)
+    runtime = Runtime(
+        nproc,
+        watchdog_s=watchdog_s,
+        op_timeout_s=op_timeout_s,
+        op_retries=op_retries,
+        seed=seed,
+        backend=backend,
+        apply_hooks=False,
+    )
+    backend.runtime = runtime
+    _tls.proc = runtime.procs[rank]
+    stop = threading.Event()
+    pump = threading.Thread(
+        target=_pump, args=(backend, runtime, inboxes[rank], stop),
+        name=f"pump-{rank}", daemon=True,
+    )
+    pump.start()
+    status, payload = "ok", None
+    try:
+        world = Comm._world(runtime)
+        payload = fn(world, *args)
+    except BaseException as exc:  # noqa: BLE001 - marshalled to the parent
+        # pickling drops __traceback__; carry the formatted one as a note
+        try:
+            exc.add_note(f"[rank {rank} traceback]\n{traceback.format_exc()}")
+        except Exception:
+            pass
+        status, payload = "err", exc
+    finally:
+        try:
+            pickle.dumps(payload)
+        except Exception:
+            # the queue's feeder thread pickles asynchronously; an
+            # unpicklable result would be dropped silently, so degrade
+            # to a description here
+            if status == "ok":
+                status = "err"
+                payload = (
+                    f"rank {rank} returned an unpicklable result of type "
+                    f"{type(payload).__name__}"
+                )
+            else:
+                payload = f"{type(payload).__name__}: {payload}"
+        # clean up BEFORE reporting: once the result is posted the
+        # parent may consider this child done and terminate stragglers,
+        # which must not race the shared-memory unlinks
+        stop.set()
+        pump.join(timeout=1.0)
+        backend.release_windows()
+        result_q.put((rank, status, payload))
+
+
+def _pump(backend: "_ProcChildBackend", runtime: "Runtime", inbox, stop) -> None:
+    """Drain this rank's inbox into the local p2p-engine replicas."""
+    while not stop.is_set():
+        try:
+            msg = inbox.get(timeout=0.05)
+        except _queue.Empty:
+            continue
+        try:
+            if msg[0] == "p2p":
+                _, key, src, dst, tag, payload = msg
+                with runtime.cond:
+                    engine = backend.engines.get(key)
+                    if engine is None:
+                        # the matching communicator replica is not
+                        # constructed yet on this rank; stash until its
+                        # engine registers
+                        backend.stash.setdefault(key, []).append(
+                            (src, dst, tag, payload)
+                        )
+                    else:
+                        engine.post_send(src, dst, tag, payload)
+            elif msg[0] == "ctl" and msg[1] == "rank_dead":
+                _, _, dead, detail = msg
+                with runtime.cond:
+                    runtime.mark_dead(dead)
+                    if runtime.failed is None:
+                        runtime.failed = RankFailedError(
+                            f"rank {dead} process died ({detail})"
+                        )
+                    runtime.notify_progress()
+        except BaseException as exc:  # noqa: BLE001 - pump must survive
+            with runtime.cond:
+                runtime.death_hook_errors.append(exc)
+
+
+class _ProcChildBackend(RuntimeBackend):
+    """The backend a child-process runtime replica delegates to."""
+
+    name = "proc"
+
+    def __init__(
+        self, rank: int, nproc: int, inboxes: list, lockdir: str, run_id: str
+    ):
+        self.rank = rank
+        self.nproc = nproc
+        self.inboxes = inboxes
+        self.lockdir = lockdir
+        self.run_id = run_id
+        self.runtime: "Runtime | None" = None
+        #: ctx key -> P2PEngine replica (guarded by runtime.cond)
+        self.engines: dict[Any, P2PEngine] = {}
+        #: ctx key -> messages that arrived before the engine registered
+        self.stash: dict[Any, list[tuple]] = {}
+        #: per-context window sequence numbers (window tokens must agree
+        #: across processes, so they derive from the comm's structural
+        #: key + creation order, not the per-runtime ``win_id`` counter)
+        self._win_seq: dict[Any, int] = {}
+        self._windows: list["ProcWin"] = []
+
+    # -- RuntimeBackend ------------------------------------------------------
+    def spmd(self, runtime, fn, args, join_timeout):
+        raise InternalError("nested spmd inside a proc-backend rank")
+
+    def make_world(self, runtime: "Runtime") -> "Comm":
+        return ProcComm(runtime, Group(range(self.nproc)), ("w",), self)
+
+    def win_create(self, comm, local, disp_unit, strict, mpi3):
+        view = _local_exposure_view(local)
+        token = self._win_token(comm)
+        me = comm.rank
+        own = shared_memory.SharedMemory(
+            name=self._segment_name(token, me), create=True,
+            size=max(1, view.nbytes),
+        )
+        if view.nbytes:
+            np.ndarray((view.nbytes,), dtype=np.uint8, buffer=own.buf)[:] = view
+        # the allgather is also the barrier guaranteeing every segment
+        # exists before any peer attaches
+        contribs = comm.allgather((view.nbytes, disp_unit))
+        buffers: list[np.ndarray] = []
+        units: list[int] = []
+        segments: list[shared_memory.SharedMemory] = []
+        for r in range(comm.size):
+            nbytes, unit = contribs[r]
+            if r == me:
+                seg = own
+            else:
+                seg = shared_memory.SharedMemory(
+                    name=self._segment_name(token, r), create=False
+                )
+                # CPython's resource tracker registers attached segments
+                # too; unregister so only the creator unlinks
+                resource_tracker.unregister(seg._name, "shared_memory")
+            buffers.append(np.ndarray((nbytes,), dtype=np.uint8, buffer=seg.buf))
+            units.append(unit)
+            segments.append(seg)
+        win = ProcWin(
+            comm, buffers, units, strict=strict, mpi3=mpi3,
+            segments=segments, creator_rank=me, token=token,
+            lockdir=self.lockdir,
+        )
+        self._windows.append(win)
+        return win
+
+    # -- child-side plumbing -------------------------------------------------
+    def register_engine(self, key: Any, engine: P2PEngine) -> None:
+        """Publish an engine replica; replay messages that beat it here.
+
+        Must be called with ``runtime.cond`` held (communicator
+        construction paths already do).
+        """
+        self.engines[key] = engine
+        for src, dst, tag, payload in self.stash.pop(key, ()):
+            engine.post_send(src, dst, tag, payload)
+
+    def send_to(self, dst_world: int, msg: tuple) -> None:
+        self.inboxes[dst_world].put(msg)
+
+    def _win_token(self, comm: "Comm") -> str:
+        """Deterministic cross-process window identity.
+
+        Same structural context key + same per-comm creation ordinal on
+        every member ⇒ same token ⇒ same segment names and lock files.
+        """
+        key = comm.context_id
+        seq = self._win_seq.get(key, 0)
+        self._win_seq[key] = seq + 1
+        return f"{zlib.crc32(repr(key).encode()) & 0xFFFFFFFF:08x}.{seq}"
+
+    def _segment_name(self, token: str, rank: int) -> str:
+        return f"repro-{self.run_id}-{token}-r{rank}"
+
+    def release_windows(self) -> None:
+        for win in self._windows:
+            win._release_segments()
+
+
+# ---------------------------------------------------------------------------
+# communicators
+# ---------------------------------------------------------------------------
+
+class ProcComm(Comm):
+    """Per-process communicator replica routing p2p through OS queues.
+
+    ``context_id`` is a structural tuple, identical on every member
+    process because communicator-management calls are collective and
+    each replica advances the same sub-creation counter in lockstep.
+    """
+
+    def __init__(
+        self,
+        runtime: "Runtime",
+        group: Group,
+        ctx_key: tuple,
+        backend: _ProcChildBackend,
+    ):
+        super().__init__(runtime, group, ctx_key)
+        self._backend = backend
+        with runtime.cond:
+            backend.register_engine(ctx_key, self._p2p)
+        self._coll = _ProcCollEngine(self)
+        #: ordinal of the next derived communicator (advances identically
+        #: on every member because dup/split/create are collective)
+        self._sub_seq = 0
+
+    # -- p2p -----------------------------------------------------------------
+    def send(self, payload: Any, dest: int, tag: int = 0) -> None:
+        self.runtime.check_self_alive()
+        self._check_revoked()
+        if tag < 0:
+            raise TagError(f"send tag must be >= 0, got {tag}")
+        dst_world = self.group.world_rank(dest)
+        me = current_proc().rank
+        if dst_world == me:
+            with self.runtime.cond:
+                self._p2p.post_send(me, dst_world, tag, payload)
+            return
+        with self.runtime.cond:
+            if dst_world in self.runtime.dead_ranks:
+                raise TargetFailedError(
+                    f"send to failed rank {dest} (world {dst_world})"
+                )
+        if isinstance(payload, np.ndarray):
+            # snapshot: the sender may mutate its buffer after an eager
+            # send returns (thread backend copies in post_send)
+            payload = np.ascontiguousarray(payload).copy()
+        self._backend.send_to(
+            dst_world, ("p2p", self.context_id, me, dst_world, tag, payload)
+        )
+
+    def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
+        self.send(payload, dest, tag)
+        with self.runtime.cond:
+            req = Request(self._p2p)
+            req._finish(None)
+        return req
+
+    # -- management ----------------------------------------------------------
+    def _next_sub_seq(self) -> int:
+        with self.runtime.cond:
+            seq = self._sub_seq
+            self._sub_seq += 1
+        return seq
+
+    def dup(self) -> "Comm":
+        seq = self._next_sub_seq()
+        self.barrier()  # collective, like the thread backend's rendezvous
+        return ProcComm(
+            self.runtime, self.group, self.context_id + ("dup", seq),
+            self._backend,
+        )
+
+    def split(self, color: int, key: int = 0) -> "Comm | None":
+        seq = self._next_sub_seq()
+        me_world = self.group.world_rank(self.rank)
+        contribs = self.allgather((color, key, me_world))
+        if color < 0:
+            return None
+        members = sorted(
+            (k, r, w) for r, (c, k, w) in enumerate(contribs) if c == color
+        )
+        grp = Group(w for _k, _r, w in members)
+        return ProcComm(
+            self.runtime, grp, self.context_id + ("split", seq, color),
+            self._backend,
+        )
+
+    def create(self, group: Group) -> "Comm | None":
+        for w in group:
+            if not self.group.contains_world(w):
+                raise ArgumentError(f"create: world rank {w} not in parent {self}")
+        seq = self._next_sub_seq()
+        self.barrier()  # create is collective over the parent
+        if not group.contains_world(current_proc().rank):
+            return None
+        return ProcComm(
+            self.runtime, group, self.context_id + ("create", seq),
+            self._backend,
+        )
+
+    # -- unsupported surfaces --------------------------------------------------
+    def revoke(self) -> None:
+        raise CommError(f"Comm.revoke {_THREAD_ONLY}")
+
+    def agree(self, flag: int = 1) -> int:
+        raise CommError(f"Comm.agree {_THREAD_ONLY}")
+
+    def shrink(self) -> "Comm":
+        raise CommError(f"Comm.shrink {_THREAD_ONLY}")
+
+    def create_intercomm(self, *args: Any, **kw: Any):
+        raise CommError(f"Comm.create_intercomm {_THREAD_ONLY}")
+
+
+class _ProcCollEngine:
+    """Gather-to-root / broadcast collectives over a reserved p2p engine.
+
+    Compatible with :class:`~repro.mpi.collectives.CollectiveEngine.run`:
+    called with the giant (process-local) lock held; returns
+    ``compute(contribs)`` where ``contribs`` maps comm rank ->
+    contribution.  *Every* process runs ``compute`` — object-building
+    collectives (``comm_dup``, ``armci_malloc``, ``win_free``) construct
+    per-process replicas, which is exactly what a distributed runtime
+    needs.  Contributions are inserted in rank order so dict-iteration
+    dependent computes stay deterministic across processes.
+    """
+
+    def __init__(self, comm: ProcComm):
+        self.comm = comm
+        self._backend = comm._backend
+        key = (comm.context_id, "__coll__")
+        self._key = key
+        self._p2p = P2PEngine(comm.runtime, key)
+        with comm.runtime.cond:
+            self._backend.register_engine(key, self._p2p)
+        #: collective ordinal; doubles as the message tag so mismatched
+        #: call sequences hang (-> join_timeout) instead of cross-matching
+        self._seq = 0
+
+    def run(
+        self,
+        rank: int,
+        kind: str,
+        contribution: Any,
+        compute: Callable[[dict[int, Any]], Any],
+    ) -> Any:
+        rt = self.comm.runtime
+        rt.check_self_alive()
+        seq = self._seq
+        self._seq += 1
+        size = self.comm.size
+        if size == 1:
+            return compute({0: contribution})
+        me_world = current_proc().rank
+        root_world = self.comm.group.world_rank(0)
+        if rank == 0:
+            arrived: dict[int, tuple[str, Any]] = {}
+            for _ in range(size - 1):
+                req = self._p2p.post_recv(me_world, ANY_SOURCE, seq, None)
+                rt.wait_for(
+                    lambda: req._done, what=f"collective {kind} (gather)"
+                )
+                if req._error is not None:
+                    raise req._error
+                peer_rank, peer_kind, peer_contrib = req._status.payload
+                arrived[peer_rank] = (peer_kind, peer_contrib)
+            contribs: dict[int, Any] = {0: contribution}
+            for r in range(1, size):
+                peer_kind, peer_contrib = arrived[r]
+                if peer_kind != kind:
+                    exc = InternalError(
+                        f"collective mismatch: rank 0 in {kind!r}, "
+                        f"rank {r} in {peer_kind!r}"
+                    )
+                    for r2 in range(1, size):
+                        self._send(self.comm.group.world_rank(r2), seq, exc)
+                    raise exc
+                contribs[r] = peer_contrib
+            blob = [(r, contribs[r]) for r in range(size)]
+            for r in range(1, size):
+                self._send(self.comm.group.world_rank(r), seq, (kind, blob))
+        else:
+            self._send(root_world, seq, (rank, kind, contribution))
+            req = self._p2p.post_recv(me_world, root_world, seq, None)
+            rt.wait_for(lambda: req._done, what=f"collective {kind} (result)")
+            if req._error is not None:
+                raise req._error
+            payload = req._status.payload
+            if isinstance(payload, BaseException):
+                raise payload
+            root_kind, blob = payload
+            if root_kind != kind:
+                raise InternalError(
+                    f"collective mismatch: rank {rank} in {kind!r}, "
+                    f"rank 0 in {root_kind!r}"
+                )
+            contribs = {}
+            for r, c in blob:
+                contribs[r] = c
+        return compute(contribs)
+
+    def _send(self, dst_world: int, tag: int, payload: Any) -> None:
+        me = current_proc().rank
+        if dst_world == me:
+            self._p2p.post_send(me, dst_world, tag, payload)
+        else:
+            self._backend.send_to(
+                dst_world, ("p2p", self._key, me, dst_world, tag, payload)
+            )
+
+    def fail_all(self, exc: BaseException) -> None:
+        self._p2p.fail_all(exc)
+
+
+# ---------------------------------------------------------------------------
+# windows
+# ---------------------------------------------------------------------------
+
+class ProcWin(Win):
+    """A window whose memory is shared-memory segments, locks are flocks.
+
+    Epoch bookkeeping (one-lock-per-window, epoch-required, strict
+    conflict tracking) stays process-local in the inherited state; the
+    *mutual exclusion* between processes comes from two families of
+    ``fcntl.flock`` files under the run's lock directory:
+
+    * ``<token>.t<target>.lock`` — the passive-target epoch lock taken
+      by :meth:`lock` (``LOCK_SH``/``LOCK_EX`` mirroring
+      shared/exclusive); :meth:`lock_all` deliberately takes none
+      (MPI-3 shared epochs don't exclude anyone).
+    * ``<token>.t<target>.atomic`` — a short-lived exclusive sublock
+      wrapped around accumulate/fetch_and_op/compare_and_swap so
+      atomics are atomic across processes even inside shared epochs.
+      Ordering is always epoch-lock → atomic-sublock, so the two
+      families cannot deadlock.
+    """
+
+    def __init__(
+        self,
+        comm: Comm,
+        buffers: list[np.ndarray],
+        disp_units: list[int],
+        strict: bool = True,
+        mpi3: bool = False,
+        *,
+        segments: list,
+        creator_rank: int,
+        token: str,
+        lockdir: str,
+    ):
+        super().__init__(comm, buffers, disp_units, strict=strict, mpi3=mpi3)
+        self._segments = segments
+        self._creator_rank = creator_rank
+        self._token = token
+        self._lockdir = lockdir
+        #: target -> open epoch-lock file (this process holds its flock)
+        self._epoch_files: dict[int, Any] = {}
+        self._released = False
+
+    # -- flock plumbing ------------------------------------------------------
+    def _lockfile(self, target_rank: int, kind: str = "lock") -> str:
+        return os.path.join(
+            self._lockdir, f"{self._token}.t{target_rank}.{kind}"
+        )
+
+    def _acquire_flock(self, path: str, exclusive: bool):
+        """Blocking-with-failure-checks flock acquisition.
+
+        Polls nonblockingly so a survivor stuck behind a dead peer's
+        lock still observes ``runtime.failed`` (set by the pump on a
+        ``rank_dead`` control message) and raises the typed error.
+        """
+        rt = self.runtime
+        f = open(path, "ab")
+        op = (fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH) | fcntl.LOCK_NB
+        try:
+            while True:
+                try:
+                    fcntl.flock(f.fileno(), op)
+                    return f
+                except OSError:
+                    pass
+                with rt.cond:
+                    if rt.failed is not None:
+                        raise RankFailedError(
+                            f"rank failed elsewhere: {rt.failed!r}"
+                        )
+                time.sleep(0.002)
+        except BaseException:
+            f.close()
+            raise
+
+    @staticmethod
+    def _drop_flock(f) -> None:
+        fcntl.flock(f.fileno(), fcntl.LOCK_UN)
+        f.close()
+
+    @contextmanager
+    def _atomic_section(self, target_rank: int):
+        f = self._acquire_flock(self._lockfile(target_rank, "atomic"), True)
+        try:
+            yield
+        finally:
+            self._drop_flock(f)
+
+    # -- passive-target sync -------------------------------------------------
+    def lock(self, target_rank: int, mode: str = LOCK_EXCLUSIVE) -> None:
+        if mode not in (LOCK_SHARED, LOCK_EXCLUSIVE):
+            raise ArgumentError(f"unknown lock mode {mode!r}")
+        self._check_target(target_rank)
+        rt = self.runtime
+        origin = current_proc().rank
+        if self.comm.group.rank_of_world(origin) < 0:
+            raise WinError(
+                f"world rank {origin} is not in this window's group and "
+                "cannot open an access epoch on it"
+            )
+        with rt.cond:
+            self._check_alive()
+            rt.check_self_alive()
+            if origin in self._held:
+                raise RMASyncError(
+                    f"origin {origin} already holds a lock on target "
+                    f"{self._held[origin]} of this window (MPI-2 allows one "
+                    "lock per window per process)"
+                )
+            if origin in self._lock_all:
+                raise RMASyncError("lock() inside a lock_all epoch")
+            if origin in self._fence_members:
+                raise RMASyncError("lock() inside an active-target fence epoch")
+            if self._target_world(target_rank) in rt.dead_ranks:
+                raise TargetFailedError(
+                    f"lock: target rank {target_rank} of win {self.win_id} "
+                    "has failed"
+                )
+        # the cross-process exclusion, acquired without the giant lock so
+        # the pump thread keeps running while we spin
+        f = self._acquire_flock(
+            self._lockfile(target_rank), mode == LOCK_EXCLUSIVE
+        )
+        with rt.cond:
+            self._epoch_files[target_rank] = f
+            ls = self._locks[target_rank]
+            ls.mode = mode
+            ls.holders.add(origin)
+            self._held[origin] = target_rank
+            self._epochs[(origin, target_rank)] = _Epoch(origin, target_rank, mode)
+            rt.notify_progress()
+
+    def unlock(self, target_rank: int) -> None:
+        self._check_target(target_rank)
+        rt = self.runtime
+        origin = current_proc().rank
+        with rt.cond:
+            self._check_alive()
+            rt.check_self_alive()
+            epoch = self._epochs.pop((origin, target_rank), None)
+            if epoch is None or self._held.get(origin) != target_rank:
+                raise RMASyncError(
+                    f"unlock({target_rank}) without a matching lock by "
+                    f"origin {origin}"
+                )
+            self._deliver_gets(epoch)
+            del self._held[origin]
+            ls = self._locks[target_rank]
+            ls.holders.discard(origin)
+            if not ls.holders:
+                ls.mode = None
+            f = self._epoch_files.pop(target_rank, None)
+            rt.notify_progress()
+        if f is not None:
+            self._drop_flock(f)
+
+    # -- atomics -------------------------------------------------------------
+    def accumulate(self, origin: np.ndarray, target_rank: int, *args, **kw):
+        with self._atomic_section(target_rank):
+            return super().accumulate(origin, target_rank, *args, **kw)
+
+    def fetch_and_op(self, value, target_rank: int, *args, **kw):
+        with self._atomic_section(target_rank):
+            return super().fetch_and_op(value, target_rank, *args, **kw)
+
+    def compare_and_swap(self, compare, value, target_rank: int, *args, **kw):
+        with self._atomic_section(target_rank):
+            return super().compare_and_swap(compare, value, target_rank, *args, **kw)
+
+    # -- teardown ------------------------------------------------------------
+    def free_with(self, on_free) -> Any:
+        result = super().free_with(on_free)
+        self._release_segments()
+        return result
+
+    def invalidate(self) -> None:
+        super().invalidate()
+        with self.runtime.cond:
+            files = list(self._epoch_files.values())
+            self._epoch_files.clear()
+        for f in files:
+            self._drop_flock(f)
+        self._release_segments()
+
+    def _release_segments(self) -> None:
+        """Detach the shared-memory segments; the creator unlinks its own.
+
+        Peers' mappings stay valid after an unlink (POSIX), so a rank
+        finishing early never pulls memory out from under survivors —
+        only *new* attachments become impossible, and window creation is
+        collective, so there are none.
+        """
+        if self._released:
+            return
+        self._released = True
+        self._buffers = [np.empty(0, dtype=np.uint8) for _ in self._buffers]
+        segments, self._segments = self._segments, []
+        for r, seg in enumerate(segments):
+            if r == self._creator_rank:
+                try:
+                    seg.unlink()
+                except FileNotFoundError:
+                    pass
+            try:
+                seg.close()
+            except BufferError:
+                # a live external view (user-held local_view) pins the
+                # mapping; the OS reclaims it at process exit
+                pass

@@ -46,9 +46,8 @@ class Comm:
     # -- construction -----------------------------------------------------------
     @classmethod
     def _world(cls, runtime: Runtime) -> "Comm":
-        with runtime.cond:
-            cid = runtime.alloc_context_id()
-        return cls(runtime, Group(range(runtime.nproc)), cid)
+        """World communicator for ``runtime`` (backend decides the flavour)."""
+        return runtime.backend.make_world(runtime)
 
     # -- identity ---------------------------------------------------------------
     @property

@@ -37,6 +37,7 @@ import time
 from typing import Any, Callable, Sequence
 
 from ..simtime.clock import SimClock
+from .backend import RuntimeBackend, resolve_backend
 from .errors import (
     InternalError,
     OpTimeoutError,
@@ -129,6 +130,17 @@ class Runtime:
     seed:
         Seed for the runtime's backoff RNG (exponential backoff between
         lock retries is seeded so retry timing is reproducible).
+    backend:
+        Rank-execution backend: ``"thread"`` (default — ranks as OS
+        threads under the giant lock, the deterministic path),
+        ``"proc"`` (one OS process per rank with shared-memory windows),
+        or a :class:`~repro.mpi.backend.RuntimeBackend` instance.
+    apply_hooks:
+        Run :data:`RUNTIME_CREATION_HOOKS` on this runtime (default).
+        The proc backend builds per-child runtime replicas with
+        ``apply_hooks=False`` so ambiently installed layers (sanitizer,
+        schedule fuzzer, fault injector) are never silently duplicated
+        into rank processes they cannot observe.
     """
 
     def __init__(
@@ -138,6 +150,8 @@ class Runtime:
         op_timeout_s: "float | None" = None,
         op_retries: "int | None" = None,
         seed: int = 0,
+        backend: "str | RuntimeBackend | None" = None,
+        apply_hooks: bool = True,
     ):
         if nproc < 1:
             raise InternalError(f"nproc must be >= 1, got {nproc}")
@@ -153,6 +167,7 @@ class Runtime:
             op_retries = int(os.environ.get("REPRO_OP_RETRIES", "3"))
         self.op_retries = op_retries
         self.seed = seed
+        self.backend = resolve_backend(backend)
         self._backoff_rng = random.Random(0x5DEECE66D ^ (seed << 16))
         self.cond = threading.Condition()
         self.procs = [Proc(r, self) for r in range(nproc)]
@@ -183,8 +198,9 @@ class Runtime:
         #: exceptions raised by death hooks (recovery must not re-kill the
         #: runtime; tests assert this stays empty)
         self.death_hook_errors: list[BaseException] = []
-        for hook in RUNTIME_CREATION_HOOKS:
-            hook(self)
+        if apply_hooks:
+            for hook in RUNTIME_CREATION_HOOKS:
+                hook(self)
 
     # -- scheduling -----------------------------------------------------------
     def notify_progress(self) -> None:
@@ -414,70 +430,11 @@ class Runtime:
 
         ``fn`` receives the world communicator as its first argument.
         The first exception raised by any rank is re-raised here after
-        all threads have been joined.
+        all ranks have been joined.  How the ranks execute — threads
+        under the giant lock, or one OS process per rank — is the
+        :attr:`backend`'s decision (see :mod:`repro.mpi.backend`).
         """
-        from .comm import Comm  # deferred: comm.py imports runtime
-
-        world = Comm._world(self)
-        results: list[Any] = [None] * self.nproc
-        if self.schedule is not None:
-            self.schedule.begin_run(self)
-        if self.faults is not None:
-            self.faults.begin_run(self)
-
-        def body(proc: Proc) -> None:
-            _tls.proc = proc
-            try:
-                if self.schedule is not None:
-                    with self.cond:
-                        self.schedule.thread_started(proc.rank)
-                results[proc.rank] = fn(world, *args)
-            except RankKilledError as exc:
-                # injected death: record it on the proc but do not poison
-                # the run — survivors must be able to finish (or raise
-                # their own typed TargetFailedError).
-                with self.cond:
-                    proc.exception = exc
-                    self.mark_dead(proc.rank)
-            except BaseException as exc:  # noqa: BLE001 - propagated to caller
-                with self.cond:
-                    proc.exception = exc
-                    if self.failed is None and not isinstance(exc, RankFailedError):
-                        self.failed = exc
-                    self.notify_progress()
-            finally:
-                with self.cond:
-                    proc.finished = True
-                    if self.schedule is not None:
-                        self.schedule.thread_finished(proc.rank)
-                    self._maybe_clear_dead_stall()
-                    self.notify_progress()
-                _tls.proc = None
-
-        threads = [
-            threading.Thread(target=body, args=(p,), name=f"rank-{p.rank}", daemon=True)
-            for p in self.procs
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=join_timeout)
-        if any(t.is_alive() for t in threads):
-            with self.cond:
-                if self.failed is None:
-                    self.failed = ProgressDeadlockError(
-                        "rank threads did not finish within join_timeout"
-                    )
-                self._deadlocked = True
-                self.notify_progress()
-            for t in threads:
-                t.join(timeout=5.0)
-        if self.failed is not None:
-            raise self.failed
-        for p in self.procs:
-            if p.exception is not None and not isinstance(p.exception, RankKilledError):
-                raise p.exception
-        return results
+        return self.backend.spmd(self, fn, args, join_timeout)
 
     # -- simulated time --------------------------------------------------------
     def clocks(self) -> Sequence[float]:

@@ -357,25 +357,14 @@ class Win:
         """Collective window creation (MPI_Win_create).
 
         ``local`` is this rank's exposed array (any dtype; it is viewed as
-        bytes) or ``None``/size-0 for no local exposure.
+        bytes) or ``None``/size-0 for no local exposure.  Where the
+        window memory lives is the runtime backend's decision: the
+        thread backend exposes ``local`` itself; the proc backend copies
+        it into a ``multiprocessing.shared_memory`` segment (closer to
+        ``MPI_Win_allocate``) — use :meth:`local_view` /
+        :meth:`exposed_buffer` for access that works on both.
         """
-        if local is None:
-            view = np.empty(0, dtype=np.uint8)
-        else:
-            if not isinstance(local, np.ndarray):
-                raise ArgumentError("Win.create: local buffer must be a numpy array")
-            view = local.reshape(-1).view(np.uint8)
-        contribs = comm.allgather((view, disp_unit))
-
-        def build() -> "Win":
-            buffers = [c[0] for c in contribs]
-            units = [c[1] for c in contribs]
-            return cls(comm, buffers, units, strict=strict, mpi3=mpi3)
-
-        # second rendezvous so every rank shares ONE Win object
-        with comm.runtime.cond:
-            win = comm._coll.run(comm.rank, "win_create", None, lambda _c: build())
-        return win
+        return comm.runtime.backend.win_create(comm, local, disp_unit, strict, mpi3)
 
     @classmethod
     def allocate(
@@ -1240,3 +1229,15 @@ def _byte_view(arr: np.ndarray) -> np.ndarray:
             "RMA buffers must be C-contiguous; pass np.ascontiguousarray(...)"
         )
     return arr.reshape(-1).view(np.uint8)
+
+
+def _local_exposure_view(local: "np.ndarray | None") -> np.ndarray:
+    """Validate and flatten a rank's exposed array for ``Win.create``.
+
+    Shared by the backends so both enforce the same argument contract.
+    """
+    if local is None:
+        return np.empty(0, dtype=np.uint8)
+    if not isinstance(local, np.ndarray):
+        raise ArgumentError("Win.create: local buffer must be a numpy array")
+    return local.reshape(-1).view(np.uint8)

@@ -1,0 +1,33 @@
+"""Backend-owned window lifetimes are not leaks — a corpus note.
+
+The proc backend (``repro.mpi.backend_proc``) creates windows whose
+shared-memory segments outlive the creating function: ``win_create``
+hands the window to the backend's registry and ``release_windows()``
+frees every registered window at rank teardown.  No ``lint-ignore`` is
+needed for this pattern; the engine's escape analysis already covers
+it by design (see docs/lint.md, "How it analyzes"):
+
+* a tracked resource stored into an attribute or container leaves the
+  function's leak obligations — ownership has transferred to the
+  registry (``register_backend_window`` below);
+* objects the function did not construct (parameters, registry
+  entries) are of unknown provenance and exempt from the
+  double-release and leak rules (``release_backend_windows`` below).
+
+If a refactor ever makes these fire, prefer restoring the
+ownership-transfer shape over sprinkling ``lint-ignore[lint-leak]``.
+"""
+
+
+def register_backend_window(comm, backend, local):
+    from repro.mpi.window import Win
+
+    win = Win.create(comm, local, disp_unit=8)
+    backend.windows.append(win)  # ownership transfers to the registry
+
+
+def release_backend_windows(backend):
+    # registry entries were constructed elsewhere: unknown provenance,
+    # so freeing them here is exempt from double-release tracking
+    for win in backend.windows:
+        win.free()

@@ -1,0 +1,303 @@
+"""Proc-backend tests: thread/proc parity, fault surfacing, fork safety.
+
+The proc backend (:mod:`repro.mpi.backend_proc`) must be a drop-in for
+the thread backend at the ARMCI/GA level: the same seeded program must
+produce byte-identical global-array contents on both.  Failure handling
+crosses a real process boundary here — a SIGKILLed child must surface
+as :class:`~repro.mpi.runtime.RankFailedError` on the survivors and the
+parent, mirroring what ``mark_dead`` does between threads.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.armci import Armci, ArmciConfig
+from repro.ga import GlobalArray, zero
+from repro.mpi import runtime as rt_mod
+from repro.mpi.errors import ArgumentError, CommError, InternalError
+from repro.mpi.group import Group
+from repro.mpi.runtime import RankFailedError, Runtime
+from repro.mpi.window import LOCK_EXCLUSIVE, Win
+
+NPROC = 4
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_layers(request):
+    """Proc runs reject ambient sanitizer/fault hooks (thread-only layers)."""
+    if request.config.getoption("--sanitize") or request.config.getoption("--faults"):
+        pytest.skip("proc backend does not support ambient sanitizer/faults")
+
+
+def proc_spmd(nproc, fn, *args):
+    """Like conftest.spmd but on real processes (generous join timeout)."""
+    return Runtime(nproc, backend="proc").spmd(fn, *args, join_timeout=120.0)
+
+
+# ---------------------------------------------------------------------------
+# basics
+# ---------------------------------------------------------------------------
+
+
+def _ring_body(comm):
+    rank = comm.rank
+    vals = comm.allgather(rank * 10)
+    comm.send(("ping", rank), (rank + 1) % comm.size, tag=3)
+    payload, _st = comm.recv(source=(rank - 1) % comm.size, tag=3)
+    local = np.full(4, rank, dtype=np.int64)
+    win = Win.create(comm, local, disp_unit=8)
+    right = (rank + 1) % comm.size
+    win.lock(right, LOCK_EXCLUSIVE)
+    win.put(np.full(4, 100 + rank, dtype=np.int64), right, target_count=4)
+    win.unlock(right)
+    comm.barrier()
+    win.lock(rank, LOCK_EXCLUSIVE)
+    mine = win.local_view(np.int64).copy()
+    win.unlock(rank)
+    win.free()
+    return vals, payload, mine.tolist()
+
+
+def test_proc_backend_basics():
+    out = proc_spmd(NPROC, _ring_body)
+    for rank, (vals, payload, mine) in enumerate(out):
+        assert vals == [r * 10 for r in range(NPROC)]
+        assert payload == ("ping", (rank - 1) % NPROC)
+        assert mine == [100 + (rank - 1) % NPROC] * 4
+
+
+def test_proc_backend_subgroup_windows_do_not_collide():
+    """Disjoint subgroups create windows concurrently; identity must not
+    collide even though per-runtime ``win_id`` counters diverge."""
+
+    def body(comm):
+        rank = comm.rank
+        sub = comm.split(color=rank % 2, key=rank)
+        half = np.full(2, 10 * rank, dtype=np.int64)
+        # group 0 creates an extra window first, desynchronising any
+        # naive creation-order-based identity
+        if rank % 2 == 0:
+            extra = Win.create(sub, np.zeros(2, dtype=np.int64), disp_unit=8)
+        win = Win.create(sub, half, disp_unit=8)
+        peer = (sub.rank + 1) % sub.size
+        win.lock(peer, LOCK_EXCLUSIVE)
+        win.put(np.full(2, 7 + rank, dtype=np.int64), peer, target_count=2)
+        win.unlock(peer)
+        sub.barrier()
+        win.lock(sub.rank, LOCK_EXCLUSIVE)
+        mine = win.local_view(np.int64).copy()
+        win.unlock(sub.rank)
+        win.free()
+        if rank % 2 == 0:
+            extra.free()
+        return mine.tolist()
+
+    out = proc_spmd(NPROC, body)
+    for rank, mine in enumerate(out):
+        peer_world = (rank + 2) % NPROC
+        assert mine == [7 + peer_world] * 2
+
+
+# ---------------------------------------------------------------------------
+# thread/proc parity (property)
+# ---------------------------------------------------------------------------
+
+
+def _patch_ops(shape):
+    """Scripted GA patch ops: (issuer, kind, lo, hi, seed, alpha)."""
+
+    def build(issuer, kind, y0, x0, dy, dx, seed, alpha):
+        lo = (y0, x0)
+        hi = (min(shape[0], y0 + dy), min(shape[1], x0 + dx))
+        return issuer, kind, lo, hi, seed, alpha
+
+    return st.builds(
+        build,
+        st.integers(0, NPROC - 1),
+        st.sampled_from(["put", "acc"]),
+        st.integers(0, shape[0] - 1),
+        st.integers(0, shape[1] - 1),
+        st.integers(1, shape[0]),
+        st.integers(1, shape[1]),
+        st.integers(0, 2**16),
+        st.integers(1, 3),
+    )
+
+
+def _parity_program(comm, datapath, ops, shape, rmw_rounds):
+    """The seeded workload both backends must agree on, byte for byte."""
+    armci = Armci.init(comm, mpi3=(datapath == "mpi3"), datapath=datapath)
+    ga = GlobalArray.create(armci, shape, "i8")
+    zero(ga)
+    for issuer, kind, lo, hi, seed, alpha in ops:
+        if armci.my_id == issuer:
+            rng = np.random.default_rng(seed)
+            patch = tuple(h - l for l, h in zip(lo, hi))
+            data = rng.integers(0, 1000, size=patch, dtype=np.int64)
+            if kind == "put":
+                ga.put(lo, hi, data)
+            else:
+                ga.acc(lo, hi, data, alpha=alpha)
+        ga.sync()  # serialise scripted ops so both backends see one order
+    # rmw storm on a shared counter: per-rank fetch order is timing
+    # dependent, but the final value is not
+    counters = armci.malloc(8)
+    if armci.my_id == 0:
+        view = armci.access_begin(counters[0], 8, dtype=np.int64)
+        view[:] = 0
+        armci.access_end(counters[0])
+    armci.barrier()
+    for i in range(rmw_rounds):
+        armci.rmw("fetch_and_add", counters[0], armci.my_id + i + 1)
+    armci.barrier()
+    final = int(armci.rmw("fetch_and_add", counters[0], 0))
+    full = ga.get((0, 0), shape)
+    ga.sync()
+    ga.destroy()
+    armci.free(counters[armci.my_id])
+    armci.finalize()
+    return full.tobytes(), final
+
+
+@settings(max_examples=4, deadline=None)
+@given(
+    datapath=st.sampled_from(["mpi2", "mpi3"]),
+    ops=st.lists(_patch_ops((10, 10)), min_size=1, max_size=6),
+    rmw_rounds=st.integers(1, 4),
+)
+def test_thread_proc_parity(datapath, ops, rmw_rounds):
+    shape = (10, 10)
+    thread_out = Runtime(NPROC, watchdog_s=2.0).spmd(
+        _parity_program, datapath, ops, shape, rmw_rounds
+    )
+    proc_out = proc_spmd(NPROC, _parity_program, datapath, ops, shape, rmw_rounds)
+    expected_rmw = sum(
+        r + i + 1 for r in range(NPROC) for i in range(rmw_rounds)
+    )
+    # all ranks agree within each backend …
+    assert len({b for b, _f in thread_out}) == 1
+    assert len({b for b, _f in proc_out}) == 1
+    # … and the backends agree with each other, byte for byte
+    assert thread_out[0][0] == proc_out[0][0]
+    assert thread_out[0][1] == proc_out[0][1] == expected_rmw
+
+
+# ---------------------------------------------------------------------------
+# failure surfacing
+# ---------------------------------------------------------------------------
+
+
+def test_proc_child_sigkill_raises_rankfailed():
+    """A killed child surfaces as RankFailedError, like mark_dead."""
+
+    def body(comm):
+        comm.barrier()
+        if comm.rank == 2:
+            os.kill(os.getpid(), signal.SIGKILL)
+        for _ in range(500):
+            comm.barrier()
+        return comm.rank
+
+    rt = Runtime(NPROC, backend="proc")
+    with pytest.raises(RankFailedError, match="rank 2"):
+        rt.spmd(body, join_timeout=60.0)
+
+
+def test_proc_child_exception_propagates_original_type():
+    def body(comm):
+        comm.barrier()
+        if comm.rank == 1:
+            raise ValueError("boom on rank 1")
+        for _ in range(500):
+            comm.barrier()
+        return comm.rank
+
+    rt = Runtime(NPROC, backend="proc")
+    with pytest.raises(ValueError, match="boom on rank 1"):
+        rt.spmd(body, join_timeout=60.0)
+
+
+# ---------------------------------------------------------------------------
+# unsupported surfaces + config validation
+# ---------------------------------------------------------------------------
+
+
+def test_proc_rejects_thread_only_layers():
+    rt = Runtime(2, backend="proc")
+    rt.sanitizer = object()
+    with pytest.raises(InternalError, match="thread-backend only"):
+        rt.spmd(lambda comm: None)
+
+
+def test_proc_comm_ft_surface_raises_typed():
+    def body(comm):
+        with pytest.raises(CommError, match="thread-backend only"):
+            comm.revoke()
+        with pytest.raises(CommError, match="thread-backend only"):
+            comm.agree()
+        with pytest.raises(CommError, match="thread-backend only"):
+            comm.shrink()
+        return True
+
+    assert proc_spmd(2, body) == [True, True]
+
+
+def test_armci_config_backend_mismatch_rejected():
+    def body(comm):
+        with pytest.raises(ArgumentError, match="backend"):
+            Armci.init(comm, config=ArmciConfig(backend="proc"))
+        armci = Armci.init(comm, config=ArmciConfig(backend="thread"))
+        armci.finalize()
+        return True
+
+    out = Runtime(2).spmd(body)
+    assert out == [True, True]
+
+
+def test_armci_config_backend_validation():
+    with pytest.raises(ValueError, match="backend"):
+        ArmciConfig(backend="threads")
+
+
+# ---------------------------------------------------------------------------
+# fork/spawn safety of runtime globals
+# ---------------------------------------------------------------------------
+
+
+def test_creation_hooks_not_duplicated_into_children():
+    """RUNTIME_CREATION_HOOKS fire on the parent runtime only: child-side
+    runtime replicas are built with apply_hooks=False, so an ambient
+    layer is never silently installed in a process it cannot observe."""
+    calls: list[int] = []
+
+    def hook(runtime):
+        calls.append(runtime.nproc)
+
+    def body(comm):
+        # forked children inherit a snapshot of `calls`; if the child's
+        # runtime replica had applied hooks it would have grown here
+        return len(calls)
+
+    rt_mod.RUNTIME_CREATION_HOOKS.append(hook)
+    try:
+        rt = Runtime(2, backend="proc")
+        assert calls == [2]  # parent runtime ran the hook exactly once
+        out = rt.spmd(body, join_timeout=60.0)
+        assert out == [1, 1]
+        assert calls == [2]
+    finally:
+        rt_mod.RUNTIME_CREATION_HOOKS.remove(hook)
+
+
+def test_thread_backend_unchanged_by_default():
+    rt = Runtime(2)
+    assert rt.backend.name == "thread"
+    out = rt.spmd(lambda comm: comm.allgather(comm.rank))
+    assert out == [[0, 1], [0, 1]]

@@ -42,7 +42,10 @@ def test_corpus_covers_every_static_rule():
     stems = {p.stem[len("bad_"):] for p in BAD}
     want = {k.value.replace("-", "_") for k in STATIC_RULES}
     assert stems == want
-    assert {p.stem[len("good_"):] for p in GOOD} == want
+    # every rule has its good_ counterpart; extra good_ exemplars beyond
+    # the rule set (e.g. good_backend_window.py, the backend-owned
+    # window-lifetime note) are welcome and must simply stay clean
+    assert {p.stem[len("good_"):] for p in GOOD} >= want
 
 
 @pytest.mark.parametrize("path", BAD, ids=lambda p: p.stem)
