@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-faults test-docs lint lint-smoke sanitize-smoke recover-smoke hotpath-smoke mpi3-smoke procs-smoke check
+.PHONY: test test-faults test-docs lint lint-smoke sanitize-smoke recover-smoke hotpath-smoke mpi3-smoke procs-smoke proc-recover-smoke check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -49,9 +49,15 @@ mpi3-smoke:
 procs-smoke:
 	$(PYTHON) -m repro.bench --procs-smoke
 
+# Cross-process fault-tolerance gate: SIGKILL a rank mid-collective,
+# survivors must detect it inside the latency budget and finish a
+# value-correct checkpoint restore on the shrunken grid.
+proc-recover-smoke:
+	$(PYTHON) -m repro.bench --proc-recover-smoke
+
 # Docs-consistency gate: every CLI flag, module path, and relative link
 # in README.md, DESIGN.md, and docs/*.md must resolve.
 test-docs:
 	$(PYTHON) -m pytest -x -q tests/test_docs.py
 
-check: lint test test-faults test-docs lint-smoke sanitize-smoke recover-smoke mpi3-smoke procs-smoke
+check: lint test test-faults test-docs lint-smoke sanitize-smoke recover-smoke mpi3-smoke procs-smoke proc-recover-smoke

@@ -138,6 +138,20 @@ class Gmr:
         """This process's raw slab bytes (no access-rights implication)."""
         return self.win.exposed_buffer(self.group.rank)
 
+    def snapshot_local(self, absolute_id: int) -> "np.ndarray | None":
+        """Copy of ``absolute_id``'s slab bytes, or ``None`` for non-members
+        and NULL (zero-size) slices.
+
+        The recovery protocol snapshots every surviving slab through this
+        before teardown can recycle the window memory — on the proc
+        backend the bytes live in a shared-memory segment that rebuild
+        will replace, so the copy (not a view) is load-bearing.
+        """
+        r = self.group.group_rank_of(absolute_id)
+        if r == UNDEFINED or not self.sizes[r]:
+            return None
+        return np.array(self.win.exposed_buffer(r), dtype=np.uint8, copy=True)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Gmr id={self.gmr_id} group={self.group.size} sizes={self.sizes}>"
 

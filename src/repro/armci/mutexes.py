@@ -24,6 +24,7 @@ from ..mpi import datatypes as dt
 from ..mpi.comm import Comm
 from ..mpi.errors import ArgumentError, OpTimeoutError, TargetFailedError
 from ..mpi.p2p import ANY_SOURCE
+from ..mpi.runtime import RankFailedError
 from ..mpi.window import LOCK_EXCLUSIVE, Win
 
 __all__ = ["MutexHolderFailed", "MutexSet"]
@@ -75,11 +76,15 @@ class MutexSet:
         # not per-instance.
         rt = comm.runtime
         key = ("mutex_holders", win.win_id)
+        # the holders dict may predate this MutexSet (on the proc
+        # backend a peer's holder-note broadcast can create it first),
+        # so hook registration is tracked by a separate marker
+        hooked = ("mutex_hooked", win.win_id)
         with rt.cond:
-            if key not in rt.shared:
-                rt.shared[key] = {}
+            self._holders: dict[tuple[int, int], int] = rt.shared.setdefault(key, {})
+            if hooked not in rt.shared:
+                rt.shared[hooked] = True
                 rt.add_death_hook(self._on_rank_death)
-            self._holders: dict[tuple[int, int], int] = rt.shared[key]
 
     def _on_rank_death(self, world_rank: int) -> None:
         """Latham byte-vector repair for a failed rank (under runtime cond).
@@ -113,12 +118,19 @@ class MutexSet:
                 j = (dead + step) % n
                 if vec[base + j]:
                     self._holders[(host, mutex)] = j
-                    self.comm._p2p.post_send(
-                        world_rank,
-                        group.world_rank(j),
-                        _HANDOFF_TAG_BASE + host * self.count + mutex,
-                        (_HOLDER_DIED, dead),
-                    )
+                    # on the proc backend this hook runs in EVERY
+                    # surviving process (each pump marks the death);
+                    # only the process hosting waiter j may inject the
+                    # handoff into its local p2p replica
+                    rt = self.comm.runtime
+                    dst_world = group.world_rank(j)
+                    if rt.local_ranks is None or dst_world in rt.local_ranks:
+                        self.comm._p2p.post_send(
+                            world_rank,
+                            dst_world,
+                            _HANDOFF_TAG_BASE + host * self.count + mutex,
+                            (_HOLDER_DIED, dead),
+                        )
                     break
             else:
                 del self._holders[(host, mutex)]
@@ -186,6 +198,20 @@ class MutexSet:
             return None
         return dt.indexed_block(1, disps, dt.BYTE).commit()
 
+    def _note_holder(self, host: int, mutex: int, holder: "int | None") -> None:
+        """Record a holder change; must hold ``runtime.cond``.
+
+        Also publishes the change through the communicator's backend
+        hook (:meth:`~repro.mpi.comm.Comm._holder_note`): a no-op on the
+        thread backend, a peer broadcast on the proc backend so every
+        process's death hooks see remotely-made acquisitions.
+        """
+        if holder is None:
+            self._holders.pop((host, mutex), None)
+        else:
+            self._holders[(host, mutex)] = holder
+        self.comm._holder_note(self._win.win_id, host, mutex, holder)
+
     def _await_handoff(self, req, mutex: int, host: int) -> None:
         """Wait for the handoff message with per-op timeout + bounded retry.
 
@@ -211,6 +237,14 @@ class MutexSet:
                         raise
                     rt.backoff(attempt)
                     attempt += 1
+                except RankFailedError:
+                    # proc backend: a peer death poisons every wait in
+                    # this process, but the death hook may already have
+                    # forwarded the handoff to us — an owned mutex must
+                    # not be dropped on the floor
+                    if req._done:
+                        return
+                    raise
 
     def lock(self, mutex: int, host: int) -> None:
         """Acquire mutex ``mutex`` hosted on process ``host`` (blocking).
@@ -256,13 +290,13 @@ class MutexSet:
                     raise
             status = req.wait()
             with rt.cond:
-                self._holders[(host, mutex)] = me
+                self._note_holder(host, mutex, me)
             payload = status.payload
             if isinstance(payload, tuple) and payload and payload[0] == _HOLDER_DIED:
                 raise MutexHolderFailed(mutex, host, payload[1])
             return
         with rt.cond:
-            self._holders[(host, mutex)] = me
+            self._note_holder(host, mutex, me)
 
     def trylock(self, mutex: int, host: int) -> bool:
         """Nonblocking acquire; on failure the request is *withdrawn*.
@@ -289,7 +323,7 @@ class MutexSet:
         self._win.unlock(host)
         if others_t is None or not waiting[: n - 1].any():
             with self.comm.runtime.cond:
-                self._holders[(host, mutex)] = me
+                self._note_holder(host, mutex, me)
             return True
         # Withdraw: clear our bit under an exclusive epoch, THEN check for
         # a handoff.  A handoff can only have been sent by an unlocker
@@ -303,7 +337,7 @@ class MutexSet:
         if self.comm.iprobe(tag=tag) is not None:
             self.comm.recv(source=ANY_SOURCE, tag=tag)
             with self.comm.runtime.cond:
-                self._holders[(host, mutex)] = me
+                self._note_holder(host, mutex, me)
             return True  # the handoff won the race: we own the mutex
         return False
 
@@ -323,7 +357,7 @@ class MutexSet:
         self._win.unlock(host)
         if others_t is None:
             with rt.cond:
-                self._holders.pop((host, mutex), None)
+                self._note_holder(host, mutex, None)
             return
         # reconstruct the full vector (entry `me` removed by the datatype)
         full = np.zeros(n, dtype=np.uint8)
@@ -336,7 +370,7 @@ class MutexSet:
                 # the handoff message IS the lock transfer: ownership
                 # moves to j at send time (recovery relies on this)
                 with rt.cond:
-                    self._holders[(host, mutex)] = j
+                    self._note_holder(host, mutex, j)
                 self.comm.send(
                     b"",
                     dest=j,
@@ -344,4 +378,4 @@ class MutexSet:
                 )
                 return
         with rt.cond:
-            self._holders.pop((host, mutex), None)
+            self._note_holder(host, mutex, None)

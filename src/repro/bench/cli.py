@@ -15,6 +15,8 @@ Examples::
     python -m repro.bench --procs-smoke        # proc-backend scaling gate
     python -m repro.bench --sanitize-smoke     # fuzzed-schedule RMA gate (<60 s)
     python -m repro.bench --recover-smoke      # rank-death recovery gate (<60 s)
+    python -m repro.bench proc-recover         # SIGKILL detection + restart times
+    python -m repro.bench --proc-recover-smoke # proc-backend recovery gate
     python -m repro.bench --lint-smoke         # whole-repo static sweep gate
     python -m repro.bench --sanitize-ablation  # dynamic-checking overhead table
     python -m repro.bench all            # everything (slow: full Fig. 4 grid)
@@ -145,6 +147,22 @@ def cmd_procs(args) -> int:
     return 0
 
 
+def cmd_proc_recover(args) -> int:
+    """Proc-backend recovery benches: detection latency + restart time."""
+    from . import proc_recover_smoke
+
+    if args.smoke:
+        ok, report = proc_recover_smoke.smoke(args.baseline)
+        print(report)
+        return 0 if ok else 1
+    results = proc_recover_smoke.measure(fast=args.fast)
+    print(proc_recover_smoke.format_results(results))
+    if args.write:
+        path = proc_recover_smoke.write_baseline(results, args.baseline)
+        print(f"\nwrote {path}")
+    return 0
+
+
 def cmd_sanitize(_args) -> int:
     """Sanitizer + schedule-fuzzer smoke gate (mutex and RMW protocols)."""
     from . import sanitize_smoke
@@ -264,6 +282,23 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--baseline", default=None,
                     help="override the baseline JSON path")
 
+    pr = sub.add_parser(
+        "proc-recover", help="proc-backend survivor restart: SIGKILL a rank "
+        "mid-collective, measure detection latency and recover+restore wall "
+        "time per heartbeat interval"
+    )
+    pr.add_argument("--smoke", action="store_true",
+                    help="fast gate: baseline benchmarks/BENCH_proc_recover"
+                    ".json must parse, the recovery must be value-correct, "
+                    "and on hosts with >= 4 CPUs detection must land inside "
+                    "its budget")
+    pr.add_argument("--fast", action="store_true",
+                    help="sweep only the first heartbeat interval")
+    pr.add_argument("--write", action="store_true",
+                    help="rewrite the committed baseline JSON")
+    pr.add_argument("--baseline", default=None,
+                    help="override the baseline JSON path")
+
     sub.add_parser(
         "sanitize", help="fuzzed-schedule RMA sanitizer gate over the "
         "mutex and RMW protocols (<60 s)"
@@ -307,6 +342,9 @@ def main(argv: "list[str] | None" = None) -> int:
     if "--procs-smoke" in argv:
         argv = [a for a in argv if a != "--procs-smoke"]
         argv = ["procs", "--smoke"] + argv
+    if "--proc-recover-smoke" in argv:
+        argv = [a for a in argv if a != "--proc-recover-smoke"]
+        argv = ["proc-recover", "--smoke"] + argv
     if "--sanitize-smoke" in argv:
         argv = [a for a in argv if a != "--sanitize-smoke"]
         argv = ["sanitize"] + argv
@@ -329,6 +367,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "hotpath": cmd_hotpath,
         "mpi3": cmd_mpi3,
         "procs": cmd_procs,
+        "proc-recover": cmd_proc_recover,
         "sanitize": cmd_sanitize,
         "recover": cmd_recover,
         "lint": cmd_lint,

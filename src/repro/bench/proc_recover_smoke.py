@@ -1,0 +1,316 @@
+"""Proc-backend recovery benchmark: SIGKILL detection latency + recovery time.
+
+A real process death on ``backend="proc"`` is detected by two racing
+paths — the parent monitor noticing the child's exit and broadcasting
+``rank_dead``, and the peers' shared-memory heartbeat lease going stale
+past ``suspect_after`` with the pid gone.  This bench measures what a
+survivor actually experiences: the wall-clock gap between the victim's
+``SIGKILL`` (stamped to a marker file, ``fsync``-ed, immediately before
+the kill — ``CLOCK_MONOTONIC`` is system-wide, so the stamps compare
+across processes) and the survivor catching its first typed failure
+error, swept over two heartbeat intervals.  It then times the full
+survivor restart — :func:`repro.recover.recover` + GA checkpoint
+restore-with-redistribution — and verifies the restored values against
+the seeded base, so the number is only recorded for a *correct*
+recovery.
+
+The workload replays from ``SEED``: array contents, shape, and the
+victim are pure functions of it.  Absolute seconds are machine-dependent
+trajectory data in ``benchmarks/BENCH_proc_recover.json``; the gate is
+the detection-latency ceiling (detection must come well before the
+``join_timeout`` deadlock backstop) and is enforced only on hosts with
+at least :data:`MIN_CORES_FOR_GATE` CPUs, where the survivors actually
+run in parallel and timing is meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform as host_platform
+import signal
+import tempfile
+import time
+
+import numpy as np
+
+from ..mpi.runtime import Runtime
+
+#: default location of the committed baseline (repo benchmarks/ dir)
+BASELINE_PATH = (
+    pathlib.Path(__file__).resolve().parents[3]
+    / "benchmarks"
+    / "BENCH_proc_recover.json"
+)
+
+#: world size and the rank the scenario kills
+NPROC = 4
+VICTIM = 2
+#: seeds the GA contents (and therefore the post-restore verification)
+SEED = 11
+#: heartbeat intervals swept; suspect_after scales with each
+HEARTBEATS = (0.05, 0.2)
+#: the deadlock backstop the runs use …
+JOIN_TIMEOUT_S = 60.0
+#: … and the gated ceiling on survivor-observed detection latency:
+#: detection must beat the backstop by an order of magnitude
+DETECT_BUDGET_S = JOIN_TIMEOUT_S * 0.1
+#: the latency gate applies only on hosts with at least this many CPUs
+MIN_CORES_FOR_GATE = 4
+
+_SHAPE = (12, 12)
+
+
+def _base(seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).integers(
+        0, 1000, size=_SHAPE, dtype=np.int64
+    )
+
+
+def _rank_body(comm, marker: str, seed: int):
+    """Seeded kill-and-recover workload; survivors return their timings."""
+    from ..armci import Armci
+    from ..armci.mutexes import MutexHolderFailed
+    from ..ga import GlobalArray
+    from ..mpi.errors import (
+        CommRevokedError,
+        OpTimeoutError,
+        TargetFailedError,
+    )
+    from ..mpi.runtime import RankFailedError
+    from ..recover import recover
+
+    recoverable = (
+        TargetFailedError,
+        RankFailedError,
+        CommRevokedError,
+        OpTimeoutError,
+        MutexHolderFailed,
+    )
+    base = _base(seed)
+    armci = Armci.init(comm)
+    ga = GlobalArray.create(armci, _SHAPE, "i8")
+    blk = ga.distribution()
+    if blk.size:
+        view = ga.access()
+        view[...] = base[tuple(slice(l, h) for l, h in zip(blk.lo, blk.hi))]
+        ga.release()
+    ga.sync()
+    ckpt = None
+    t_detect = None
+    recovery_s = None
+    try:
+        ckpt = ga.checkpoint()
+        if armci.my_id == VICTIM:
+            with open(marker, "w") as f:
+                f.write(repr(time.monotonic()))
+                f.flush()
+                os.fsync(f.fileno())
+            os.kill(os.getpid(), signal.SIGKILL)
+        # survivors sit in collectives until failure detection poisons
+        # them — this is exactly the latency being measured
+        for _ in range(100_000):
+            comm.allgather(comm.rank)
+        flag = 1
+    except recoverable:
+        t_detect = time.monotonic()
+        armci.world.revoke()
+        flag = 0
+    if not armci.world.agree(flag):
+        t0 = time.monotonic()
+        armci, report = recover(armci)
+        assert VICTIM in report.failed, report
+        have_ckpt = ckpt is not None and np.array_equal(ckpt.data, base)
+        if armci.world.agree(1 if have_ckpt else 0):
+            ga = GlobalArray.restore(armci, ckpt)
+        else:  # pragma: no cover - kill raced the checkpoint barrier
+            ga = GlobalArray.create(armci, _SHAPE, "i8")
+            blk = ga.distribution()
+            if blk.size:
+                view = ga.access()
+                view[...] = base[
+                    tuple(slice(l, h) for l, h in zip(blk.lo, blk.hi))
+                ]
+                ga.release()
+            ga.sync()
+        recovery_s = time.monotonic() - t0
+    full = ga.get([0, 0], list(_SHAPE))
+    ga.sync()
+    # the timing only counts if the recovery is value-correct
+    assert np.array_equal(full, base), "restored GA diverged from the seed"
+    return {
+        "t_detect": t_detect,
+        "recovery_s": recovery_s,
+        "nproc_after": armci.nproc,
+    }
+
+
+def _run_once(heartbeat_s: float) -> dict:
+    suspect_after = max(4.0 * heartbeat_s, 0.2)
+    tmp = tempfile.mkdtemp(prefix="repro-proc-recover-")
+    marker = os.path.join(tmp, "t_kill")
+    try:
+        rt = Runtime(
+            NPROC,
+            backend="proc",
+            heartbeat_s=heartbeat_s,
+            suspect_after=suspect_after,
+        )
+        out = rt.spmd(_rank_body, marker, SEED, join_timeout=JOIN_TIMEOUT_S)
+        t_kill = float(pathlib.Path(marker).read_text())
+    finally:
+        try:
+            os.unlink(marker)
+        except OSError:
+            pass
+        try:
+            os.rmdir(tmp)
+        except OSError:
+            pass
+    survivors = [r for r in out if r is not None]
+    if len(survivors) != NPROC - 1:
+        raise RuntimeError(f"expected {NPROC - 1} survivor results, got {out!r}")
+    detect = [s["t_detect"] - t_kill for s in survivors]
+    recovery = [s["recovery_s"] for s in survivors]
+    assert all(s["nproc_after"] == NPROC - 1 for s in survivors), survivors
+    return {
+        "heartbeat_s": heartbeat_s,
+        "suspect_after_s": suspect_after,
+        "detect_latency_s": {
+            "min": min(detect),
+            "max": max(detect),
+            "mean": sum(detect) / len(detect),
+        },
+        "recovery_wall_s": {
+            "min": min(recovery),
+            "max": max(recovery),
+            "mean": sum(recovery) / len(recovery),
+        },
+    }
+
+
+def measure(fast: bool = False) -> dict:
+    """Detection latency + recovery wall time for each heartbeat interval."""
+    sweep = HEARTBEATS[:1] if fast else HEARTBEATS
+    results: dict = {}
+    for hb in sweep:
+        results[f"hb{hb:g}"] = _run_once(hb)
+    results["worst_detect_latency_s"] = max(
+        r["detect_latency_s"]["max"] for r in results.values()
+    )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# baseline file + smoke check
+# ---------------------------------------------------------------------------
+
+
+def write_baseline(results: dict, path: "pathlib.Path | None" = None) -> pathlib.Path:
+    """Persist results as the machine-readable trajectory file."""
+    path = pathlib.Path(path) if path is not None else BASELINE_PATH
+    payload = {
+        "schema": 1,
+        "units": "wall_clock_seconds",
+        "note": (
+            "proc-backend survivor restart: SIGKILL rank "
+            f"{VICTIM} of {NPROC} mid-collective (seed {SEED}), measure "
+            "survivor-observed detection latency (marker-file monotonic "
+            "stamp to first typed failure error) and recover+restore wall "
+            "time, per heartbeat interval; absolute seconds are machine-"
+            "dependent trajectory data — only the detection ceiling "
+            f"(< {DETECT_BUDGET_S:g}s, an order of magnitude inside the "
+            f"{JOIN_TIMEOUT_S:g}s join_timeout backstop) is gated, and "
+            f"only on hosts with >= {MIN_CORES_FOR_GATE} CPUs"
+        ),
+        "environment": {
+            "python": host_platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "seed": SEED,
+        "nproc": NPROC,
+        "victim": VICTIM,
+        "join_timeout_s": JOIN_TIMEOUT_S,
+        "detect_budget_s": DETECT_BUDGET_S,
+        "min_cores_for_gate": MIN_CORES_FOR_GATE,
+        "results": results,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path: "pathlib.Path | None" = None) -> dict:
+    path = pathlib.Path(path) if path is not None else BASELINE_PATH
+    return json.loads(path.read_text())
+
+
+def format_results(results: dict) -> str:
+    lines = [
+        f"proc-backend recovery (SIGKILL rank {VICTIM} of {NPROC}, seed {SEED})"
+    ]
+    lines.append("-" * len(lines[0]))
+    lines.append(
+        f"{'heartbeat s':>11}  {'suspect s':>9}  {'detect s (min/mean/max)':>24}"
+        f"  {'recover s (mean)':>16}"
+    )
+    for key, r in results.items():
+        if not key.startswith("hb"):
+            continue
+        d, w = r["detect_latency_s"], r["recovery_wall_s"]
+        lines.append(
+            f"{r['heartbeat_s']:>11.3f}  {r['suspect_after_s']:>9.2f}"
+            f"  {d['min']:>7.3f}/{d['mean']:>7.3f}/{d['max']:>7.3f}"
+            f"  {w['mean']:>16.3f}"
+        )
+    lines.append(
+        f"worst detection latency: {results['worst_detect_latency_s']:.3f}s "
+        f"(budget {DETECT_BUDGET_S:g}s)"
+    )
+    return "\n".join(lines)
+
+
+def smoke(path: "pathlib.Path | None" = None) -> tuple[bool, str]:
+    """Fast gate: one recovery run must be value-correct and fast to detect.
+
+    The committed baseline must exist and parse (trajectory contract);
+    the detection-latency ceiling is enforced only when the host has
+    enough CPUs for the survivors to run concurrently.  Value
+    correctness is asserted inside the workload either way — a wrong
+    restore fails the gate on any host.
+    """
+    try:
+        load_baseline(path)
+    except (OSError, json.JSONDecodeError) as exc:
+        where = path if path is not None else BASELINE_PATH
+        return False, f"PROC-RECOVER SMOKE: unreadable baseline {where}: {exc}"
+    try:
+        measured = measure(fast=True)
+    except Exception as exc:  # noqa: BLE001 - any failure fails the gate
+        return False, f"PROC-RECOVER SMOKE: FAIL\n  - recovery run raised: {exc!r}"
+    lines = [format_results(measured), ""]
+    cores = os.cpu_count() or 1
+    worst = measured["worst_detect_latency_s"]
+    if cores < MIN_CORES_FOR_GATE:
+        lines.append(
+            f"PROC-RECOVER SMOKE: ok (host has {cores} CPU(s) < "
+            f"{MIN_CORES_FOR_GATE}; the < {DETECT_BUDGET_S:g}s detection gate "
+            f"applies on multi-core hosts only — measured {worst:.3f}s "
+            "recorded, not gated; recovery was value-correct)"
+        )
+        return True, "\n".join(lines)
+    if worst > DETECT_BUDGET_S:
+        lines.append(
+            f"PROC-RECOVER SMOKE: FAIL\n  - survivors took {worst:.3f}s to "
+            f"observe the death (budget {DETECT_BUDGET_S:g}s, join_timeout "
+            f"{JOIN_TIMEOUT_S:g}s)"
+        )
+        return False, "\n".join(lines)
+    lines.append(
+        f"PROC-RECOVER SMOKE: ok (detection {worst:.3f}s < "
+        f"{DETECT_BUDGET_S:g}s budget; recovery value-correct on the "
+        f"{NPROC - 1}-rank shrunken grid)"
+    )
+    return True, "\n".join(lines)

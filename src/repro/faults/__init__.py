@@ -36,6 +36,7 @@ from ..mpi.errors import (
 )
 from .injector import FaultInjector
 from .plan import Corrupt, Delay, FaultPlan, Kill, Stall
+from .proc import ProcDelay, ProcFaultInjector, ProcFaultPlan, ProcKill, ProcStall
 from .scenarios import RECOVER_SCENARIOS, SCENARIOS
 
 __all__ = [
@@ -47,6 +48,11 @@ __all__ = [
     "Kill",
     "MutexHolderFailed",
     "OpTimeoutError",
+    "ProcDelay",
+    "ProcFaultInjector",
+    "ProcFaultPlan",
+    "ProcKill",
+    "ProcStall",
     "RECOVER_SCENARIOS",
     "RankKilledError",
     "RetriesExhausted",

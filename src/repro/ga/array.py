@@ -44,18 +44,22 @@ class GaCheckpoint:
     shape: tuple
     dtype: np.dtype
     data: np.ndarray
+    #: per-dimension minimum block sizes the GA was created with, so a
+    #: restore-with-redistribution honours the same chunking constraints
+    chunk: "tuple | None" = None
 
 
 class GlobalArray:
     """A distributed shared n-D array in the Global Arrays model."""
 
-    def __init__(self, runtime, shape, dtype, ptrs, dist, name):
+    def __init__(self, runtime, shape, dtype, ptrs, dist, name, chunk=None):
         self.runtime = runtime
         self.shape = tuple(shape)
         self.dtype = np.dtype(dtype)
         self.ptrs: list[GlobalPtr] = ptrs
         self.dist: BlockDistribution = dist
         self.name = name
+        self.chunk = None if chunk is None else tuple(int(c) for c in chunk)
         self._access_view: "np.ndarray | None" = None
 
     # -- creation ------------------------------------------------------------------
@@ -78,7 +82,7 @@ class GlobalArray:
         block = dist.block(runtime.my_id)
         nbytes = block.size * dtype.itemsize
         ptrs = runtime.malloc(nbytes)
-        return cls(runtime, shape, dtype, ptrs, dist, name)
+        return cls(runtime, shape, dtype, ptrs, dist, name, chunk=chunk)
 
     def destroy(self) -> None:
         """Collective destruction (GA_Destroy)."""
@@ -92,7 +96,7 @@ class GlobalArray:
     def duplicate(self, name: "str | None" = None) -> "GlobalArray":
         """Collective: new GA with the same shape/distribution (GA_Duplicate)."""
         return GlobalArray.create(
-            self.runtime, self.shape, self.dtype,
+            self.runtime, self.shape, self.dtype, chunk=self.chunk,
             name=name or f"{self.name}_copy",
         )
 
@@ -266,7 +270,7 @@ class GlobalArray:
         self.sync()
         full = self.get([0] * self.ndim, list(self.shape))
         self.sync()
-        return GaCheckpoint(self.name, self.shape, self.dtype, full)
+        return GaCheckpoint(self.name, self.shape, self.dtype, full, self.chunk)
 
     @classmethod
     def restore(cls, runtime, ckpt: GaCheckpoint, name: "str | None" = None) -> "GlobalArray":
@@ -280,7 +284,10 @@ class GlobalArray:
         from the replicated snapshot (owner-computes), so restore issues
         no communication beyond the closing sync.
         """
-        ga = cls.create(runtime, ckpt.shape, ckpt.dtype, name=name or ckpt.name)
+        ga = cls.create(
+            runtime, ckpt.shape, ckpt.dtype, chunk=ckpt.chunk,
+            name=name or ckpt.name,
+        )
         block = ga.distribution()
         if block.size:
             view = ga.access()

@@ -150,8 +150,12 @@ class ThreadBackend(RuntimeBackend):
                     )
                 runtime._deadlocked = True
                 runtime.notify_progress()
+            # grace period scales with the caller's patience budget instead
+            # of a hard-coded constant: a long join_timeout implies a slow
+            # workload whose poisoned ranks also need longer to unwind
+            grace = max(1.0, min(join_timeout / 4.0, 30.0))
             for t in threads:
-                t.join(timeout=5.0)
+                t.join(timeout=grace)
         if runtime.failed is not None:
             raise runtime.failed
         for p in runtime.procs:

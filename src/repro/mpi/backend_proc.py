@@ -10,7 +10,9 @@ and puts/gets are true cross-process memory traffic.  The moving parts:
   monitor loop — collecting per-rank results, broadcasting a
   ``rank_dead`` control message when a child exits abnormally (so
   survivors raise :class:`~repro.mpi.runtime.RankFailedError`, the
-  cross-process analogue of ``mark_dead``), and enforcing
+  cross-process analogue of ``mark_dead``), driving an optional
+  proc-capable fault injector (``repro.faults.proc`` — real ``SIGKILL``
+  / ``SIGSTOP``+``SIGCONT`` / delayed starts), and enforcing
   ``join_timeout`` as the deadlock backstop (the thread watchdog cannot
   see other processes).
 * **Child** (:func:`_child_main`): builds a private :class:`Runtime`
@@ -18,6 +20,24 @@ and puts/gets are true cross-process memory traffic.  The moving parts:
   hooks must not silently duplicate into processes they cannot
   observe), a :class:`ProcComm` world, and a pump thread that drains
   this rank's inbox queue into the local p2p engines.
+* **Failure detection**: every child re-stamps a per-rank *heartbeat
+  lease* (pid + monotonic timestamp) in a parent-created shared-memory
+  segment from its pump thread; peers whose lease goes stale past
+  ``Runtime.suspect_after`` are probed directly (with exponential
+  backoff) and declared dead only when their pid is gone or a zombie —
+  so a SIGSTOPped rank is *stalled*, never falsely killed, and a
+  SIGKILLed one is detected by survivors themselves, well before the
+  parent's ``join_timeout`` backstop and independent of the parent.
+* **Fault tolerance** (ULFM surface): ``revoke``/``agree``/``shrink``
+  run over the inbox queues.  Agreement is coordinator-based — votes go
+  to the lowest live member, whose pump collects them and broadcasts
+  the result in ascending rank order; participants that see their
+  coordinator die re-send their vote to the next-lowest live rank, and
+  any rank that already holds a round's result answers re-votes with
+  the *same* value, so a coordinator dying mid-broadcast cannot produce
+  divergent outcomes.  ``Runtime.failure_ack`` clears the peer-death
+  poisoning in each surviving process, which is what lets
+  ``repro.recover`` rebuild in place.
 * **Messaging** (:class:`ProcComm`): sends put pickled payloads on the
   destination's inbox queue; the destination's pump injects them into
   the matching :class:`~repro.mpi.p2p.P2PEngine` replica.  Context ids
@@ -41,9 +61,11 @@ and puts/gets are true cross-process memory traffic.  The moving parts:
 
 What the proc backend does **not** support — by design, raising typed
 errors rather than misbehaving: the deterministic scheduler and fuzzer,
-the RMA sanitizer, fault *injection* (real ``kill`` works: see the
-monitor), ULFM ``revoke``/``agree``/``shrink``, and intercommunicators.
-``docs/backends.md`` has the full matrix.
+the RMA sanitizer, *thread-style* fault plans (``repro.faults.plan``
+schedules faults at deterministic fuzz points, which do not exist
+across processes; the wall-clock subset in ``repro.faults.proc`` is
+accepted instead), and intercommunicators.  ``docs/backends.md`` has
+the full matrix.
 """
 
 from __future__ import annotations
@@ -51,6 +73,7 @@ from __future__ import annotations
 import fcntl
 import itertools
 import os
+import pathlib
 import pickle
 import queue as _queue
 import shutil
@@ -70,7 +93,9 @@ from .comm import Comm
 from .errors import (
     ArgumentError,
     CommError,
+    CommRevokedError,
     InternalError,
+    OpTimeoutError,
     ProgressDeadlockError,
     RMASyncError,
     TagError,
@@ -97,6 +122,34 @@ __all__ = ["ProcBackend", "ProcComm", "ProcWin"]
 #: carries this hint in its error message
 _THREAD_ONLY = "is thread-backend only (see docs/backends.md); use backend='thread'"
 
+#: per-round wait bound for ``agree``/``shrink`` when the runtime has no
+#: ``op_timeout_s``: a live-but-wedged coordinator must not hang a
+#: fault-tolerance primitive until ``join_timeout``
+_FT_ROUND_TIMEOUT_S = 5.0
+
+_ATTACH_LOCK = threading.Lock()
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without the resource tracker adopting it.
+
+    CPython (before 3.13's ``track=`` parameter) registers every attach
+    with the shared resource tracker, whose per-name *set* semantics mean
+    the matching unregisters from several attaching processes can race —
+    the second ``remove`` of the same name makes the tracker process print
+    a KeyError traceback.  Swapping ``register`` out for the duration of
+    the constructor is process-local (each rank is its own process) and
+    lock-guarded, so the creator's registration stays the only one the
+    tracker ever sees.
+    """
+    with _ATTACH_LOCK:
+        orig = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            return shared_memory.SharedMemory(name=name, create=False)
+        finally:
+            resource_tracker.register = orig
+
 
 # ---------------------------------------------------------------------------
 # parent side
@@ -120,20 +173,36 @@ class ProcBackend(RuntimeBackend):
             raise InternalError(f"the deterministic scheduler {_THREAD_ONLY}")
         if runtime.sanitizer is not None:
             raise InternalError(f"the RMA sanitizer {_THREAD_ONLY}")
+        injector = None
         if runtime.faults is not None:
-            raise InternalError(f"fault injection {_THREAD_ONLY}")
+            if not getattr(runtime.faults, "proc_capable", False):
+                raise InternalError(
+                    f"fault injection via repro.faults.plan {_THREAD_ONLY}; "
+                    "cross-process faults use repro.faults.proc"
+                )
+            injector = runtime.faults
         nproc = runtime.nproc
         ctx = get_context("fork")
         inboxes = [ctx.Queue() for _ in range(nproc)]
         result_q = ctx.Queue()
         lockdir = tempfile.mkdtemp(prefix="repro-proc-")
         run_id = f"{os.getpid()}x{next(self._run_counter)}"
+        # per-rank heartbeat leases: nproc slots of (pid, monotonic_ns),
+        # created zeroed here so every child can attach before its peers
+        # have written anything
+        hb_seg = shared_memory.SharedMemory(
+            name=_hb_segment_name(run_id), create=True, size=max(16 * nproc, 16)
+        )
+        delays = injector.startup_delays(nproc) if injector is not None else {}
         cfg = (
             runtime.nproc,
             runtime.watchdog_s,
             runtime.op_timeout_s,
             runtime.op_retries,
             runtime.seed,
+            runtime.heartbeat_s,
+            runtime.suspect_after,
+            delays,
         )
         children = [
             ctx.Process(
@@ -147,28 +216,68 @@ class ProcBackend(RuntimeBackend):
         try:
             for p in children:
                 p.start()
+            if injector is not None:
+                injector.start(children)
             results, errors, died = self._monitor(
-                children, inboxes, result_q, join_timeout
+                children, inboxes, result_q, join_timeout, injector
             )
         finally:
+            if injector is not None:
+                # un-stall before terminating: a SIGSTOPped child cannot
+                # handle SIGTERM
+                injector.finish(children)
+            # teardown grace derived from the caller's deadlock budget
+            # rather than a magic constant; clamped so a generous
+            # join_timeout doesn't turn teardown into a second hang
+            join_grace = max(1.0, min(join_timeout / 4.0, 30.0))
             for p in children:
                 if p.is_alive():
                     p.terminate()
             for p in children:
-                p.join(timeout=5.0)
+                p.join(timeout=join_grace)
+            for p in children:
+                if p.is_alive():  # ignored SIGTERM (wedged/stopped): escalate
+                    p.kill()
+                    p.join(timeout=join_grace)
             for q in inboxes:
                 q.cancel_join_thread()
             shutil.rmtree(lockdir, ignore_errors=True)
+            try:
+                hb_seg.close()
+                # re-register before unlink (idempotent) in case the
+                # teardown sweep of a concurrent run already consumed the
+                # tracker entry; unlink's own unregister then always finds
+                # it instead of warning
+                resource_tracker.register(hb_seg._name, "shared_memory")
+                hb_seg.unlink()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+            # killed children never ran their unlink paths: sweep every
+            # segment of this run so an abnormal exit leaks nothing and
+            # the resource tracker has nothing to warn about
+            self._sweep_segments(run_id)
         # error precedence mirrors the thread backend: the original
         # failure (any non-secondary exception) outranks the
-        # RankFailedError/TargetFailedError echoes it caused elsewhere.
+        # RankFailedError/TargetFailedError echoes it caused elsewhere —
+        # including CommRevokedError, which is how a revoke-triggering
+        # failure manifests in the ranks that didn't cause it.
         primary = {
             r: e
             for r, e in errors.items()
-            if not isinstance(e, (RankFailedError, TargetFailedError))
+            if not isinstance(
+                e, (RankFailedError, TargetFailedError, CommRevokedError)
+            )
         }
         if primary:
             raise primary[min(primary)]
+        if died and not errors:
+            missing = [
+                r for r in range(nproc) if r not in died and r not in results
+            ]
+            if not missing:
+                # every survivor completed: a recovered run.  Results for
+                # dead ranks are None — the shrunken grid finished the job.
+                return [results.get(r) for r in range(nproc)]
         if died:
             r = min(died)
             raise RankFailedError(
@@ -179,12 +288,41 @@ class ProcBackend(RuntimeBackend):
             raise errors[min(errors)]
         return [results[r] for r in range(nproc)]
 
+    @staticmethod
+    def _sweep_segments(run_id: str) -> None:
+        """Unlink every leftover shared-memory segment of this run.
+
+        Normal exits already unlinked everything (creators unlink their
+        windows, the parent unlinks the heartbeat segment); this sweep
+        covers ranks that were SIGKILLed before their cleanup ran.  The
+        resource tracker is told first so it doesn't warn about leaked
+        segments at interpreter shutdown.
+        """
+        shm = pathlib.Path("/dev/shm")
+        if not shm.is_dir():  # pragma: no cover - non-Linux shm layout
+            return
+        for seg in shm.glob(f"repro-{run_id}-*"):
+            try:
+                # register first (idempotent): peers' attach-time
+                # unregisters may have already emptied the tracker's
+                # entry, and unregistering a missing name makes the
+                # tracker process print a KeyError traceback
+                resource_tracker.register(f"/{seg.name}", "shared_memory")
+                resource_tracker.unregister(f"/{seg.name}", "shared_memory")
+            except Exception:  # pragma: no cover - tracker gone at exit
+                pass
+            try:
+                seg.unlink()
+            except OSError:  # pragma: no cover - concurrent unlink
+                pass
+
     def _monitor(
         self,
         children: list,
         inboxes: list,
         result_q,
         join_timeout: float,
+        injector=None,
     ) -> tuple[dict[int, Any], dict[int, BaseException], dict[int, "int | None"]]:
         """Drain results, detect silent deaths, broadcast ``rank_dead``."""
         nproc = len(children)
@@ -199,6 +337,14 @@ class ProcBackend(RuntimeBackend):
                 if other != rank and other in pending:
                     inboxes[other].put(("ctl", "rank_dead", rank, detail))
 
+        def announce_done(rank: int) -> None:
+            # backstop for the child's own rank_done broadcast: a
+            # finished rank stops heartbeating, and survivors must not
+            # mistake its exit for a death
+            for other in range(nproc):
+                if other != rank and other in pending:
+                    inboxes[other].put(("ctl", "rank_done", rank))
+
         def drain(block_s: float) -> None:
             try:
                 while True:
@@ -207,6 +353,7 @@ class ProcBackend(RuntimeBackend):
                     pending.discard(rank)
                     if status == "ok":
                         results[rank] = payload
+                        announce_done(rank)
                         continue
                     exc = (
                         payload
@@ -226,6 +373,8 @@ class ProcBackend(RuntimeBackend):
                     f"rank processes {sorted(pending)} did not finish within "
                     f"join_timeout={join_timeout}s (proc-backend deadlock backstop)"
                 )
+            if injector is not None:
+                injector.poll(children)
             drain(0.05)
             stopped = [r for r in pending if not children[r].is_alive()]
             if stopped:
@@ -256,6 +405,33 @@ class ProcBackend(RuntimeBackend):
 # child side
 # ---------------------------------------------------------------------------
 
+def _hb_segment_name(run_id: str) -> str:
+    return f"repro-{run_id}-hb"
+
+
+def _pid_alive(pid: int) -> bool:
+    """True if ``pid`` exists and is not a zombie.
+
+    ``os.kill(pid, 0)`` alone is not a liveness probe here: a SIGKILLed
+    sibling stays a zombie until the *parent* reaps it, and signal 0
+    succeeds on zombies.  The ``/proc`` state field disambiguates.
+    """
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - pid recycled to another user
+        return True
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as f:
+            data = f.read()
+        # the state field follows the parenthesised comm, which may
+        # itself contain spaces or parens — split on the LAST ')'
+        return not data.rpartition(b")")[2].lstrip().startswith(b"Z")
+    except OSError:  # pragma: no cover - non-Linux: trust the signal probe
+        return True
+
+
 def _child_main(
     rank: int,
     cfg: tuple,
@@ -266,8 +442,14 @@ def _child_main(
     lockdir: str,
     run_id: str,
 ) -> None:
-    nproc, watchdog_s, op_timeout_s, op_retries, seed = cfg
-    backend = _ProcChildBackend(rank, nproc, inboxes, lockdir, run_id)
+    (
+        nproc, watchdog_s, op_timeout_s, op_retries, seed,
+        heartbeat_s, suspect_after, delays,
+    ) = cfg
+    backend = _ProcChildBackend(
+        rank, nproc, inboxes, lockdir, run_id,
+        heartbeat_s=heartbeat_s, suspect_after=suspect_after,
+    )
     runtime = Runtime(
         nproc,
         watchdog_s=watchdog_s,
@@ -276,8 +458,17 @@ def _child_main(
         seed=seed,
         backend=backend,
         apply_hooks=False,
+        heartbeat_s=heartbeat_s,
+        suspect_after=suspect_after,
     )
+    # only this rank lives in this process: acknowledgement-based
+    # recovery must not wait on the other ranks' replicas
+    runtime.local_ranks = {rank}
     backend.runtime = runtime
+    try:
+        backend.attach_heartbeat(_hb_segment_name(run_id))
+    except Exception:  # pragma: no cover - no shm: parent monitor still detects
+        backend.hb_view = None
     _tls.proc = runtime.procs[rank]
     stop = threading.Event()
     pump = threading.Thread(
@@ -287,6 +478,10 @@ def _child_main(
     pump.start()
     status, payload = "ok", None
     try:
+        if delays and rank in delays:
+            # injected startup delay (repro.faults.proc); the pump is
+            # already heartbeating, so peers see a slow rank, not a dead one
+            time.sleep(delays[rank])
         world = Comm._world(runtime)
         payload = fn(world, *args)
     except BaseException as exc:  # noqa: BLE001 - marshalled to the parent
@@ -317,39 +512,48 @@ def _child_main(
         stop.set()
         pump.join(timeout=1.0)
         backend.release_windows()
+        backend.release_heartbeat()
+        # tell peers this rank *finished* (stopped heartbeating on
+        # purpose) before the parent can observe the exit
+        for other in range(nproc):
+            if other != rank:
+                try:
+                    inboxes[other].put(("ctl", "rank_done", rank))
+                except Exception:  # pragma: no cover - peer queue torn down
+                    pass
         result_q.put((rank, status, payload))
 
 
 def _pump(backend: "_ProcChildBackend", runtime: "Runtime", inbox, stop) -> None:
-    """Drain this rank's inbox into the local p2p-engine replicas."""
+    """Drain this rank's inbox into the local replicas; police liveness.
+
+    Besides routing p2p/control/fault-tolerance messages, each loop
+    iteration re-stamps this rank's heartbeat lease and scans the peers'
+    leases — the pump is the per-rank progress/liveness thread the
+    async-progress designs in PAPERS.md argue for, so detection keeps
+    working while the application thread is blocked (or never blocks).
+    """
+    poll_s = min(0.05, max(backend.heartbeat_s, 0.005))
     while not stop.is_set():
         try:
-            msg = inbox.get(timeout=0.05)
+            msg = inbox.get(timeout=poll_s)
         except _queue.Empty:
-            continue
+            msg = None
+        while msg is not None:
+            # apply every queued message before the liveness scan so
+            # ordered control traffic (rank_done, holder notes) lands
+            # before a probe could misread a silent slot
+            try:
+                backend.dispatch(runtime, msg)
+            except BaseException as exc:  # noqa: BLE001 - pump must survive
+                with runtime.cond:
+                    runtime.death_hook_errors.append(exc)
+            try:
+                msg = inbox.get_nowait()
+            except _queue.Empty:
+                msg = None
         try:
-            if msg[0] == "p2p":
-                _, key, src, dst, tag, payload = msg
-                with runtime.cond:
-                    engine = backend.engines.get(key)
-                    if engine is None:
-                        # the matching communicator replica is not
-                        # constructed yet on this rank; stash until its
-                        # engine registers
-                        backend.stash.setdefault(key, []).append(
-                            (src, dst, tag, payload)
-                        )
-                    else:
-                        engine.post_send(src, dst, tag, payload)
-            elif msg[0] == "ctl" and msg[1] == "rank_dead":
-                _, _, dead, detail = msg
-                with runtime.cond:
-                    runtime.mark_dead(dead)
-                    if runtime.failed is None:
-                        runtime.failed = RankFailedError(
-                            f"rank {dead} process died ({detail})"
-                        )
-                    runtime.notify_progress()
+            backend.heartbeat_tick(runtime)
         except BaseException as exc:  # noqa: BLE001 - pump must survive
             with runtime.cond:
                 runtime.death_hook_errors.append(exc)
@@ -361,7 +565,8 @@ class _ProcChildBackend(RuntimeBackend):
     name = "proc"
 
     def __init__(
-        self, rank: int, nproc: int, inboxes: list, lockdir: str, run_id: str
+        self, rank: int, nproc: int, inboxes: list, lockdir: str, run_id: str,
+        heartbeat_s: float = 0.05, suspect_after: float = 1.0,
     ):
         self.rank = rank
         self.nproc = nproc
@@ -378,6 +583,27 @@ class _ProcChildBackend(RuntimeBackend):
         #: key + creation order, not the per-runtime ``win_id`` counter)
         self._win_seq: dict[Any, int] = {}
         self._windows: list["ProcWin"] = []
+        #: ctx key -> local communicator replica (guarded by runtime.cond);
+        #: lets the pump apply a peer's revoke / complete FT rounds
+        self.comms: dict[Any, "ProcComm"] = {}
+        #: ctx keys revoked before their replica was constructed here
+        self.revoked_ctx: set[Any] = set()
+        #: (ctx, kind, seq) -> coordinator-side round state
+        #: {"votes": {world: contrib}, "value": result-or-None}
+        self.ft_rounds: dict[Any, dict] = {}
+        #: (ctx, kind, seq) -> decided result, participant side
+        self.ft_results: dict[Any, Any] = {}
+        #: ranks that announced a *clean* finish (stop heartbeating them)
+        self.done_ranks: set[int] = set()
+        # -- heartbeat lease state (pump thread only) --
+        self.heartbeat_s = heartbeat_s
+        self.suspect_after = suspect_after
+        self.hb_view: "np.ndarray | None" = None
+        self._hb_seg = None
+        self._beat_ns = max(int(heartbeat_s * 1e9), 1_000_000)
+        self._last_beat = 0
+        #: suspected rank -> [next_probe_ns, probe_backoff_ns]
+        self._suspect: dict[int, list[int]] = {}
 
     # -- RuntimeBackend ------------------------------------------------------
     def spmd(self, runtime, fn, args, join_timeout):
@@ -407,12 +633,8 @@ class _ProcChildBackend(RuntimeBackend):
             if r == me:
                 seg = own
             else:
-                seg = shared_memory.SharedMemory(
-                    name=self._segment_name(token, r), create=False
-                )
-                # CPython's resource tracker registers attached segments
-                # too; unregister so only the creator unlinks
-                resource_tracker.unregister(seg._name, "shared_memory")
+                # attach untracked so only the creator unlinks
+                seg = _attach_untracked(self._segment_name(token, r))
             buffers.append(np.ndarray((nbytes,), dtype=np.uint8, buffer=seg.buf))
             units.append(unit)
             segments.append(seg)
@@ -456,6 +678,193 @@ class _ProcChildBackend(RuntimeBackend):
         for win in self._windows:
             win._release_segments()
 
+    # -- heartbeat failure detector -----------------------------------------
+    def attach_heartbeat(self, name: str) -> None:
+        """Attach the parent's lease segment and stamp our own slot."""
+        seg = _attach_untracked(name)
+        self._hb_seg = seg
+        self.hb_view = np.ndarray((self.nproc, 2), dtype=np.int64, buffer=seg.buf)
+        now = time.monotonic_ns()
+        self.hb_view[self.rank, 0] = os.getpid()
+        self.hb_view[self.rank, 1] = now
+        self._last_beat = now
+
+    def release_heartbeat(self) -> None:
+        self.hb_view = None
+        if self._hb_seg is not None:
+            try:
+                self._hb_seg.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+            self._hb_seg = None
+
+    def heartbeat_tick(self, runtime: "Runtime") -> None:
+        """Refresh our lease; suspect, probe, and declare stale peers.
+
+        Runs on the pump thread each loop iteration.  A peer whose lease
+        is stale past ``suspect_after`` is *suspected* and its pid
+        probed with exponential backoff; only a pid that is gone (or a
+        zombie awaiting the parent's reap) is declared dead.  A present
+        pid with a stale lease — a SIGSTOPped or wedged rank — stays
+        merely suspected forever: stall is not death, and the
+        ``join_timeout`` backstop owns that verdict.
+        """
+        hb = self.hb_view
+        if hb is None:
+            return
+        now = time.monotonic_ns()
+        if now - self._last_beat >= self._beat_ns:
+            hb[self.rank, 1] = now
+            self._last_beat = now
+        suspect_ns = max(int(self.suspect_after * 1e9), 2 * self._beat_ns)
+        for r in range(self.nproc):
+            if r == self.rank or r in self.done_ranks:
+                continue
+            if r in runtime.dead_ranks:  # benign unlocked read (GIL)
+                continue
+            pid, beat = int(hb[r, 0]), int(hb[r, 1])
+            if pid == 0 or beat == 0:
+                continue  # not started yet (fork/attach still in flight)
+            if now - beat <= suspect_ns:
+                self._suspect.pop(r, None)
+                continue
+            st = self._suspect.get(r)
+            if st is None:
+                st = self._suspect[r] = [now, self._beat_ns]
+            if now < st[0]:
+                continue
+            st[1] = min(st[1] * 2, 1_000_000_000)
+            st[0] = now + st[1]
+            if _pid_alive(pid):
+                continue
+            stale = (now - beat) / 1e9
+            self._declare_dead(
+                runtime, r,
+                f"heartbeat lease stale for {stale:.2f}s and pid {pid} is gone",
+            )
+
+    def _declare_dead(self, runtime: "Runtime", dead: int, detail: str) -> None:
+        """Local death verdict: mark, poison, and re-drive open FT rounds."""
+        with runtime.cond:
+            if dead == self.rank or dead in runtime.dead_ranks:
+                return
+            runtime.mark_dead(dead)
+            if runtime.failed is None:
+                runtime.failed = RankFailedError(
+                    f"rank {dead} process died ({detail})"
+                )
+            # the death may make us coordinator of an open round, or
+            # remove the last missing vote
+            for key in list(self.ft_rounds):
+                self._ft_try_complete(runtime, key)
+            runtime.notify_progress()
+
+    # -- pump dispatch -------------------------------------------------------
+    def dispatch(self, runtime: "Runtime", msg: tuple) -> None:
+        """Apply one inbox message (pump thread)."""
+        kind = msg[0]
+        if kind == "p2p":
+            _, key, src, dst, tag, payload = msg
+            with runtime.cond:
+                engine = self.engines.get(key)
+                if engine is None:
+                    # the matching communicator replica is not
+                    # constructed yet on this rank; stash until its
+                    # engine registers
+                    self.stash.setdefault(key, []).append(
+                        (src, dst, tag, payload)
+                    )
+                else:
+                    engine.post_send(src, dst, tag, payload)
+        elif kind == "ctl":
+            sub = msg[1]
+            if sub == "rank_dead":
+                _, _, dead, detail = msg
+                self._declare_dead(runtime, dead, detail)
+            elif sub == "rank_done":
+                self.done_ranks.add(msg[2])
+            elif sub == "mutex_holder":
+                _, _, win_id, host, mutex, holder = msg
+                with runtime.cond:
+                    holders = runtime.shared.setdefault(
+                        ("mutex_holders", win_id), {}
+                    )
+                    if holder is None:
+                        holders.pop((host, mutex), None)
+                    else:
+                        holders[(host, mutex)] = holder
+        elif kind == "ft":
+            sub = msg[1]
+            if sub == "revoke":
+                _, _, ctx_key = msg
+                with runtime.cond:
+                    self.revoked_ctx.add(ctx_key)
+                    comm = self.comms.get(ctx_key)
+                    if comm is not None:
+                        comm._apply_revoke()
+            elif sub == "vote":
+                _, _, key, voter, contrib = msg
+                with runtime.cond:
+                    self._ft_vote(runtime, key, voter, contrib)
+            elif sub == "result":
+                _, _, key, value = msg
+                with runtime.cond:
+                    self._ft_result(runtime, key, value)
+
+    # -- fault-tolerant consensus (coordinator side, under runtime.cond) ----
+    def _ft_vote(self, runtime: "Runtime", key: Any, voter: int, contrib: Any) -> None:
+        state = self.ft_rounds.setdefault(key, {"votes": {}, "value": None})
+        if state["value"] is not None:
+            # a re-vote after the round closed (the voter never heard a
+            # coordinator that died mid-broadcast): answer directly with
+            # the SAME value so outcomes cannot diverge
+            self._ft_send_result(voter, key, state["value"])
+            return
+        state["votes"][voter] = contrib
+        self._ft_try_complete(runtime, key)
+
+    def _ft_try_complete(self, runtime: "Runtime", key: Any) -> None:
+        state = self.ft_rounds.get(key)
+        if state is None or state["value"] is not None:
+            return
+        ctx_key, kind, _seq = key
+        comm = self.comms.get(ctx_key)
+        if comm is None:
+            return
+        live = [w for w in comm.group.members if w not in runtime.dead_ranks]
+        if not live or min(live) != self.rank:
+            return  # not (or no longer) the coordinator
+        if any(w not in state["votes"] for w in live):
+            return
+        if kind == "agree":
+            value = -1  # AND identity (all ones)
+            for w in live:
+                value &= int(state["votes"][w])
+        else:  # shrink: the surviving membership, world-rank ordered
+            value = tuple(sorted(live))
+        state["value"] = value
+        # ascending broadcast order is a correctness invariant: if this
+        # coordinator dies partway, the new coordinator (next-lowest
+        # live rank) is in the already-notified prefix and answers
+        # re-votes from ``state["value"]``
+        for w in live:
+            self._ft_send_result(w, key, value)
+
+    def _ft_send_result(self, voter: int, key: Any, value: Any) -> None:
+        if voter == self.rank:
+            self.ft_results[key] = value
+            self.runtime.notify_progress()
+        else:
+            self.send_to(voter, ("ft", "result", key, value))
+
+    def _ft_result(self, runtime: "Runtime", key: Any, value: Any) -> None:
+        self.ft_results[key] = value
+        # mirror into the coordinator-side cache: if the deciding
+        # coordinator died after a partial broadcast, re-votes get routed
+        # here and must be answered with the decided value
+        self.ft_rounds.setdefault(key, {"votes": {}, "value": None})["value"] = value
+        runtime.notify_progress()
+
 
 # ---------------------------------------------------------------------------
 # communicators
@@ -484,6 +893,11 @@ class ProcComm(Comm):
         #: ordinal of the next derived communicator (advances identically
         #: on every member because dup/split/create are collective)
         self._sub_seq = 0
+        with runtime.cond:
+            backend.comms[ctx_key] = self
+            if ctx_key in backend.revoked_ctx:
+                # a peer revoked this context before our replica existed
+                self._apply_revoke()
 
     # -- p2p -----------------------------------------------------------------
     def send(self, payload: Any, dest: int, tag: int = 0) -> None:
@@ -560,16 +974,154 @@ class ProcComm(Comm):
             self._backend,
         )
 
-    # -- unsupported surfaces --------------------------------------------------
+    # -- fault tolerance (cross-process ULFM surface) --------------------------
     def revoke(self) -> None:
-        raise CommError(f"Comm.revoke {_THREAD_ONLY}")
+        """Revoke this communicator on every member process.
+
+        Applies locally first (poisoning in-flight operations on this
+        replica), then broadcasts an ``("ft", "revoke", ctx)`` control
+        message to every live peer; their pumps apply it to their
+        replicas — or record the context so a replica constructed later
+        is born revoked.  Idempotent; non-collective, as ULFM requires.
+        """
+        rt = self.runtime
+        rt.check_self_alive()
+        me = current_proc().rank
+        with rt.cond:
+            already = self._revoked
+            self._apply_revoke()
+            self._backend.revoked_ctx.add(self.context_id)
+            peers = [
+                w for w in self.group.members
+                if w != me and w not in rt.dead_ranks
+            ]
+        if already:
+            return
+        for w in peers:
+            self._backend.send_to(w, ("ft", "revoke", self.context_id))
+
+    def _ft_round(self, kind: str, contribution: Any) -> tuple[int, Any]:
+        """One fault-tolerant decision round; returns ``(seq, value)``.
+
+        Coordinator-based consensus over the inbox queues: every member
+        sends its contribution to the lowest live member, whose *pump*
+        collects votes and broadcasts the decided value (see
+        ``_ProcChildBackend._ft_try_complete`` for why a coordinator
+        dying mid-broadcast cannot cause divergence).  The participant
+        side here tolerates every failure mode the round can see:
+
+        * a member dies → ``failure_ack`` clears the local poisoning and
+          the completion predicate re-evaluates the coordinator;
+        * the *coordinator* dies → the vote is re-sent to the next
+          lowest live rank (which either decides fresh or answers from
+          the already-decided value);
+        * a live-but-wedged coordinator → per-round timeout and re-vote,
+          bounded by ``op_retries``.
+        """
+        rt = self.runtime
+        rt.check_self_alive()
+        rt.failure_ack()
+        backend = self._backend
+        me = current_proc().rank
+        with rt.cond:
+            seq = self._ft_seq(kind)
+        key = (self.context_id, kind, seq)
+        members = list(self.group.members)
+        timeout = (
+            rt.op_timeout_s if rt.op_timeout_s is not None
+            else _FT_ROUND_TIMEOUT_S
+        )
+        attempts = 0
+        voted_to: "int | None" = None
+        while True:
+            with rt.cond:
+                if key in backend.ft_results:
+                    return seq, backend.ft_results[key]
+                live = [w for w in members if w not in rt.dead_ranks]
+                coord = min(live) if live else me
+                if coord != voted_to:
+                    voted_to = coord
+                    if coord == me:
+                        backend._ft_vote(rt, key, me, contribution)
+                    else:
+                        backend.send_to(
+                            coord, ("ft", "vote", key, me, contribution)
+                        )
+
+                def moved() -> bool:
+                    if key in backend.ft_results:
+                        return True
+                    live_now = [w for w in members if w not in rt.dead_ranks]
+                    return (min(live_now) if live_now else me) != voted_to
+
+                try:
+                    rt.wait_for(
+                        moved, timeout_s=timeout, what=f"{kind} (ft round)"
+                    )
+                except (RankFailedError, TargetFailedError):
+                    pass  # acknowledge below; coordinator re-evaluated
+                except OpTimeoutError:
+                    attempts += 1
+                    if attempts > rt.op_retries:
+                        raise
+                    voted_to = None  # re-send the vote
+            rt.failure_ack()
+            with rt.cond:
+                if rt.failed is not None and not isinstance(
+                    rt.failed, RankFailedError
+                ):
+                    # a local hard failure, not a peer death: surface it
+                    raise RankFailedError(
+                        f"rank failed elsewhere: {rt.failed!r}"
+                    )
 
     def agree(self, flag: int = 1) -> int:
-        raise CommError(f"Comm.agree {_THREAD_ONLY}")
+        """Fault-tolerant agreement (ULFM ``MPIX_Comm_agree``): bitwise
+        AND of the live members' ``flag`` contributions, decided by the
+        coordinator round in :meth:`_ft_round`.  Completes with dead (or
+        dying) members and on a revoked communicator."""
+        _seq, value = self._ft_round("agree", int(flag))
+        return int(value)
 
     def shrink(self) -> "Comm":
-        raise CommError(f"Comm.shrink {_THREAD_ONLY}")
+        """Re-form a communicator of the survivors (ULFM
+        ``MPIX_Comm_shrink``).
 
+        The coordinator round decides the surviving membership (a
+        world-rank-ordered tuple, identical on every participant); each
+        process then constructs its replica under the structural context
+        key ``parent + ("shrink", seq)``, so windows created on the new
+        communicator get fresh shared-memory tokens.  As in ULFM, a
+        member dying *concurrently* with the decision may survive into
+        the returned membership — the next operation on the new
+        communicator then fails over and the application shrinks again.
+        """
+        seq, live = self._ft_round("shrink", 1)
+        return ProcComm(
+            self.runtime, Group(live),
+            self.context_id + ("shrink", seq), self._backend,
+        )
+
+    def _holder_note(
+        self, win_id: int, host: int, mutex: int, holder: "int | None"
+    ) -> None:
+        # mutex-holder tracking lives in per-process ``runtime.shared``
+        # replicas; broadcast each change so *survivors'* death hooks can
+        # see acquisitions made in other processes (win_id is consistent
+        # across replicas because window creation is collective)
+        rt = self.runtime
+        me = current_proc().rank
+        with rt.cond:
+            peers = [
+                w for w in self.group.members
+                if w != me and w not in rt.dead_ranks
+            ]
+        for w in peers:
+            self._backend.send_to(
+                w, ("ctl", "mutex_holder", win_id, host, mutex, holder)
+            )
+
+    # -- unsupported surfaces --------------------------------------------------
     def create_intercomm(self, *args: Any, **kw: Any):
         raise CommError(f"Comm.create_intercomm {_THREAD_ONLY}")
 
@@ -608,6 +1160,7 @@ class _ProcCollEngine:
     ) -> Any:
         rt = self.comm.runtime
         rt.check_self_alive()
+        self.comm._check_revoked()
         seq = self._seq
         self._seq += 1
         size = self.comm.size
@@ -725,14 +1278,23 @@ class ProcWin(Win):
             self._lockdir, f"{self._token}.t{target_rank}.{kind}"
         )
 
-    def _acquire_flock(self, path: str, exclusive: bool):
+    def _acquire_flock(self, path: str, exclusive: bool, what: str = "flock"):
         """Blocking-with-failure-checks flock acquisition.
 
         Polls nonblockingly so a survivor stuck behind a dead peer's
         lock still observes ``runtime.failed`` (set by the pump on a
-        ``rank_dead`` control message) and raises the typed error.
+        ``rank_dead`` control message or a heartbeat verdict) and raises
+        the typed error.  A *dead* holder's flock self-reclaims — the
+        kernel releases flocks when the holding process dies — so this
+        path never blocks forever on a corpse; a *stalled* (SIGSTOPped)
+        holder keeps its lock, and with ``op_timeout_s`` set the wait
+        gives up with :class:`OpTimeoutError` instead of wedging.
         """
         rt = self.runtime
+        deadline = (
+            None if rt.op_timeout_s is None
+            else time.monotonic() + rt.op_timeout_s
+        )
         f = open(path, "ab")
         op = (fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH) | fcntl.LOCK_NB
         try:
@@ -747,6 +1309,11 @@ class ProcWin(Win):
                         raise RankFailedError(
                             f"rank failed elsewhere: {rt.failed!r}"
                         )
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise OpTimeoutError(
+                        f"{what} timed out after {rt.op_timeout_s}s "
+                        "(holder stalled but alive?)"
+                    )
                 time.sleep(0.002)
         except BaseException:
             f.close()
@@ -759,7 +1326,10 @@ class ProcWin(Win):
 
     @contextmanager
     def _atomic_section(self, target_rank: int):
-        f = self._acquire_flock(self._lockfile(target_rank, "atomic"), True)
+        f = self._acquire_flock(
+            self._lockfile(target_rank, "atomic"), True,
+            what=f"win {self.win_id} atomic sublock (target {target_rank})",
+        )
         try:
             yield
         finally:
@@ -798,7 +1368,8 @@ class ProcWin(Win):
         # the cross-process exclusion, acquired without the giant lock so
         # the pump thread keeps running while we spin
         f = self._acquire_flock(
-            self._lockfile(target_rank), mode == LOCK_EXCLUSIVE
+            self._lockfile(target_rank), mode == LOCK_EXCLUSIVE,
+            what=f"win {self.win_id} lock (target {target_rank})",
         )
         with rt.cond:
             self._epoch_files[target_rank] = f
@@ -877,6 +1448,11 @@ class ProcWin(Win):
         for r, seg in enumerate(segments):
             if r == self._creator_rank:
                 try:
+                    # the parent's teardown sweep can consume the
+                    # (set-valued) tracker entry before this unlink's own
+                    # unregister arrives; re-registering is idempotent and
+                    # keeps the tracker from warning
+                    resource_tracker.register(seg._name, "shared_memory")
                     seg.unlink()
                 except FileNotFoundError:
                     pass

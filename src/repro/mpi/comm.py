@@ -318,15 +318,35 @@ class Comm:
         rt.check_self_alive()
         rt.fuzz_point("ft:revoke")
         with rt.cond:
-            if self._revoked:
-                return
-            self._revoked = True
-            exc = CommRevokedError(
-                f"communicator ctx={self.context_id} was revoked"
-            )
-            self._coll.fail_all(exc)
-            self._p2p.fail_all(exc)
-            rt.notify_progress()
+            self._apply_revoke()
+
+    def _apply_revoke(self) -> None:
+        """Mark this communicator revoked and poison in-flight operations.
+
+        Must be called with ``runtime.cond`` held.  Idempotent.  Shared
+        by the thread-backend :meth:`revoke` (where every member sees the
+        same object) and the proc backend's pump thread (which applies a
+        peer's revoke to the local replica).
+        """
+        if self._revoked:
+            return
+        self._revoked = True
+        exc = CommRevokedError(f"communicator ctx={self.context_id} was revoked")
+        self._coll.fail_all(exc)
+        self._p2p.fail_all(exc)
+        self.runtime.notify_progress()
+
+    def _holder_note(self, win_id: int, host: int, mutex: int, holder: "int | None") -> None:
+        """Backend hook: publish a mutex-holder tracking update.
+
+        ``armci.mutexes`` calls this whenever its holder table changes
+        (``holder`` is the new holding group rank, or ``None`` on a
+        release).  On the thread backend the table lives in
+        ``runtime.shared`` and is visible to every rank already, so this
+        is a no-op; the proc backend overrides it to broadcast the update
+        to peer processes, which is what lets a *survivor's* death hooks
+        see acquisitions made by a rank in another process.
+        """
 
     def _ft_seq(self, kind: str) -> int:
         """Next rendezvous sequence number for the calling member.

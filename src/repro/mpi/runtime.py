@@ -127,6 +127,19 @@ class Runtime:
     op_retries:
         Bounded retry budget used by lock acquisition paths after an
         :class:`OpTimeoutError` (``REPRO_OP_RETRIES``, default 3).
+    heartbeat_s:
+        Cross-process liveness lease refresh interval, used by the proc
+        backend's failure detector: each rank process re-stamps its
+        shared-memory heartbeat slot at least this often.  ``None``
+        reads ``REPRO_HEARTBEAT_S`` (default 0.05).  Ignored by the
+        thread backend, whose failure knowledge is in-process.
+    suspect_after:
+        Seconds a rank's heartbeat lease may go stale before its peers
+        *suspect* it and start probing the process directly
+        (exponential-backoff re-probing; only a pid that is actually
+        gone — or a zombie — is declared dead, so a SIGSTOPped rank is
+        stalled, never falsely killed).  ``None`` reads
+        ``REPRO_SUSPECT_AFTER`` (default 1.0).
     seed:
         Seed for the runtime's backoff RNG (exponential backoff between
         lock retries is seeded so retry timing is reproducible).
@@ -152,6 +165,8 @@ class Runtime:
         seed: int = 0,
         backend: "str | RuntimeBackend | None" = None,
         apply_hooks: bool = True,
+        heartbeat_s: "float | None" = None,
+        suspect_after: "float | None" = None,
     ):
         if nproc < 1:
             raise InternalError(f"nproc must be >= 1, got {nproc}")
@@ -166,6 +181,19 @@ class Runtime:
         if op_retries is None:
             op_retries = int(os.environ.get("REPRO_OP_RETRIES", "3"))
         self.op_retries = op_retries
+        if heartbeat_s is None:
+            heartbeat_s = float(os.environ.get("REPRO_HEARTBEAT_S", "0.05"))
+        self.heartbeat_s = heartbeat_s
+        if suspect_after is None:
+            suspect_after = float(os.environ.get("REPRO_SUSPECT_AFTER", "1.0"))
+        self.suspect_after = suspect_after
+        #: world ranks hosted by *this* OS process, or ``None`` when all
+        #: ranks share the process (thread backend).  The proc backend's
+        #: child runtimes set this to ``{rank}``: acknowledgement-based
+        #: recovery (``failure_ack`` clearing a peer-death poisoning,
+        #: dead-stall clearing) must then only wait on local ranks —
+        #: remote replicas acknowledge in their own processes.
+        self.local_ranks: "set[int] | None" = None
         self.seed = seed
         self.backend = resolve_backend(backend)
         self._backoff_rng = random.Random(0x5DEECE66D ^ (seed << 16))
@@ -340,6 +368,7 @@ class Runtime:
             if self.schedule is not None:
                 self.schedule.ack_point(proc.rank)
             self._maybe_clear_dead_stall()
+            self._maybe_clear_peer_failure()
             if self.schedule is not None:
                 self.schedule.ack_park(proc.rank)
         return acked
@@ -363,11 +392,37 @@ class Runtime:
         for p in self.procs:
             if p.dead or p.finished:
                 continue
+            if self.local_ranks is not None and p.rank not in self.local_ranks:
+                continue  # remote replica acks in its own process
             if self.dead_ranks - p.acked_dead:
                 return
         self._dead_stall = False
         if self.schedule is not None:
             self.schedule.stall_cleared()
+        self.notify_progress()
+
+    def _maybe_clear_peer_failure(self) -> None:
+        """Clear a peer-death ``failed`` poisoning once locally acknowledged.
+
+        Must be called with :attr:`cond` held.  On the proc backend a
+        peer process dying sets :attr:`failed` to a
+        :class:`RankFailedError` so every blocked wait in this process
+        aborts promptly (mirroring the thread backend's propagate-and-
+        join behaviour).  Unlike the thread backend, survivors here are
+        expected to *recover in place* — once every local live rank has
+        acknowledged the dead set, the poisoning has delivered its
+        message and blocking may resume.  Only a ``RankFailedError``
+        (peer death, not a local bug) is ever cleared, and only when
+        :attr:`local_ranks` marks this runtime as a per-process replica.
+        """
+        if self.local_ranks is None or not isinstance(self.failed, RankFailedError):
+            return
+        for p in self.procs:
+            if p.rank not in self.local_ranks or p.dead or p.finished:
+                continue
+            if self.dead_ranks - p.acked_dead:
+                return
+        self.failed = None
         self.notify_progress()
 
     def check_self_alive(self) -> None:

@@ -98,6 +98,23 @@ class RecoveryReport:
         )
 
 
+def _local_parties(comm) -> int:
+    """How many of ``comm``'s ranks live in this OS process.
+
+    ``comm.size`` on the thread backend; on the proc backend each child
+    runtime hosts exactly the ranks in ``runtime.local_ranks``, and
+    rendezvous bookkeeping in ``runtime.shared`` must only wait for
+    those.
+    """
+    rt = comm.runtime
+    if rt.local_ranks is None:
+        return comm.size
+    return sum(
+        1 for r in range(comm.size)
+        if comm.group.world_rank(r) in rt.local_ranks
+    )
+
+
 def recover(armci: Armci, *, rebuild: bool = True) -> "tuple[Armci, RecoveryReport]":
     """Collective (over the survivors): rebuild the ARMCI runtime.
 
@@ -133,13 +150,9 @@ def recover(armci: Armci, *, rebuild: bool = True) -> "tuple[Armci, RecoveryRepo
         old_gmrs = sorted(armci.table.gmrs, key=lambda g: g.gmr_id)
         snapshots: dict[int, np.ndarray] = {}
         for gmr in old_gmrs:
-            members = gmr.group.members_absolute()
-            if my_old in members:
-                gr = members.index(my_old)
-                if gmr.sizes[gr]:
-                    snapshots[gmr.gmr_id] = np.array(
-                        gmr.win.exposed_buffer(gr), dtype=np.uint8, copy=True
-                    )
+            snap = gmr.snapshot_local(my_old)
+            if snap is not None:
+                snapshots[gmr.gmr_id] = snap
 
     failed_old = tuple(
         r for r in range(world.size) if world.group.world_rank(r) in dead_world
@@ -190,7 +203,9 @@ def recover(armci: Armci, *, rebuild: bool = True) -> "tuple[Armci, RecoveryRepo
     with rt.cond:
         reclaimed = tuple(sorted(state["reclaimed"]))
         state["departed"] += 1
-        if state["departed"] >= newcomm.size:
+        # on the proc backend the scratch dict is a per-process replica:
+        # only the ranks hosted here will ever mark their departure
+        if state["departed"] >= _local_parties(newcomm):
             rt.shared.pop(scratch_key, None)
 
     report = RecoveryReport(

@@ -11,7 +11,9 @@ parent, mirroring what ``mark_dead`` does between threads.
 from __future__ import annotations
 
 import os
+import pathlib
 import signal
+import time
 
 import numpy as np
 import pytest
@@ -236,14 +238,10 @@ def test_proc_rejects_thread_only_layers():
         rt.spmd(lambda comm: None)
 
 
-def test_proc_comm_ft_surface_raises_typed():
+def test_proc_comm_intercomm_raises_typed():
     def body(comm):
         with pytest.raises(CommError, match="thread-backend only"):
-            comm.revoke()
-        with pytest.raises(CommError, match="thread-backend only"):
-            comm.agree()
-        with pytest.raises(CommError, match="thread-backend only"):
-            comm.shrink()
+            comm.create_intercomm(0, comm, 0, tag=9)
         return True
 
     assert proc_spmd(2, body) == [True, True]
@@ -301,3 +299,357 @@ def test_thread_backend_unchanged_by_default():
     assert rt.backend.name == "thread"
     out = rt.spmd(lambda comm: comm.allgather(comm.rank))
     assert out == [[0, 1], [0, 1]]
+
+
+# ---------------------------------------------------------------------------
+# ULFM surface on the proc backend
+# ---------------------------------------------------------------------------
+
+
+def _ulfm_surface_body(comm):
+    # consensus + shrink without any failure: the FT surface must be a
+    # plain collective when nobody is dead
+    assert comm.agree(1) == 1
+    assert comm.agree(comm.rank != 1) == 0  # AND semantics: one dissent wins
+    sub = comm.shrink()  # no deaths: same membership, fresh context
+    assert sub.size == comm.size
+    assert sub.allgather(sub.rank) == list(range(comm.size))
+    return comm.rank
+
+
+def test_proc_ulfm_surface_works():
+    assert proc_spmd(NPROC, _ulfm_surface_body) == list(range(NPROC))
+
+
+def test_proc_revoke_poisons_peer_collectives():
+    from repro.mpi.errors import CommRevokedError
+
+    def body(comm):
+        comm.barrier()
+        if comm.rank == 0:
+            comm.revoke()
+            exc_type = "CommRevokedError"
+        else:
+            try:
+                # peers re-enter collectives until the revoke lands; the
+                # op count bounds the test if propagation were broken
+                for _ in range(10_000):
+                    comm.allgather(comm.rank)
+                exc_type = "none"
+            except CommRevokedError:
+                exc_type = "CommRevokedError"
+        return exc_type
+
+    assert proc_spmd(NPROC, body) == ["CommRevokedError"] * NPROC
+
+
+# ---------------------------------------------------------------------------
+# cross-process recovery: the SIGKILL matrix
+# ---------------------------------------------------------------------------
+
+_GA_SHAPE = (8, 8)
+
+
+def _ga_base():
+    return np.add.outer(
+        np.arange(_GA_SHAPE[0], dtype=np.int64) * 10,
+        np.arange(_GA_SHAPE[1], dtype=np.int64),
+    )
+
+
+def _seed_ga(armci):
+    from repro.ga import GlobalArray
+
+    ga = GlobalArray.create(armci, _GA_SHAPE, "i8")
+    blk = ga.distribution()
+    if blk.size:
+        view = ga.access()
+        view[...] = _ga_base()[tuple(slice(l, h) for l, h in zip(blk.lo, blk.hi))]
+        ga.release()
+    ga.sync()
+    return ga
+
+
+def _risky_phase(comm, armci, ga, kind, victim):
+    """The phase the victim dies inside; survivors keep issuing ``kind``."""
+    me = comm.rank
+    if kind == "mutex":
+        mutexes = armci.create_mutexes(1)
+        armci.barrier()
+        if me == victim:
+            mutexes.lock(0, 0)  # die holding it: reclamation must not hang
+            os.kill(os.getpid(), signal.SIGKILL)
+        from repro.armci.mutexes import MutexHolderFailed
+
+        for _ in range(200):
+            try:
+                mutexes.lock(0, 0)
+            except MutexHolderFailed:
+                pass
+            mutexes.unlock(0, 0)
+        armci.barrier()
+        return
+    if kind == "collective":
+        if me == victim:
+            os.kill(os.getpid(), signal.SIGKILL)
+        # survivors block in the collective until the heartbeat detector
+        # declares the victim dead and poisons the wait
+        for _ in range(200):
+            comm.allgather(me)
+        return
+    # put / get / acc traffic against every rank in turn
+    data = np.ones((2, 2), dtype=np.int64)
+    if me == victim:
+        ga.acc([0, 0], [2, 2], data)
+        os.kill(os.getpid(), signal.SIGKILL)
+    for i in range(2000):
+        lo = [(2 * (me + i)) % 6, 0]
+        hi = [lo[0] + 2, 2]
+        if kind == "put":
+            ga.put(lo, hi, data)
+        elif kind == "get":
+            ga.get(lo, hi)
+        else:
+            ga.acc(lo, hi, data)
+    armci.barrier()
+
+
+def _kill_matrix_body(comm, kind, victim):
+    from repro.armci import Armci
+    from repro.armci.mutexes import MutexHolderFailed
+    from repro.ga import GlobalArray
+    from repro.mpi.errors import (
+        CommRevokedError,
+        OpTimeoutError,
+        TargetFailedError,
+    )
+    from repro.recover import recover
+
+    recoverable = (
+        TargetFailedError,
+        RankFailedError,
+        CommRevokedError,
+        OpTimeoutError,
+        MutexHolderFailed,
+    )
+    armci = Armci.init(comm)
+    ga = _seed_ga(armci)
+    ckpt = None
+    try:
+        # the kill can land while a survivor is still inside the
+        # checkpoint's closing barrier (the victim's last broadcast dies
+        # in its queue feeder thread), so the checkpoint is fallible too
+        ckpt = ga.checkpoint()
+        _risky_phase(comm, armci, ga, kind, victim)
+        flag = 1
+    except recoverable:
+        armci.world.revoke()
+        flag = 0
+    if not armci.world.agree(flag):
+        armci, report = recover(armci)
+        assert victim in report.failed
+        have_ckpt = ckpt is not None and np.array_equal(ckpt.data, _ga_base())
+        if armci.world.agree(1 if have_ckpt else 0):
+            ga = GlobalArray.restore(armci, ckpt)
+        else:
+            # died before every survivor held a consistent snapshot:
+            # rebuild from the (deterministic) seed values instead
+            ga = _seed_ga(armci)
+    full = ga.get([0, 0], list(_GA_SHAPE))
+    ga.sync()
+    # the risky phase's partial writes are discarded by the restore, so
+    # the checkpointed contents must be back, redistributed on the
+    # shrunken grid
+    assert np.array_equal(full, _ga_base()), full
+    return ("done", armci.nproc)
+
+
+# each op kind is covered, and each rank is a victim somewhere — rank 0
+# matters most (it coordinates FT consensus, so its death exercises the
+# coordinator-handoff path)
+@pytest.mark.parametrize(
+    "kind,victim",
+    [
+        ("put", 1),
+        ("get", 2),
+        ("acc", 3),
+        ("mutex", 0),
+        ("mutex", 2),
+        ("collective", 0),
+        ("collective", 1),
+        ("collective", 3),
+    ],
+)
+def test_proc_sigkill_matrix_survivors_recover(kind, victim):
+    out = proc_spmd(NPROC, _kill_matrix_body, kind, victim)
+    assert out[victim] is None  # the dead rank's slot in a recovered run
+    for rank, res in enumerate(out):
+        if rank != victim:
+            assert res == ("done", NPROC - 1), (rank, res)
+
+
+def test_proc_recovered_run_returns_none_for_dead_ranks():
+    """The spmd survivor-results contract, in isolation."""
+
+    def body(comm):
+        comm.barrier()
+        if comm.rank == 3:
+            os.kill(os.getpid(), signal.SIGKILL)
+        try:
+            for _ in range(200):
+                comm.barrier()
+        except RankFailedError:
+            comm.failure_ack()
+        return comm.rank
+
+    out = proc_spmd(NPROC, body)
+    assert out == [0, 1, 2, None]
+
+
+# ---------------------------------------------------------------------------
+# thread/proc recovery parity
+# ---------------------------------------------------------------------------
+
+
+def _recovery_parity_body(comm, mode):
+    """Same recovery flow on both backends; victim differs only in how
+    it dies (thread: mark_dead + RankKilledError, proc: real SIGKILL)."""
+    from repro.armci import Armci
+    from repro.ga import GlobalArray
+    from repro.mpi.errors import CommRevokedError, TargetFailedError
+    from repro.mpi.runtime import RankKilledError
+    from repro.recover import recover
+
+    victim = 1
+    armci = Armci.init(comm)
+    ga = _seed_ga(armci)
+    ckpt = None
+    try:
+        ckpt = ga.checkpoint()
+        if comm.rank == victim:
+            if mode == "proc":
+                os.kill(os.getpid(), signal.SIGKILL)
+            rt = comm.runtime
+            with rt.cond:
+                rt.mark_dead(comm.world_rank(victim))
+            raise RankKilledError(f"rank {victim} dies")
+        for _ in range(200):
+            comm.allgather(comm.rank)
+        flag = 1
+    except RankKilledError:
+        raise
+    except (TargetFailedError, RankFailedError, CommRevokedError):
+        armci.world.revoke()
+        flag = 0
+    if not armci.world.agree(flag):
+        armci, _report = recover(armci)
+        have_ckpt = ckpt is not None and np.array_equal(ckpt.data, _ga_base())
+        if armci.world.agree(1 if have_ckpt else 0):
+            ga = GlobalArray.restore(armci, ckpt)
+        else:
+            ga = _seed_ga(armci)
+    full = ga.get([0, 0], list(_GA_SHAPE))
+    ga.sync()
+    return armci.nproc, full.tobytes()
+
+
+def test_thread_proc_recovery_parity():
+    thread_out = Runtime(NPROC, watchdog_s=10.0).spmd(_recovery_parity_body, "thread")
+    proc_out = proc_spmd(NPROC, _recovery_parity_body, "proc")
+    t_live = [r for r in thread_out if r is not None]
+    p_live = [r for r in proc_out if r is not None]
+    assert proc_out[1] is None
+    assert len(t_live) == len(p_live) == NPROC - 1
+    # both backends converge to the same shrunken world and the same
+    # restored bytes
+    for nproc, blob in t_live + p_live:
+        assert nproc == NPROC - 1
+        assert blob == _ga_base().tobytes()
+
+
+# ---------------------------------------------------------------------------
+# the proc-capable fault injector
+# ---------------------------------------------------------------------------
+
+
+def _slow_rounds_body(comm, rounds, pause_s):
+    for _ in range(rounds):
+        comm.barrier()
+        time.sleep(pause_s)
+    return comm.allgather(comm.rank)
+
+
+def test_proc_fault_injector_kill_surfaces_rankfailed():
+    from repro.faults import ProcFaultInjector, ProcFaultPlan
+
+    rt = Runtime(NPROC, backend="proc")
+    rt.faults = ProcFaultInjector(ProcFaultPlan(seed=0).kill(2, after_s=0.4))
+    with pytest.raises(RankFailedError, match="rank 2"):
+        rt.spmd(_slow_rounds_body, 200, 0.02, join_timeout=60.0)
+    assert ("kill", 2) in [(k, r) for k, r, _t in rt.faults.fired]
+
+
+def test_proc_fault_injector_stall_is_suspected_not_dead():
+    """A SIGSTOPped rank's lease goes stale, but its pid stays alive:
+    the detector must keep it in 'suspected' forever rather than declare
+    death, and the run completes after SIGCONT."""
+    from repro.faults import ProcFaultInjector, ProcFaultPlan
+
+    rt = Runtime(
+        NPROC, backend="proc", heartbeat_s=0.02, suspect_after=0.2
+    )
+    rt.faults = ProcFaultInjector(
+        ProcFaultPlan(seed=0).stall(1, after_s=0.2, for_s=1.0)
+    )
+    out = rt.spmd(_slow_rounds_body, 40, 0.02, join_timeout=60.0)
+    assert out == [list(range(NPROC))] * NPROC
+    kinds = [(k, r) for k, r, _t in rt.faults.fired]
+    assert ("stop", 1) in kinds and ("cont", 1) in kinds
+
+
+def test_proc_fault_injector_startup_delay_not_mistaken_for_death():
+    from repro.faults import ProcFaultInjector, ProcFaultPlan
+
+    rt = Runtime(
+        NPROC, backend="proc", heartbeat_s=0.02, suspect_after=0.2
+    )
+    rt.faults = ProcFaultInjector(ProcFaultPlan(seed=0).delay(0, startup_s=0.8))
+    out = rt.spmd(_slow_rounds_body, 5, 0.01, join_timeout=60.0)
+    assert out == [list(range(NPROC))] * NPROC
+
+
+def test_proc_rejects_thread_style_fault_plans():
+    from repro.faults import FaultInjector, FaultPlan
+
+    rt = Runtime(2, backend="proc")
+    rt.faults = FaultInjector(FaultPlan(seed=0).kill(1, 5))
+    with pytest.raises(InternalError, match="repro.faults.proc"):
+        rt.spmd(lambda comm: None)
+
+
+def test_proc_abnormal_exit_leaves_no_shm_segments():
+    """SIGKILLed children never run their unlink paths; the parent's
+    teardown sweep must leave /dev/shm exactly as it found it."""
+    shm = pathlib.Path("/dev/shm")
+    if not shm.is_dir():
+        pytest.skip("no /dev/shm on this platform")
+
+    def body(comm):
+        from repro.armci import Armci
+
+        armci = Armci.init(comm)
+        ga = _seed_ga(armci)
+        armci.barrier()
+        if comm.rank == 1:
+            os.kill(os.getpid(), signal.SIGKILL)
+        try:
+            for _ in range(200):
+                armci.barrier()
+        except RankFailedError:
+            comm.failure_ack()
+        return ga.shape
+
+    before = set(shm.glob("repro-*"))
+    proc_spmd(NPROC, body)
+    leftover = set(shm.glob("repro-*")) - before
+    assert not leftover, sorted(p.name for p in leftover)
