@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-faults test-docs lint lint-smoke sanitize-smoke recover-smoke hotpath-smoke mpi3-smoke procs-smoke proc-recover-smoke check
+.PHONY: test test-faults test-docs lint lint-smoke sanitize-smoke recover-smoke hotpath-smoke mpi3-smoke procs-smoke proc-recover-smoke traffic-smoke check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -55,9 +55,16 @@ procs-smoke:
 proc-recover-smoke:
 	$(PYTHON) -m repro.bench --proc-recover-smoke
 
+# Service-traffic gate: every workload's oracle must verify (fault-free
+# and with kills landing mid-traffic), faulted seeds must replay
+# bit-identically, and the proc-backend SIGKILL run must keep goodput
+# >= 0.5x fault-free (degradation gate enforced on hosts with >= 4 CPUs).
+traffic-smoke:
+	$(PYTHON) -m repro.bench --traffic-smoke
+
 # Docs-consistency gate: every CLI flag, module path, and relative link
 # in README.md, DESIGN.md, and docs/*.md must resolve.
 test-docs:
 	$(PYTHON) -m pytest -x -q tests/test_docs.py
 
-check: lint test test-faults test-docs lint-smoke sanitize-smoke recover-smoke mpi3-smoke procs-smoke proc-recover-smoke
+check: lint test test-faults test-docs lint-smoke sanitize-smoke recover-smoke mpi3-smoke procs-smoke proc-recover-smoke traffic-smoke

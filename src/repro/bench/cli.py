@@ -18,6 +18,8 @@ Examples::
     python -m repro.bench proc-recover         # SIGKILL detection + restart times
     python -m repro.bench --proc-recover-smoke # proc-backend recovery gate
     python -m repro.bench --lint-smoke         # whole-repo static sweep gate
+    python -m repro.bench traffic              # service-traffic load sweeps
+    python -m repro.bench --traffic-smoke      # graceful-degradation gate
     python -m repro.bench --sanitize-ablation  # dynamic-checking overhead table
     python -m repro.bench all            # everything (slow: full Fig. 4 grid)
 
@@ -163,6 +165,22 @@ def cmd_proc_recover(args) -> int:
     return 0
 
 
+def cmd_traffic(args) -> int:
+    """Traffic-harness benches: offered load vs goodput/latency/shed rate."""
+    from . import traffic_smoke
+
+    if args.smoke:
+        ok, report = traffic_smoke.smoke(args.baseline)
+        print(report)
+        return 0 if ok else 1
+    results = traffic_smoke.measure(fast=args.fast)
+    print(traffic_smoke.format_results(results))
+    if args.write:
+        path = traffic_smoke.write_baseline(results, args.baseline)
+        print(f"\nwrote {path}")
+    return 0
+
+
 def cmd_sanitize(_args) -> int:
     """Sanitizer + schedule-fuzzer smoke gate (mutex and RMW protocols)."""
     from . import sanitize_smoke
@@ -299,6 +317,25 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--baseline", default=None,
                     help="override the baseline JSON path")
 
+    pt = sub.add_parser(
+        "traffic", help="service-style traffic harness over the GA layer: "
+        "offered load vs goodput/p50/p99/shed rate per workload, seeded "
+        "mid-traffic kills with bit-identical replay, and a proc-backend "
+        "fault-free vs SIGKILL degradation pair"
+    )
+    pt.add_argument("--smoke", action="store_true",
+                    help="fast gate: baseline benchmarks/BENCH_traffic.json "
+                    "must parse, every run must verify its oracle, faulted "
+                    "replays must be bit-identical, and on hosts with >= 4 "
+                    "CPUs the proc SIGKILL run must recover with goodput "
+                    ">= 0.5x fault-free")
+    pt.add_argument("--fast", action="store_true",
+                    help="single offered-load point per workload")
+    pt.add_argument("--write", action="store_true",
+                    help="rewrite the committed baseline JSON")
+    pt.add_argument("--baseline", default=None,
+                    help="override the baseline JSON path")
+
     sub.add_parser(
         "sanitize", help="fuzzed-schedule RMA sanitizer gate over the "
         "mutex and RMW protocols (<60 s)"
@@ -354,6 +391,9 @@ def main(argv: "list[str] | None" = None) -> int:
     if "--lint-smoke" in argv:
         argv = [a for a in argv if a != "--lint-smoke"]
         argv = ["lint"] + argv
+    if "--traffic-smoke" in argv:
+        argv = [a for a in argv if a != "--traffic-smoke"]
+        argv = ["traffic", "--smoke"] + argv
     if "--sanitize-ablation" in argv:
         argv = [a for a in argv if a != "--sanitize-ablation"]
         argv = ["sanitize-ablation"] + argv
@@ -368,6 +408,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "mpi3": cmd_mpi3,
         "procs": cmd_procs,
         "proc-recover": cmd_proc_recover,
+        "traffic": cmd_traffic,
         "sanitize": cmd_sanitize,
         "recover": cmd_recover,
         "lint": cmd_lint,

@@ -1,0 +1,309 @@
+"""Traffic-harness benchmark: offered load vs goodput, latency, degradation.
+
+Runs the :mod:`repro.traffic` service harness in the regimes the paper's
+robustness story cares about and records the service-level trajectory in
+``benchmarks/BENCH_traffic.json``:
+
+* **thread sweep** — each workload (stencil / worksteal / bfs) across an
+  offered-load sweep on the deterministic scheduler: goodput
+  (completions per tick), p50/p99 queueing latency in ticks, and shed
+  rate at each point.  These runs are bit-deterministic, so they are
+  also correctness gates: every point must finish ``ok`` with its
+  serial-numpy oracle verified.
+* **thread faulted** — the same workloads with a seeded
+  :class:`~repro.faults.plan.FaultPlan` kill landing mid-traffic.  The
+  harness must degrade gracefully (recover, shed the backlog, drain)
+  and still verify, and a second run from the same seed must reproduce
+  both the scheduler digest and the traffic trace digest bit-for-bit —
+  the failing-seed replay contract.
+* **proc pair** — a wall-clock proc-backend run, fault-free and then
+  with a real ``SIGKILL`` timed (as a fraction of the measured
+  fault-free wall time) to land mid-traffic.  The gate is graceful
+  degradation: the killed run must recover at least once, stay
+  value-correct, and keep goodput at or above
+  :data:`GOODPUT_FLOOR` of the fault-free run.
+
+Absolute wall seconds are machine-dependent trajectory data; the
+proc-backend degradation gate (recovery observed + goodput floor) is
+enforced only on hosts with at least :data:`MIN_CORES_FOR_GATE` CPUs,
+where the kill timing is meaningful.  Determinism, oracle verification,
+and replay identity are gated on every host.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform as host_platform
+import time
+
+import numpy as np
+
+from ..faults.plan import FaultPlan
+from ..faults.proc import ProcFaultPlan
+from ..traffic import TrafficConfig, run_traffic, run_traffic_proc
+
+#: default location of the committed baseline (repo benchmarks/ dir)
+BASELINE_PATH = (
+    pathlib.Path(__file__).resolve().parents[3]
+    / "benchmarks"
+    / "BENCH_traffic.json"
+)
+
+#: world size and seed for every run (the trajectory replays from these)
+NPROC = 4
+SEED = 7
+#: thread-backend offered-load sweep (arrivals per rank per tick)
+OFFERED_SWEEP = (1, 3, 6)
+#: thread-backend fault: kill VICTIM at fuzz point KILL_POINT
+VICTIM = 1
+KILL_POINT = 40
+#: proc-backend scenario: big enough that the SIGKILL lands mid-traffic
+PROC_SCENARIO = "stencil"
+PROC_SIZE = 160
+PROC_TICK_SLEEP_S = 0.1
+PROC_VICTIM = 2
+#: SIGKILL delay as a fraction of the measured fault-free wall time
+PROC_KILL_FRACTION = 0.45
+#: killed-run goodput must stay at or above this fraction of fault-free
+GOODPUT_FLOOR = 0.5
+#: the wall-clock degradation gate applies only on hosts this wide
+MIN_CORES_FOR_GATE = 4
+
+_SCENARIOS = ("stencil", "worksteal", "bfs")
+
+
+def _point(result) -> dict:
+    """Service-level metrics of one run, as recorded in the baseline."""
+    return {
+        "ok": result.ok,
+        "verified": result.verified,
+        "ticks": result.ticks,
+        "offered": result.offered,
+        "admitted": result.admitted,
+        "completed": result.completed,
+        "goodput_per_tick": result.goodput,
+        "p50_ticks": result.p50_ticks,
+        "p99_ticks": result.p99_ticks,
+        "retries": result.retries,
+        "shed": result.shed,
+        "shed_rate": result.shed_rate,
+        "recoveries": result.recoveries,
+        "recovery_dip": result.recovery_dip,
+        "drain_ticks": result.drain_ticks,
+        "digest": result.digest,
+    }
+
+
+def _thread_cfg(scenario: str, offered: int) -> TrafficConfig:
+    return TrafficConfig(scenario=scenario, seed=SEED, offered=offered)
+
+
+def measure(fast: bool = False) -> dict:
+    """Thread sweep + faulted replay pairs + the proc clean/SIGKILL pair."""
+    results: dict = {"thread": {}, "proc": {}}
+    sweep = OFFERED_SWEEP[1:2] if fast else OFFERED_SWEEP
+    for scenario in _SCENARIOS:
+        entry: dict = {"sweep": {}}
+        for offered in sweep:
+            r = run_traffic(_thread_cfg(scenario, offered), NPROC, SEED)
+            entry["sweep"][f"offered{offered}"] = _point(r)
+        plan = FaultPlan(seed=SEED).kill(VICTIM, KILL_POINT)
+        cfg = _thread_cfg(scenario, OFFERED_SWEEP[1])
+        faulted = run_traffic(cfg, NPROC, SEED, plan=plan)
+        replay = run_traffic(cfg, NPROC, SEED, plan=plan)
+        entry["faulted"] = _point(faulted)
+        entry["faulted"]["replay_identical"] = bool(
+            replay.digest == faulted.digest
+            and replay.schedule_digest == faulted.schedule_digest
+        )
+        results["thread"][scenario] = entry
+    # proc pair: measure the fault-free wall time, then aim the SIGKILL
+    # at PROC_KILL_FRACTION of it so it lands mid-traffic
+    cfg = TrafficConfig(
+        scenario=PROC_SCENARIO, seed=SEED, size=PROC_SIZE,
+        tick_sleep_s=PROC_TICK_SLEEP_S,
+    )
+    t0 = time.monotonic()
+    clean = run_traffic_proc(cfg, NPROC)
+    clean_wall_s = time.monotonic() - t0
+    kill_after_s = max(0.3, PROC_KILL_FRACTION * clean_wall_s)
+    plan = ProcFaultPlan(seed=SEED).kill(PROC_VICTIM, kill_after_s)
+    t0 = time.monotonic()
+    killed = run_traffic_proc(cfg, NPROC, plan=plan)
+    killed_wall_s = time.monotonic() - t0
+    ratio = (
+        killed.goodput / clean.goodput if clean.goodput > 0 else 0.0
+    )
+    results["proc"] = {
+        "scenario": PROC_SCENARIO,
+        "size": PROC_SIZE,
+        "tick_sleep_s": PROC_TICK_SLEEP_S,
+        "kill_after_s": kill_after_s,
+        "clean": {**_point(clean), "wall_s": clean_wall_s},
+        "killed": {**_point(killed), "wall_s": killed_wall_s},
+        "goodput_ratio": ratio,
+    }
+    return results
+
+
+# ---------------------------------------------------------------------------
+# baseline file + smoke check
+# ---------------------------------------------------------------------------
+
+
+def write_baseline(results: dict, path: "pathlib.Path | None" = None) -> pathlib.Path:
+    """Persist results as the machine-readable trajectory file."""
+    path = pathlib.Path(path) if path is not None else BASELINE_PATH
+    payload = {
+        "schema": 1,
+        "units": "virtual_ticks (latency/goodput), wall_clock_seconds (proc)",
+        "note": (
+            "service-style traffic harness over the GA layer: offered "
+            "load vs goodput, p50/p99 latency in ticks, and shed rate "
+            "per workload on the deterministic thread backend; the same "
+            "workloads with a seeded mid-traffic kill (must recover, "
+            "verify, and replay bit-identically); and a proc-backend "
+            f"fault-free vs SIGKILL pair — the killed run must keep "
+            f"goodput >= {GOODPUT_FLOOR:g}x fault-free (gated on hosts "
+            f"with >= {MIN_CORES_FOR_GATE} CPUs; determinism and oracle "
+            "verification are gated everywhere)"
+        ),
+        "environment": {
+            "python": host_platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "seed": SEED,
+        "nproc": NPROC,
+        "offered_sweep": list(OFFERED_SWEEP),
+        "thread_kill": {"victim": VICTIM, "point": KILL_POINT},
+        "proc_kill_fraction": PROC_KILL_FRACTION,
+        "goodput_floor": GOODPUT_FLOOR,
+        "min_cores_for_gate": MIN_CORES_FOR_GATE,
+        "results": results,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path: "pathlib.Path | None" = None) -> dict:
+    path = pathlib.Path(path) if path is not None else BASELINE_PATH
+    return json.loads(path.read_text())
+
+
+def format_results(results: dict) -> str:
+    lines = [
+        f"traffic harness (nproc {NPROC}, seed {SEED})",
+        "-" * 42,
+        f"{'scenario':>9}  {'offered':>7}  {'goodput':>8}  {'p50':>4}"
+        f"  {'p99':>4}  {'shed':>6}  {'recov':>5}",
+    ]
+    for scenario, entry in results.get("thread", {}).items():
+        for key in sorted(entry["sweep"]):
+            p = entry["sweep"][key]
+            lines.append(
+                f"{scenario:>9}  {key[7:]:>7}  {p['goodput_per_tick']:>8.3f}"
+                f"  {p['p50_ticks']:>4.0f}  {p['p99_ticks']:>4.0f}"
+                f"  {p['shed_rate']:>6.3f}  {p['recoveries']:>5d}"
+            )
+        f = entry["faulted"]
+        lines.append(
+            f"{scenario:>9}  {'+kill':>7}  {f['goodput_per_tick']:>8.3f}"
+            f"  {f['p50_ticks']:>4.0f}  {f['p99_ticks']:>4.0f}"
+            f"  {f['shed_rate']:>6.3f}  {f['recoveries']:>5d}"
+            f"  dip={f['recovery_dip']:.2f} drain={f['drain_ticks']}"
+            f" replay={'ok' if f['replay_identical'] else 'DIVERGED'}"
+        )
+    proc = results.get("proc")
+    if proc:
+        c, k = proc["clean"], proc["killed"]
+        lines.append(
+            f"proc[{proc['scenario']}] clean: goodput "
+            f"{c['goodput_per_tick']:.3f}/tick in {c['wall_s']:.2f}s; "
+            f"SIGKILL@{proc['kill_after_s']:.2f}s: "
+            f"{k['goodput_per_tick']:.3f}/tick, recoveries={k['recoveries']}, "
+            f"ratio {proc['goodput_ratio']:.2f} (floor {GOODPUT_FLOOR:g})"
+        )
+    return "\n".join(lines)
+
+
+def smoke(path: "pathlib.Path | None" = None) -> tuple[bool, str]:
+    """Fast gate for ``make check``: graceful degradation under live faults.
+
+    Hard-gated on any host: the committed baseline parses, every thread
+    run (sweep and faulted) completes with its oracle verified, faulted
+    runs actually recover, and the faulted replay is bit-identical.
+    Gated only on hosts with >= :data:`MIN_CORES_FOR_GATE` CPUs (where
+    wall-clock kill timing is meaningful): the proc-backend SIGKILL run
+    must recover at least once and keep goodput >= the floor.
+    """
+    try:
+        load_baseline(path)
+    except (OSError, json.JSONDecodeError) as exc:
+        where = path if path is not None else BASELINE_PATH
+        return False, f"TRAFFIC SMOKE: unreadable baseline {where}: {exc}"
+    try:
+        measured = measure(fast=True)
+    except Exception as exc:  # noqa: BLE001 - any failure fails the gate
+        return False, f"TRAFFIC SMOKE: FAIL\n  - traffic run raised: {exc!r}"
+    problems = []
+    for scenario, entry in measured["thread"].items():
+        for key, p in entry["sweep"].items():
+            if not (p["ok"] and p["verified"]):
+                problems.append(
+                    f"thread {scenario} {key}: ok={p['ok']} "
+                    f"verified={p['verified']}"
+                )
+        f = entry["faulted"]
+        if not (f["ok"] and f["verified"]):
+            problems.append(
+                f"thread {scenario} faulted: ok={f['ok']} "
+                f"verified={f['verified']}"
+            )
+        if f["recoveries"] < 1:
+            problems.append(f"thread {scenario} faulted: no recovery observed")
+        if not f["replay_identical"]:
+            problems.append(f"thread {scenario} faulted: replay DIVERGED")
+    proc = measured["proc"]
+    for which in ("clean", "killed"):
+        p = proc[which]
+        if not (p["ok"] and p["verified"]):
+            problems.append(
+                f"proc {which}: ok={p['ok']} verified={p['verified']}"
+            )
+    cores = os.cpu_count() or 1
+    gate_timing = cores >= MIN_CORES_FOR_GATE
+    if gate_timing and not problems:
+        if proc["killed"]["recoveries"] < 1:
+            problems.append(
+                "proc killed: SIGKILL landed outside the traffic window "
+                "(no recovery observed)"
+            )
+        if proc["goodput_ratio"] < GOODPUT_FLOOR:
+            problems.append(
+                f"proc killed: goodput ratio {proc['goodput_ratio']:.2f} "
+                f"below the {GOODPUT_FLOOR:g} floor"
+            )
+    lines = [format_results(measured), ""]
+    if problems:
+        lines.append("TRAFFIC SMOKE: FAIL")
+        lines.extend(f"  - {p}" for p in problems)
+        return False, "\n".join(lines)
+    if not gate_timing:
+        lines.append(
+            f"TRAFFIC SMOKE: ok (host has {cores} CPU(s) < "
+            f"{MIN_CORES_FOR_GATE}; the proc degradation gate applies on "
+            "multi-core hosts only — oracle verification, recovery, and "
+            "replay identity were gated and passed)"
+        )
+        return True, "\n".join(lines)
+    lines.append(
+        f"TRAFFIC SMOKE: ok (all oracles verified; faulted replays "
+        f"bit-identical; proc goodput ratio "
+        f"{proc['goodput_ratio']:.2f} >= {GOODPUT_FLOOR:g} with "
+        f"{proc['killed']['recoveries']} recovery)"
+    )
+    return True, "\n".join(lines)

@@ -36,7 +36,14 @@ from ..mpi.errors import (
 )
 from .injector import FaultInjector
 from .plan import Corrupt, Delay, FaultPlan, Kill, Stall
-from .proc import ProcDelay, ProcFaultInjector, ProcFaultPlan, ProcKill, ProcStall
+from .proc import (
+    ProcDelay,
+    ProcFaultInjector,
+    ProcFaultPlan,
+    ProcKill,
+    ProcStall,
+    sweep_stale_segments,
+)
 from .scenarios import RECOVER_SCENARIOS, SCENARIOS
 
 __all__ = [
@@ -60,6 +67,7 @@ __all__ = [
     "Stall",
     "TargetFailedError",
     "install_ambient",
+    "sweep_stale_segments",
     "uninstall_ambient",
 ]
 

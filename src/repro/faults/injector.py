@@ -40,6 +40,7 @@ import random
 
 import numpy as np
 
+from ..backoff import STALL_STEPS, STALL_WAIT
 from ..mpi.errors import RankKilledError, RetriesExhausted
 from .plan import FaultPlan
 
@@ -139,15 +140,16 @@ class FaultInjector:
     def _transient_stall(self, runtime, rank: int, idx: int, kind: str, s) -> None:
         """Retry-with-backoff through a transient stall (bounded attempts).
 
-        Attempt ``i`` waits out up to ``2**i`` stall steps (exponential
-        backoff, deterministic — no shared RNG is consumed, so seeded
-        replays are unaffected).  If the stall outlasts the whole
-        budget, the rank raises a typed :class:`RetriesExhausted`; the
-        fault was transient, so nothing is marked dead.
+        Attempt ``i`` waits out up to :data:`repro.backoff.STALL_STEPS`
+        scheduler steps (``2**i`` — deterministic, no shared RNG is
+        consumed, so seeded replays are unaffected).  If the stall
+        outlasts the whole budget, the rank raises a typed
+        :class:`RetriesExhausted`; the fault was transient, so nothing
+        is marked dead.
         """
         remaining = s.steps
         for attempt in range(self.retries + 1):
-            burst = min(remaining, 2 ** attempt)
+            burst = min(remaining, STALL_STEPS.steps(attempt))
             with runtime.cond:
                 self.events.append(("retry", rank, idx, kind, attempt, burst))
                 sched = runtime.schedule
@@ -156,7 +158,7 @@ class FaultInjector:
                         sched.forced_yield(rank, kind)
                 else:
                     # wall-clock mode: deterministic exponential backoff
-                    runtime.cond.wait(timeout=min(0.002 * (2 ** attempt), 0.05))
+                    runtime.cond.wait(timeout=STALL_WAIT.delay(attempt))
             remaining -= burst
             if remaining <= 0:
                 with runtime.cond:

@@ -37,11 +37,66 @@ exercises must tolerate any interleaving anyway.
 from __future__ import annotations
 
 import os
+import pathlib
 import signal
 import time
 from dataclasses import dataclass, field, replace
+from multiprocessing import resource_tracker
 
-__all__ = ["ProcKill", "ProcStall", "ProcDelay", "ProcFaultPlan", "ProcFaultInjector"]
+__all__ = [
+    "ProcKill",
+    "ProcStall",
+    "ProcDelay",
+    "ProcFaultPlan",
+    "ProcFaultInjector",
+    "sweep_stale_segments",
+]
+
+#: a ``repro-*`` shm segment untouched this long is an orphan of a
+#: previous (crashed or SIGKILLed) run, not a live window of this one
+STALE_SEGMENT_S = 600.0
+
+
+def sweep_stale_segments(
+    stale_after_s: float = STALE_SEGMENT_S,
+    shm_dir: "str | os.PathLike" = "/dev/shm",
+) -> "list[str]":
+    """Unlink orphaned ``repro-*`` shared-memory segments; idempotent.
+
+    The proc backend's own teardown sweep only covers segments of *its*
+    run id; a SIGKILLed traffic-harness worker from an earlier run (or
+    a run whose parent itself died) leaves segments no live process
+    will ever reclaim.  This sweeps any ``repro-*`` segment whose mtime
+    is older than ``stale_after_s`` — age-gating keeps concurrent live
+    runs safe, since their windows and heartbeat leases are touched far
+    more often than that.  Returns the names removed; calling it twice
+    is a no-op the second time (nothing matches, nothing raises).
+    """
+    shm = pathlib.Path(shm_dir)
+    if not shm.is_dir():  # pragma: no cover - non-Linux shm layout
+        return []
+    removed: list[str] = []
+    cutoff = time.time() - stale_after_s
+    for seg in shm.glob("repro-*"):
+        try:
+            if seg.stat().st_mtime > cutoff:
+                continue
+        except OSError:  # concurrently unlinked — already swept
+            continue
+        try:
+            # register first (idempotent): unregistering a name the
+            # tracker never saw makes its process print a KeyError
+            # traceback at shutdown
+            resource_tracker.register(f"/{seg.name}", "shared_memory")
+            resource_tracker.unregister(f"/{seg.name}", "shared_memory")
+        except Exception:  # pragma: no cover - tracker gone at exit
+            pass
+        try:
+            seg.unlink()
+        except OSError:  # pragma: no cover - concurrent unlink
+            continue
+        removed.append(seg.name)
+    return removed
 
 
 @dataclass(frozen=True)
@@ -195,13 +250,19 @@ class ProcFaultInjector:
                 self._resume(children, rank, now)
 
     def finish(self, children: list) -> None:
-        """Resume every still-stopped child (teardown safety net)."""
+        """Resume every still-stopped child (teardown safety net).
+
+        Also sweeps *stale* ``repro-*`` shm segments orphaned by earlier
+        runs — a SIGKILL plan is exactly the kind of run that leaves
+        them, so fault-injecting teardowns double as the janitor.
+        """
         if self._t0 is None:
             return
         now = time.monotonic()
         for rank in sorted(self._stopped):
             self._resume(children, rank, now)
         self._pending = [e for e in self._pending if e[1] != "cont"]
+        sweep_stale_segments()
 
     def _resume(self, children: list, rank: int, now: float) -> None:
         if rank in self._stopped:

@@ -28,6 +28,7 @@ __all__ = [
     "mutex_counter",
     "rmw_counter",
     "gmr_free_null",
+    "traffic_service",
     "recover_mutex",
     "recover_rmw",
     "recover_gmr",
@@ -129,11 +130,32 @@ def gmr_free_null(comm):
     return (freed, remaining)
 
 
+def traffic_service(comm):
+    """One small tick of the §service-traffic harness (admission queue,
+    deadlines, retry/backoff, circuit breaker) over a stencil workload.
+
+    The full harness lives in :mod:`repro.traffic`; this scenario runs a
+    deliberately tiny configuration so the seed sweep explores its
+    GA-heavy interleavings cheaply, and so killed corpus seeds pin the
+    recover-shed-drain path (the harness absorbs the death, so even
+    kill plans expect ``"ok"``).
+    """
+    from ..traffic.harness import TrafficConfig, traffic_body
+
+    cfg = TrafficConfig(
+        scenario="stencil", seed=3, size=8,
+        offered=2, service_rate=1, queue_capacity=3,
+        deadline_ticks=6, checkpoint_every=2, max_ticks=40,
+    )
+    return traffic_body(comm, cfg)
+
+
 #: name -> SPMD body, for the CLI and the fault-matrix tests
 SCENARIOS = {
     "mutex": mutex_counter,
     "rmw": rmw_counter,
     "gmr_free": gmr_free_null,
+    "traffic": traffic_service,
 }
 
 

@@ -88,6 +88,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
+from ..backoff import BackoffPolicy
 from .backend import RuntimeBackend
 from .comm import Comm
 from .errors import (
@@ -602,7 +603,13 @@ class _ProcChildBackend(RuntimeBackend):
         self._hb_seg = None
         self._beat_ns = max(int(heartbeat_s * 1e9), 1_000_000)
         self._last_beat = 0
-        #: suspected rank -> [next_probe_ns, probe_backoff_ns]
+        #: pid-probe intervals for a suspected peer: start at one beat,
+        #: double per probe, cap at 1 s (ns units, no jitter — the pump
+        #: thread must stay wall-clock deterministic for a given lease)
+        self._probe_backoff = BackoffPolicy(
+            base=float(self._beat_ns), factor=2.0, cap=1e9, jitter=1.0
+        )
+        #: suspected rank -> [next_probe_ns, probe_attempt]
         self._suspect: dict[int, list[int]] = {}
 
     # -- RuntimeBackend ------------------------------------------------------
@@ -730,11 +737,11 @@ class _ProcChildBackend(RuntimeBackend):
                 continue
             st = self._suspect.get(r)
             if st is None:
-                st = self._suspect[r] = [now, self._beat_ns]
+                st = self._suspect[r] = [now, 0]
             if now < st[0]:
                 continue
-            st[1] = min(st[1] * 2, 1_000_000_000)
-            st[0] = now + st[1]
+            st[1] += 1
+            st[0] = now + int(self._probe_backoff.delay(st[1]))
             if _pid_alive(pid):
                 continue
             stale = (now - beat) / 1e9

@@ -36,6 +36,7 @@ import threading
 import time
 from typing import Any, Callable, Sequence
 
+from ..backoff import LOCK_RETRY
 from ..simtime.clock import SimClock
 from .backend import RuntimeBackend, resolve_backend
 from .errors import (
@@ -440,13 +441,15 @@ class Runtime:
     def backoff(self, attempt: int) -> float:
         """Seeded exponential backoff before retry ``attempt`` (from 0).
 
-        Returns the chosen delay.  In wall-clock mode the calling rank
-        sleeps on :attr:`cond` for that long (must hold :attr:`cond`);
-        under a deterministic schedule no wall sleep happens — the delay
-        is only reported so callers can charge it to simulated time.
+        The curve is :data:`repro.backoff.LOCK_RETRY` jittered by the
+        runtime's seeded RNG (one uniform draw per call, so replays of
+        the same runtime seed consume the RNG identically).  Returns
+        the chosen delay.  In wall-clock mode the calling rank sleeps
+        on :attr:`cond` for that long (must hold :attr:`cond`); under a
+        deterministic schedule no wall sleep happens — the delay is
+        only reported so callers can charge it to simulated time.
         """
-        with_jitter = self._backoff_rng.uniform(0.5, 1.0) * (2.0**attempt)
-        delay = min(0.05 * with_jitter, 1.0)
+        delay = LOCK_RETRY.delay(attempt, self._backoff_rng)
         if self.schedule is None:
             self.cond.wait(timeout=delay)
         return delay

@@ -1,0 +1,186 @@
+"""Admission front-end: bounded queue, deadlines, retries, breaker.
+
+This module is deliberately free of MPI: it is the pure control-plane
+state machine of one rank's service front-end, driven by the harness
+(:mod:`repro.traffic.harness`) in virtual *ticks*.  Everything is
+deterministic given the caller's seeded RNG, so the same traffic seed
+produces the same shed/retry/breaker trace on the thread backend's
+deterministic scheduler.
+
+Vocabulary (the production semantics the ISSUE names):
+
+* **Admission queue** — :class:`AdmissionQueue`, a bounded FIFO.  An
+  arrival that finds it full is *shed* with a typed
+  :class:`Overloaded`; nothing ever blocks.
+* **Deadline** — every :class:`Request` carries an absolute tick by
+  which it must complete; the queue expires overdue requests with
+  :class:`DeadlineExceeded` semantics instead of serving stale work.
+* **Retry with backoff + jitter** — a transiently failed request is
+  re-queued with a ``not_before`` tick computed from
+  :data:`repro.backoff.BackoffPolicy` (satellite: the same policy type
+  the runtime's lock retry and the proc backend's pid probing use).
+* **Circuit breaker** — :class:`CircuitBreaker`, the classic
+  closed → open → half-open machine.  Fatal rank failures trip it
+  instantly; repeated transient exhaustion trips it at ``threshold``.
+  While open, arrivals are shed (``breaker_open``) so recovery and
+  backlog drain are not competing with fresh load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..backoff import BackoffPolicy
+from ..mpi.errors import MPIError
+
+__all__ = [
+    "AdmissionQueue",
+    "CircuitBreaker",
+    "DeadlineExceeded",
+    "Overloaded",
+    "Request",
+    "RETRY_TICKS",
+]
+
+
+class Overloaded(MPIError):
+    """Request shed by admission control (queue full or breaker open)."""
+
+    error_class = "REPRO_TRAFFIC_OVERLOADED"
+
+
+class DeadlineExceeded(MPIError):
+    """Request missed its completion deadline while queued or retrying."""
+
+    error_class = "REPRO_TRAFFIC_DEADLINE"
+
+
+#: retry release-tick curve: 1 tick base, doubled, jittered into
+#: ``[0.5, 1.0]`` of the raw delay by the rank's seeded traffic RNG
+RETRY_TICKS = BackoffPolicy(base=1.0, factor=2.0, cap=8.0, jitter=0.5)
+
+
+@dataclass
+class Request:
+    """One admitted client request, tracked through retries."""
+
+    rid: int
+    payload: tuple
+    arrival: int
+    deadline: int
+    attempts: int = 0
+    not_before: int = 0
+
+
+class AdmissionQueue:
+    """Bounded FIFO with deadline expiry and backoff-aware dispatch."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._q: list[Request] = []
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def free(self) -> int:
+        return self.capacity - len(self._q)
+
+    def offer(self, req: Request) -> None:
+        """Admit ``req`` or shed it with :class:`Overloaded` (never blocks)."""
+        if len(self._q) >= self.capacity:
+            raise Overloaded(
+                f"admission queue full ({self.capacity}): shedding rid {req.rid}"
+            )
+        self._q.append(req)
+
+    def requeue(self, req: Request) -> None:
+        """Re-admit a retrying request; retries bypass the capacity check
+        (they already hold a slot's worth of admission budget)."""
+        self._q.append(req)
+
+    def expire(self, tick: int) -> "list[Request]":
+        """Remove and return every queued request past its deadline."""
+        dead = [r for r in self._q if tick > r.deadline]
+        if dead:
+            self._q = [r for r in self._q if tick <= r.deadline]
+        return dead
+
+    def pop_ready(self, tick: int) -> "Request | None":
+        """Oldest queued request whose backoff has elapsed, or ``None``."""
+        for i, r in enumerate(self._q):
+            if r.not_before <= tick:
+                return self._q.pop(i)
+        return None
+
+    def drain(self) -> "list[Request]":
+        """Empty the queue (recovery / shutdown), returning what was left."""
+        left, self._q = self._q, []
+        return left
+
+
+@dataclass
+class CircuitBreaker:
+    """Closed → open → half-open breaker over consecutive failures.
+
+    ``record_failure`` counts consecutive failures; at ``threshold``
+    the breaker opens for ``cooldown`` ticks (:meth:`trip` opens it
+    immediately — the harness calls that on fatal rank failures).  An
+    open breaker rejects all admission; after the cooldown it goes
+    half-open and admits one probe per tick, closing again on the first
+    success.  ``transitions`` is the audit trail folded into the
+    traffic trace digest.
+    """
+
+    threshold: int = 3
+    cooldown: int = 3
+    state: str = "closed"
+    failures: int = 0
+    opened_at: int = -1
+    _probe_tick: int = -1
+    transitions: "list[tuple]" = field(default_factory=list)
+
+    def allow(self, tick: int) -> bool:
+        """May an arrival be admitted at ``tick``?  (Advances open→half-open.)"""
+        if self.state == "open":
+            if tick >= self.opened_at + self.cooldown:
+                self.state = "half_open"
+                self.transitions.append(("half_open", tick))
+            else:
+                return False
+        if self.state == "half_open":
+            # one probe per tick: allow() is asked once per arrival, so
+            # permit only the first ask of this tick
+            if self._probe_tick == tick:
+                return False
+            self._probe_tick = tick
+            return True
+        return True
+
+    def record_success(self, tick: int) -> None:
+        self.failures = 0
+        if self.state == "half_open":
+            self.state = "closed"
+            self.transitions.append(("closed", tick))
+
+    def record_failure(self, tick: int) -> None:
+        self.failures += 1
+        if self.state == "half_open" or (
+            self.state == "closed" and self.failures >= self.threshold
+        ):
+            self._open(tick)
+
+    def trip(self, tick: int) -> None:
+        """Open immediately (fatal failure — recovery is about to run)."""
+        if self.state != "open":
+            self._open(tick)
+        else:
+            self.opened_at = tick
+
+    def _open(self, tick: int) -> None:
+        self.state = "open"
+        self.opened_at = tick
+        self.failures = 0
+        self.transitions.append(("open", tick))

@@ -1,0 +1,399 @@
+"""The three traffic workloads, each with a serial-numpy oracle.
+
+Every workload turns a GA computation into a stream of *idempotent*
+request payloads so the front-end's at-least-once delivery (retries,
+re-execution after checkpoint rollback) is value-safe:
+
+* :class:`StencilWorkload` — ghost-cell stencil: each request fetches a
+  row band of a read-only input array plus a one-cell halo and writes
+  :func:`repro.ga.ghosts.jacobi_sweep` of it into an output array.
+  (The collective ``GhostArray.update_ghosts`` exchange has no place in
+  a request-at-a-time service loop, so requests assemble their halo
+  with one-sided gets — same math, same ghost widths.)
+* :class:`WorkStealWorkload` — work stealing on the GA NXTVAL counter
+  (:class:`repro.ga.counters.SharedCounter`): arrivals *are* counter
+  draws, so fast ranks draw more — and admission is pull-based: a rank
+  only draws into free queue capacity, which is the work-stealing form
+  of backpressure (tasks are never shed at admission, only by deadline
+  or kill).
+* :class:`BfsWorkload` — BFS by monotone label correction on an
+  irregularly distributed level array
+  (:func:`repro.ga.irregular.create_irregular`): a request re-relaxes
+  one owned vertex from its neighbours' levels (owner-computes, so no
+  write races); improvements are gossiped through the harness's
+  per-tick status exchange to re-dirty neighbours.  Shed or expired
+  requests simply re-dirty their vertex — the fixed point (exact serial
+  BFS levels) is reached regardless of how much load was dropped.
+
+State is rebuilt from a replicated checkpoint after ULFM recovery:
+``checkpoint()`` captures the mutable arrays plus the completed-set /
+counter watermark, ``restore()`` recreates everything on the shrunken
+world (read-only inputs are regenerated from the seed instead of being
+checkpointed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ga.array import GlobalArray
+from ..ga.counters import SharedCounter
+from ..ga.ghosts import jacobi_sweep
+from ..ga.irregular import create_irregular
+
+__all__ = [
+    "BfsWorkload",
+    "StencilWorkload",
+    "WORKLOADS",
+    "WorkStealWorkload",
+    "make_workload",
+]
+
+#: unreachable-vertex sentinel for the BFS levels array
+BFS_INF = 2**31
+
+
+def _fill_own_block(ga: GlobalArray, full: "np.ndarray | None") -> None:
+    """Owner-computes fill: each rank writes its block from ``full``
+    (or zeros when ``full`` is None), then syncs."""
+    block = ga.distribution()
+    if block.size:
+        view = ga.access()
+        if full is None:
+            view[...] = 0
+        else:
+            view[...] = full[tuple(slice(lo, hi) for lo, hi in zip(block.lo, block.hi))]
+        ga.release()
+    ga.sync()
+
+
+class StencilWorkload:
+    """Ghost-cell stencil tiles over a seeded input array (push-based)."""
+
+    name = "stencil"
+    pull_based = False
+
+    def __init__(self, seed: int, size: int = 0):
+        self.seed = seed
+        self.rows = size or 20
+        self.cols = self.rows
+        self.tile_rows = 2
+        self.ntiles = self.rows // self.tile_rows
+
+    # -- deterministic read-only inputs (recomputed, never checkpointed) ----
+    def _base(self) -> np.ndarray:
+        rng = np.random.default_rng(self.seed ^ 0x57E4C11)
+        return rng.random((self.rows, self.cols))
+
+    def _oracle(self) -> np.ndarray:
+        return jacobi_sweep(np.pad(self._base(), 1))
+
+    def setup(self, armci) -> dict:
+        base = self._base()
+        ga_in = GlobalArray.create(armci, base.shape, "f8", name="traffic_in")
+        _fill_own_block(ga_in, base)
+        ga_out = GlobalArray.create(armci, base.shape, "f8", name="traffic_out")
+        _fill_own_block(ga_out, None)
+        return {"in": ga_in, "out": ga_out, "inflight": set()}
+
+    def generate(self, state, rank, nproc, tick, rng, limit, completed) -> list:
+        todo = [
+            (t,)
+            for t in range(self.ntiles)
+            if t % nproc == rank
+            and (t,) not in completed
+            and (t,) not in state["inflight"]
+        ]
+        picked = todo[:limit]
+        state["inflight"].update(picked)
+        return picked
+
+    def on_rejected(self, state, payload) -> None:
+        state["inflight"].discard(payload)
+
+    def execute(self, state, payload) -> list:
+        (t,) = payload
+        lo, hi = t * self.tile_rows, (t + 1) * self.tile_rows
+        halo = np.zeros((self.tile_rows + 2, self.cols + 2))
+        glo, ghi = max(lo - 1, 0), min(hi + 1, self.rows)
+        patch = state["in"].get([glo, 0], [ghi, self.cols])
+        halo[glo - (lo - 1) : ghi - (lo - 1), 1:-1] = patch
+        state["out"].put([lo, 0], [hi, self.cols], jacobi_sweep(halo))
+        state["inflight"].discard(payload)
+        return []
+
+    def apply_effects(self, state, rank, nproc, effects) -> None:
+        pass
+
+    def watermark(self, state) -> int:
+        return 0
+
+    def exhausted(self, state, rank, nproc, completed) -> bool:
+        return all(
+            (t,) in completed for t in range(self.ntiles) if t % nproc == rank
+        )
+
+    def checkpoint(self, state, completed, watermark) -> dict:
+        return {
+            "out": state["out"].checkpoint(),
+            "completed": frozenset(completed),
+            "watermark": watermark,
+        }
+
+    def restore(self, armci, ckpt) -> dict:
+        ga_in = GlobalArray.create(armci, (self.rows, self.cols), "f8",
+                                   name="traffic_in")
+        _fill_own_block(ga_in, self._base())
+        ga_out = GlobalArray.restore(armci, ckpt["out"])
+        return {"in": ga_in, "out": ga_out, "inflight": set()}
+
+    def verify(self, state, completed) -> bool:
+        got = state["out"].get([0, 0], [self.rows, self.cols])
+        expect = np.zeros((self.rows, self.cols))
+        oracle = self._oracle()
+        for (t,) in completed:
+            lo, hi = t * self.tile_rows, (t + 1) * self.tile_rows
+            expect[lo:hi] = oracle[lo:hi]
+        return bool(np.array_equal(got, expect))
+
+
+class WorkStealWorkload:
+    """NXTVAL work stealing: arrivals are atomic counter draws (pull-based)."""
+
+    name = "worksteal"
+    pull_based = True
+
+    def __init__(self, seed: int, size: int = 0):
+        self.seed = seed
+        self.ntasks = size or 28
+
+    @staticmethod
+    def _value(t: int) -> int:
+        return t * t + 3 * t + 7
+
+    def setup(self, armci) -> dict:
+        counter = SharedCounter(armci)
+        counter.reset(0)
+        ga = GlobalArray.create(armci, (self.ntasks,), "i8", name="traffic_tasks")
+        _fill_own_block(ga, None)
+        return {"counter": counter, "ga": ga}
+
+    def generate(self, state, rank, nproc, tick, rng, limit, completed) -> list:
+        drawn = []
+        if state.get("dry"):
+            return drawn
+        for _ in range(limit):
+            t = state["counter"].next()
+            if t >= self.ntasks:
+                state["dry"] = True
+                state["hwm"] = self.ntasks
+                break
+            state["hwm"] = max(int(state.get("hwm", 0)), t + 1)
+            if (t,) in completed:
+                # re-drawn after a rollback to the completion frontier;
+                # already done everywhere, skip instead of re-executing
+                continue
+            drawn.append((t,))
+        return drawn
+
+    def on_rejected(self, state, payload) -> None:
+        # a drawn-then-dropped task is lost load: the oracle is over the
+        # completed set, so nothing to roll back
+        pass
+
+    def execute(self, state, payload) -> list:
+        (t,) = payload
+        state["ga"].put([t], [t + 1], np.array([self._value(t)], dtype="i8"))
+        return []
+
+    def apply_effects(self, state, rank, nproc, effects) -> None:
+        pass
+
+    def exhausted(self, state, rank, nproc, completed) -> bool:
+        # set by generate() on the first draw past the end; until this
+        # rank has personally drawn past the end it keeps offering, so
+        # no extra counter reads are needed per tick
+        return bool(state.get("dry"))
+
+    def watermark(self, state) -> int:
+        """Highest counter value this rank has seen (folded to a global
+        max through the per-tick status exchange, purely informational)."""
+        return min(int(state.get("hwm", 0)), self.ntasks)
+
+    def checkpoint(self, state, completed, watermark) -> dict:
+        # the restore point must re-issue every drawn-but-uncompleted
+        # task (they are shed from the queue at recovery), so record the
+        # completion *frontier* — the first gap — not the draw
+        # high-water-mark; generate() skips the completed tasks between
+        # the frontier and the hwm when they come around again
+        frontier = 0
+        while frontier < self.ntasks and (frontier,) in completed:
+            frontier += 1
+        return {
+            "ga": state["ga"].checkpoint(),
+            "completed": frozenset(completed),
+            "watermark": frontier,
+        }
+
+    def restore(self, armci, ckpt) -> dict:
+        counter = SharedCounter(armci)
+        counter.reset(ckpt["watermark"])
+        ga = GlobalArray.restore(armci, ckpt["ga"])
+        return {"counter": counter, "ga": ga}
+
+    def verify(self, state, completed) -> bool:
+        got = state["ga"].get([0], [self.ntasks])
+        expect = np.zeros(self.ntasks, dtype="i8")
+        for (t,) in completed:
+            expect[t] = self._value(t)
+        return bool(np.array_equal(got, expect))
+
+
+class BfsWorkload:
+    """Asynchronous BFS label correction on an irregular distribution."""
+
+    name = "bfs"
+    pull_based = False
+
+    def __init__(self, seed: int, size: int = 0):
+        self.seed = seed
+        self.n = size or 36
+
+    # -- deterministic read-only inputs -------------------------------------
+    def _graph(self) -> "list[list[int]]":
+        rng = np.random.default_rng((self.seed << 1) ^ 0xACE5)
+        adj: list[set] = [set() for _ in range(self.n)]
+        for _ in range(2 * self.n):
+            a = int(rng.integers(0, self.n))
+            b = int(rng.integers(0, self.n))
+            if a != b:
+                adj[a].add(b)
+                adj[b].add(a)
+        return [sorted(s) for s in adj]
+
+    def _boundaries(self, nproc: int) -> "list[int]":
+        rng = np.random.default_rng(self.seed ^ 0xB0F5)
+        marks = [0]
+        for i in range(1, nproc):
+            ideal = i * self.n // nproc
+            span = max(1, self.n // (4 * nproc))
+            m = int(ideal + rng.integers(-span, span + 1))
+            marks.append(max(marks[-1] + 1, min(m, self.n - (nproc - i))))
+        return marks
+
+    def _oracle(self) -> np.ndarray:
+        adj = self._graph()
+        levels = np.full(self.n, BFS_INF, dtype="i8")
+        levels[0] = 0
+        frontier = [0]
+        depth = 0
+        while frontier:
+            depth += 1
+            nxt = []
+            for u in frontier:
+                for w in adj[u]:
+                    if levels[w] > depth:
+                        levels[w] = depth
+                        nxt.append(w)
+            frontier = nxt
+        return levels
+
+    def _owned(self, ga: GlobalArray, rank: int) -> "tuple[int, int]":
+        block = ga.distribution(rank)
+        if not block.size:
+            return (0, 0)
+        return (block.lo[0], block.hi[0])
+
+    def setup(self, armci) -> dict:
+        levels = create_irregular(
+            armci, (self.n,), [self._boundaries(armci.nproc)],
+            dtype="i8", name="traffic_levels",
+        )
+        init = np.full(self.n, BFS_INF, dtype="i8")
+        init[0] = 0
+        _fill_own_block(levels, init)
+        lo, hi = self._owned(levels, armci.my_id)
+        return {
+            "levels": levels,
+            "adj": self._graph(),
+            "dirty": set(range(lo, hi)) - {0},
+            "inflight": set(),
+        }
+
+    def generate(self, state, rank, nproc, tick, rng, limit, completed) -> list:
+        picked = [(u,) for u in sorted(state["dirty"])[:limit]]
+        for p in picked:
+            state["dirty"].discard(p[0])
+            state["inflight"].add(p)
+        return picked
+
+    def on_rejected(self, state, payload) -> None:
+        state["inflight"].discard(payload)
+        state["dirty"].add(payload[0])
+
+    def execute(self, state, payload) -> list:
+        (u,) = payload
+        ga = state["levels"]
+        nbrs = state["adj"][u]
+        state["inflight"].discard(payload)
+        if not nbrs:
+            return []
+        best = min(int(ga.get([w], [w + 1])[0]) for w in nbrs) + 1
+        if best < int(ga.get([u], [u + 1])[0]):
+            ga.put([u], [u + 1], np.array([best], dtype="i8"))
+            return [(u, best)]
+        return []
+
+    def apply_effects(self, state, rank, nproc, effects) -> None:
+        lo, hi = self._owned(state["levels"], rank)
+        for (v, _lvl) in effects:
+            for w in state["adj"][v]:
+                if lo <= w < hi and w != 0 and (w,) not in state["inflight"]:
+                    state["dirty"].add(w)
+
+    def watermark(self, state) -> int:
+        return 0
+
+    def exhausted(self, state, rank, nproc, completed) -> bool:
+        return not state["dirty"]
+
+    def checkpoint(self, state, completed, watermark) -> dict:
+        return {
+            "levels": state["levels"].checkpoint(),
+            "completed": frozenset(completed),
+            "watermark": watermark,
+        }
+
+    def restore(self, armci, ckpt) -> dict:
+        snap = np.asarray(ckpt["levels"].data)
+        levels = create_irregular(
+            armci, (self.n,), [self._boundaries(armci.nproc)],
+            dtype="i8", name="traffic_levels",
+        )
+        _fill_own_block(levels, snap)
+        lo, hi = self._owned(levels, armci.my_id)
+        # monotone labels: re-dirtying every owned vertex is always safe
+        return {
+            "levels": levels,
+            "adj": self._graph(),
+            "dirty": set(range(lo, hi)) - {0},
+            "inflight": set(),
+        }
+
+    def verify(self, state, completed) -> bool:
+        got = state["levels"].get([0], [self.n])
+        return bool(np.array_equal(got, self._oracle()))
+
+
+WORKLOADS = {
+    "stencil": StencilWorkload,
+    "worksteal": WorkStealWorkload,
+    "bfs": BfsWorkload,
+}
+
+
+def make_workload(scenario: str, seed: int, size: int = 0):
+    if scenario not in WORKLOADS:
+        raise ValueError(f"unknown traffic scenario {scenario!r}; "
+                         f"have {sorted(WORKLOADS)}")
+    return WORKLOADS[scenario](seed, size)
